@@ -1,0 +1,28 @@
+"""Shared constants and helpers for the experiment benchmarks."""
+
+import os
+
+#: Output directory for regenerated tables and series.
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: Dataset scale used throughout the benchmarks.
+SCALE = 0.04
+
+#: Scaled-down pipeline options (small windows, few epochs) for the runs.
+FAST_PIPELINE_OPTIONS = {
+    "lstm_dynamic_threshold": {"window_size": 40, "epochs": 3},
+    "lstm_autoencoder": {"window_size": 40, "epochs": 3},
+    "dense_autoencoder": {"window_size": 40, "epochs": 8},
+    "tadgan": {"window_size": 40, "epochs": 2},
+    "arima": {"window_size": 40},
+    "azure": {},
+}
+
+
+def write_output(filename: str, content: str) -> str:
+    """Persist a regenerated table under ``benchmarks/output/``."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, filename)
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    return path

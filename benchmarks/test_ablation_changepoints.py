@@ -1,0 +1,90 @@
+"""Ablation — change-point preprocessing on Yahoo-A4-like signals.
+
+The paper's §5 ("Addressing distribution shifts") observes that F1 drops on
+Yahoo's A4 subset because 86% of its signals contain a change point, and
+argues that the modular pipeline design lets users add change-point
+segmentation as a new preprocessing primitive. This ablation measures that
+claim: the same ARIMA pipeline is run with and without the
+``change_point_segmenter`` primitive inserted after imputation, on signals
+that contain both a change point and genuine point anomalies.
+"""
+
+import numpy as np
+from bench_utils import write_output
+
+from repro.core import Pipeline
+from repro.data import generate_signal
+from repro.evaluation import overlapping_segment_scores
+from repro.pipelines import get_pipeline_spec
+
+N_SIGNALS = 4
+
+
+def _a4_like_signals():
+    """Signals with one change point plus point anomalies (Yahoo A4 style)."""
+    signals = []
+    for i in range(N_SIGNALS):
+        signals.append(generate_signal(
+            f"a4-{i}", length=400, n_anomalies=3, random_state=300 + i,
+            flavour="trend_seasonal",
+            anomaly_types=("change_point", "point", "point"),
+            metadata={"dataset": "YAHOO", "subset": "A4"},
+        ))
+    return signals
+
+
+def _spec_with_changepoint_handling():
+    """The ARIMA spec with the change-point segmenter inserted."""
+    spec = get_pipeline_spec("arima", window_size=40)
+    spec["name"] = "arima_with_change_point_segmentation"
+    insert_at = next(i for i, step in enumerate(spec["steps"])
+                     if step["primitive"] == "SimpleImputer") + 1
+    spec["steps"].insert(insert_at, {
+        "primitive": "change_point_segmenter",
+        "hyperparameters": {"min_size": 25},
+    })
+    return spec
+
+
+def _evaluate(spec, signals):
+    scores = []
+    for signal in signals:
+        pipeline = Pipeline(spec)
+        detected = pipeline.fit_detect(signal.to_array())
+        # Point anomalies are the detection target; the change point itself
+        # is a distribution shift, not an event the operator wants flagged.
+        point_truth = [interval for interval in signal.anomalies
+                       if interval[1] - interval[0] < 5]
+        scores.append(overlapping_segment_scores(point_truth, detected))
+    return {
+        "f1": float(np.mean([s["f1"] for s in scores])),
+        "precision": float(np.mean([s["precision"] for s in scores])),
+        "recall": float(np.mean([s["recall"] for s in scores])),
+    }
+
+
+def _run_ablation():
+    signals = _a4_like_signals()
+    baseline = _evaluate(get_pipeline_spec("arima", window_size=40), signals)
+    with_cpd = _evaluate(_spec_with_changepoint_handling(), signals)
+    return baseline, with_cpd
+
+
+def test_ablation_change_point_preprocessing(benchmark):
+    baseline, with_cpd = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+
+    lines = [f"{'variant':<42}{'F1':>8}{'precision':>11}{'recall':>8}"]
+    lines.append("-" * len(lines[0]))
+    lines.append(f"{'arima (no change-point handling)':<42}"
+                 f"{baseline['f1']:>8.3f}{baseline['precision']:>11.3f}"
+                 f"{baseline['recall']:>8.3f}")
+    lines.append(f"{'arima + change_point_segmenter':<42}"
+                 f"{with_cpd['f1']:>8.3f}{with_cpd['precision']:>11.3f}"
+                 f"{with_cpd['recall']:>8.3f}")
+    write_output("ablation_changepoints.txt", "\n".join(lines))
+
+    # The modular insertion works end-to-end and does not destroy detection.
+    assert 0.0 <= with_cpd["f1"] <= 1.0
+    # Handling the change point should not hurt — and typically helps —
+    # detection of the true point anomalies on A4-like data.
+    assert with_cpd["f1"] >= baseline["f1"] - 0.15

@@ -1,0 +1,85 @@
+"""Ablation — dynamic thresholding vs a fixed global threshold.
+
+DESIGN.md calls out the non-parametric dynamic threshold (Hundman et al.)
+used by ``find_anomalies`` as a central design choice of the
+post-processing engine. This ablation swaps it for the simple
+``fixed_threshold`` primitive inside the same ARIMA pipeline and compares
+detection quality over a mix of signals, including contextual anomalies
+that a global threshold is expected to struggle with.
+"""
+
+import numpy as np
+from bench_utils import write_output
+
+from repro.core import Pipeline
+from repro.data import generate_signal
+from repro.evaluation import overlapping_segment_scores
+from repro.pipelines import get_pipeline_spec
+
+N_SIGNALS = 4
+
+
+def _signals():
+    signals = []
+    for i in range(N_SIGNALS):
+        signals.append(generate_signal(
+            f"threshold-ablation-{i}", length=400, n_anomalies=3,
+            random_state=400 + i, flavour="periodic",
+            anomaly_types=("contextual", "collective", "point"),
+        ))
+    return signals
+
+
+def _spec(postprocessing_primitive):
+    spec = get_pipeline_spec("arima", window_size=40)
+    spec["name"] = f"arima_{postprocessing_primitive}"
+    last = spec["steps"][-1]
+    assert last["primitive"] == "find_anomalies"
+    if postprocessing_primitive == "fixed_threshold":
+        spec["steps"][-1] = {
+            "primitive": "fixed_threshold",
+            "inputs": {"errors": "errors", "index": "target_index"},
+        }
+    return spec
+
+
+def _evaluate(spec, signals):
+    scores = []
+    for signal in signals:
+        pipeline = Pipeline(spec)
+        detected = pipeline.fit_detect(signal.to_array())
+        scores.append(overlapping_segment_scores(signal.anomalies, detected))
+    return {key: float(np.mean([s[key] for s in scores]))
+            for key in ("f1", "precision", "recall")}
+
+
+def _run_ablation():
+    signals = _signals()
+    dynamic = _evaluate(_spec("find_anomalies"), signals)
+    fixed = _evaluate(_spec("fixed_threshold"), signals)
+    return dynamic, fixed
+
+
+def test_ablation_dynamic_vs_fixed_threshold(benchmark):
+    dynamic, fixed = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+
+    lines = [f"{'postprocessing variant':<34}{'F1':>8}{'precision':>11}{'recall':>8}"]
+    lines.append("-" * len(lines[0]))
+    lines.append(f"{'dynamic threshold (find_anomalies)':<34}"
+                 f"{dynamic['f1']:>8.3f}{dynamic['precision']:>11.3f}"
+                 f"{dynamic['recall']:>8.3f}")
+    lines.append(f"{'fixed global threshold':<34}"
+                 f"{fixed['f1']:>8.3f}{fixed['precision']:>11.3f}"
+                 f"{fixed['recall']:>8.3f}")
+    write_output("ablation_thresholding.txt", "\n".join(lines))
+
+    # Both post-processors produce valid detections end-to-end.
+    for scores in (dynamic, fixed):
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+    # The dynamic threshold — the paper's design choice — should be at least
+    # competitive with the fixed threshold on signals that contain
+    # contextual anomalies.
+    assert dynamic["f1"] >= fixed["f1"] - 0.1
+    assert dynamic["recall"] >= fixed["recall"] - 0.1

@@ -1,0 +1,39 @@
+"""E4 — Figure 7a: computational performance per pipeline.
+
+The paper reports, for each pipeline over all benchmarked signals: the
+total training time, the detect-mode latency, and the memory usage. The
+headline shapes: TadGAN is the slowest to train (four interleaved
+networks); the reconstruction pipelines (TadGAN, LSTM AE, Dense AE) use the
+most memory; ARIMA's total cost is comparable to the cheaper deep
+pipelines once training and latency are combined.
+"""
+
+from bench_utils import write_output
+
+
+def test_fig7a_computational_performance(benchmark, full_benchmark_result):
+    result = benchmark.pedantic(lambda: full_benchmark_result, rounds=1, iterations=1)
+    write_output("fig7a_computational.txt", result.format_computational())
+
+    table = result.computational_table()
+    fit_times = {name: row["fit_time"] for name, row in table.items()}
+    memory = {name: row["memory_mb"] for name, row in table.items()}
+
+    # Shape 1: the neural pipelines (and TadGAN in particular) cost more to
+    # train than the statistical ARIMA and the spectral-residual service.
+    deep = ("tadgan", "lstm_dynamic_threshold", "lstm_autoencoder")
+    assert max(fit_times[name] for name in deep) > fit_times["arima"]
+    assert max(fit_times[name] for name in deep) > fit_times["azure"]
+
+    # Shape 2: TadGAN is among the most expensive pipelines to train.
+    slowest = sorted(fit_times, key=fit_times.get, reverse=True)[:3]
+    assert "tadgan" in slowest
+
+    # Shape 3: a reconstruction pipeline tops the memory ranking.
+    heaviest = max(memory, key=memory.get)
+    assert heaviest in ("tadgan", "lstm_autoencoder", "dense_autoencoder",
+                        "lstm_dynamic_threshold")
+
+    # Shape 4: detect latency is lower than training time for the deep models.
+    for name in deep:
+        assert table[name]["detect_time"] < table[name]["fit_time"]

@@ -1,0 +1,55 @@
+"""E5 — Figure 7b: framework overhead of pipelines vs standalone primitives.
+
+The paper measures the extra cost of running primitives inside the pipeline
+abstraction instead of calling them independently; the average increase is
+a few percent (0.2% - 2.5% depending on the pipeline), i.e. the framework's
+bookkeeping is not a bottleneck. This benchmark reproduces the comparison
+for a representative subset of pipelines.
+"""
+
+from bench_utils import FAST_PIPELINE_OPTIONS, write_output
+
+from repro.benchmark import profile_overhead
+from repro.data import generate_signal
+
+PIPELINES = ["arima", "azure", "dense_autoencoder", "lstm_dynamic_threshold"]
+
+
+def _signals():
+    return [
+        generate_signal(f"overhead-{i}", length=300, n_anomalies=2,
+                        random_state=50 + i, flavour="periodic")
+        for i in range(2)
+    ]
+
+
+def test_fig7b_primitive_overhead(benchmark):
+    signals = _signals()
+    summary = benchmark.pedantic(
+        profile_overhead, args=(PIPELINES, signals),
+        kwargs={"pipeline_options": FAST_PIPELINE_OPTIONS},
+        rounds=1, iterations=1,
+    )
+
+    lines = [f"{'pipeline':<26}{'delta mean (s)':>16}{'delta std (s)':>16}"
+             f"{'% avg inc.':>12}"]
+    lines.append("-" * len(lines[0]))
+    for name in PIPELINES:
+        row = summary[name]
+        lines.append(f"{name:<26}{row['delta_mean']:>16.4f}{row['delta_std']:>16.4f}"
+                     f"{row['percent_increase']:>12.2f}")
+    write_output("fig7b_primitive_overhead.txt", "\n".join(lines))
+
+    for name in PIPELINES:
+        row = summary[name]
+        assert row["runs"] == len(_signals())
+        # The framework overhead must stay small. The paper reports a 0.2% -
+        # 2.5% average increase; here the absolute runtimes are fractions of
+        # a second, so either the relative increase stays modest or the
+        # absolute delta is within measurement noise (tens of milliseconds).
+        assert row["percent_increase"] < 75.0 or row["delta_mean"] < 0.05, name
+
+    # The deep pipeline's relative overhead is not dramatically worse than
+    # the statistical pipeline's, mirroring the paper's "delta is generally
+    # minimal" observation.
+    assert summary["lstm_dynamic_threshold"]["percent_increase"] < 100.0

@@ -1,0 +1,54 @@
+"""E2 — Table 2: dataset summary (signals, anomalies, average length).
+
+The paper's Table 2 reports 45/80/367 signals and 94/103/2152 anomalies for
+NAB / NASA / YAHOO with average lengths 6088 / 8686 / 1561. The synthetic
+builders target the full cardinalities at ``scale=1.0``; the benchmark
+verifies the scaled-down variants preserve the *relative* characteristics
+(YAHOO has by far the most signals and anomalies but the shortest signals,
+NASA the longest signals with roughly one anomaly per signal).
+"""
+
+from bench_utils import SCALE, write_output
+
+from repro.data import DATASET_SPECS
+
+
+def _summarize(datasets):
+    return {name: dataset.summary() for name, dataset in datasets.items()}
+
+
+def test_table2_dataset_summary(benchmark, benchmark_datasets):
+    summaries = benchmark.pedantic(_summarize, args=(benchmark_datasets,),
+                                   rounds=1, iterations=1)
+
+    lines = [f"{'dataset':<10}{'# signals':>12}{'# anomalies':>14}{'avg length':>14}"]
+    lines.append("-" * len(lines[0]))
+    for name in ("NAB", "NASA", "YAHOO"):
+        row = summaries[name]
+        lines.append(f"{name:<10}{row['signals']:>12}{row['anomalies']:>14}"
+                     f"{row['avg_length']:>14.1f}")
+    lines.append("")
+    lines.append(f"(scale={SCALE}; paper cardinalities at scale=1.0: "
+                 f"{DATASET_SPECS})")
+    write_output("table2_dataset_summary.txt", "\n".join(lines))
+
+    nab, nasa, yahoo = summaries["NAB"], summaries["NASA"], summaries["YAHOO"]
+
+    # The scale=1.0 builders target exactly the paper's cardinalities.
+    assert DATASET_SPECS["NAB"] == {"signals": 45, "anomalies": 94,
+                                    "avg_length": 6088}
+    assert DATASET_SPECS["NASA"]["signals"] == 80
+    assert DATASET_SPECS["YAHOO"]["anomalies"] == 2152
+
+    # Relative cardinalities follow Table 2.
+    assert yahoo["signals"] > nasa["signals"] > nab["signals"]
+    assert yahoo["anomalies"] > nasa["anomalies"]
+    assert yahoo["anomalies"] > nab["anomalies"]
+
+    # NASA signals are the longest (as in the paper).
+    assert nasa["avg_length"] > nab["avg_length"] >= yahoo["avg_length"] * 0.9
+
+    # Anomaly density: YAHOO ~6 per signal, NASA ~1.3, NAB ~2 (Table 2 ratios).
+    assert yahoo["anomalies"] / yahoo["signals"] > 3
+    assert 1.0 <= nasa["anomalies"] / nasa["signals"] <= 2.0
+    assert 1.0 <= nab["anomalies"] / nab["signals"] <= 3.0

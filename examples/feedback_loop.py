@@ -1,0 +1,57 @@
+"""Annotation-based learning: the human-in-the-loop feedback workflow.
+
+Reproduces the mechanics of Figure 8a: an unsupervised pipeline warm-starts
+detection, a (simulated) expert annotates k=2 events per iteration, and a
+semi-supervised pipeline is retrained from the accumulated annotations.
+The semi-supervised pipeline starts below the unsupervised baseline and
+improves as annotations accumulate.
+
+Run with:  python examples/feedback_loop.py
+"""
+
+from repro.data import generate_signal
+from repro.hil import FeedbackLoop
+
+
+def main():
+    signals = [
+        generate_signal(f"ops-channel-{i}", length=400, n_anomalies=4,
+                        random_state=30 + i, flavour="periodic")
+        for i in range(3)
+    ]
+
+    loop = FeedbackLoop(
+        signals,
+        unsupervised_pipeline="arima",
+        supervised_pipeline="lstm_classifier",
+        k=2,                      # the expert annotates 2 events per iteration
+        split=0.7,                # 70/30 train/test split, as in the paper
+        random_state=0,
+        unsupervised_options={"window_size": 40},
+        supervised_options={"window_size": 25, "epochs": 8},
+    )
+
+    result = loop.run(max_iterations=8)
+
+    baseline = result.unsupervised_baseline
+    print("unsupervised warm-start baseline on held-out data:")
+    print(f"  f1={baseline['f1']:.3f}  precision={baseline['precision']:.3f}  "
+          f"recall={baseline['recall']:.3f}")
+
+    print("\nsemi-supervised pipeline as annotations accumulate:")
+    print(f"{'iteration':>10}{'annotations':>13}{'confirmed':>11}"
+          f"{'f1':>8}{'precision':>11}{'recall':>8}")
+    for item in result.iterations:
+        print(f"{item.iteration:>10}{item.n_annotations:>13}{item.n_confirmed:>11}"
+              f"{item.f1:>8.3f}{item.precision:>11.3f}{item.recall:>8.3f}")
+
+    if result.surpassed_baseline:
+        print("\nthe semi-supervised pipeline surpassed the unsupervised baseline.")
+    else:
+        print("\nthe semi-supervised pipeline did not surpass the baseline yet — "
+              "more annotations (or more training epochs) are needed, matching "
+              "the early-iteration behaviour discussed in the paper.")
+
+
+if __name__ == "__main__":
+    main()

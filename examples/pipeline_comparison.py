@@ -1,0 +1,52 @@
+"""Pipeline comparison: the benchmark API (Figure 4c of the paper).
+
+Run every pipeline in the hub on a small benchmark dataset and print the
+Table 3-style quality comparison and the Figure 7a-style computational
+comparison.
+
+Run with:  python examples/pipeline_comparison.py
+"""
+
+from repro.benchmark import benchmark
+
+PIPELINE_OPTIONS = {
+    "lstm_dynamic_threshold": {"window_size": 40, "epochs": 3},
+    "lstm_autoencoder": {"window_size": 40, "epochs": 3},
+    "dense_autoencoder": {"window_size": 40, "epochs": 8},
+    "tadgan": {"window_size": 40, "epochs": 2},
+    "arima": {"window_size": 40},
+    "azure": {},
+}
+
+
+def main():
+    # One command runs every pipeline on every signal of every dataset under
+    # identical conditions — sintel.benchmark in the paper.
+    result = benchmark(
+        datasets=["NAB", "NASA", "YAHOO"],
+        scale=0.03,
+        max_signals=1,
+        pipeline_options=PIPELINE_OPTIONS,
+        random_state=0,
+        verbose=True,
+    )
+
+    print("\n=== Quality performance (overlapping segment, Table 3 layout) ===")
+    print(result.format_quality())
+
+    print("\n=== Computational performance (Figure 7a layout) ===")
+    print(result.format_computational())
+
+    best = {}
+    for dataset in result.datasets:
+        table = result.quality_table()
+        candidates = {p: table[p][dataset]["f1"][0]
+                      for p in result.pipelines if dataset in table.get(p, {})}
+        best[dataset] = max(candidates, key=candidates.get)
+    print("\nbest pipeline per dataset (by F1):")
+    for dataset, pipeline in best.items():
+        print(f"  {dataset:<8} -> {pipeline}")
+
+
+if __name__ == "__main__":
+    main()

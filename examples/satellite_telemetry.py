@@ -1,0 +1,108 @@
+"""Satellite telemetry monitoring: the paper's §2.1 real-world scenario.
+
+A spacecraft operations team monitors many telemetry channels. The workflow:
+
+1. register the signals in the knowledge base;
+2. run an unsupervised pipeline over every signal and store detected
+   events;
+3. experts review the events through the REST API — confirming real
+   anomalies, dismissing benign patterns (e.g. maneuvers), and discussing
+   ambiguous ones;
+4. the confirmed annotations become labeled intervals that a supervised
+   pipeline can learn from.
+
+Run with:  python examples/satellite_telemetry.py
+"""
+
+from repro import Sintel
+from repro.api import SintelAPI
+from repro.data import generate_signal
+from repro.db import SintelExplorer
+from repro.hil import ExpertStudySimulator
+
+SUBSYSTEMS = ["electrical_power", "thermal", "attitude_control", "communications"]
+
+
+def build_telemetry(n_signals=8):
+    """Generate synthetic spacecraft telemetry channels with ground truth."""
+    signals = []
+    for i in range(n_signals):
+        signals.append(generate_signal(
+            f"sat-{SUBSYSTEMS[i % len(SUBSYSTEMS)]}-{i:02d}",
+            length=500,
+            n_anomalies=2,
+            random_state=100 + i,
+            flavour="periodic" if i % 2 else "square_wave",
+            anomaly_types=("collective", "contextual", "point"),
+            metadata={"subsystem": SUBSYSTEMS[i % len(SUBSYSTEMS)]},
+        ))
+    return signals
+
+
+def main():
+    explorer = SintelExplorer()
+    api = SintelAPI(explorer)
+    experts = ExpertStudySimulator(random_state=0)
+
+    # 1. Register the telemetry database.
+    dataset_id = explorer.add_dataset("spacecraft-telemetry", operator="demo-sat")
+    signals = build_telemetry()
+    signal_ids = {signal.name: explorer.add_signal(dataset_id, signal)
+                  for signal in signals}
+
+    # 2. Detect anomalies on every channel with an unsupervised pipeline and
+    #    persist the events.
+    template_id = explorer.add_template("arima", {"source": "pipeline-hub"})
+    pipeline_id = explorer.add_pipeline("arima-telemetry", template_id,
+                                        {"window_size": 40})
+    experiment_id = explorer.add_experiment("weekly-review", project="satellite")
+    datarun_id = explorer.add_datarun(experiment_id, pipeline_id)
+
+    print(f"{'signal':<34}{'detected':>10}{'known':>8}")
+    print("-" * 52)
+    for signal in signals:
+        signalrun_id = explorer.add_signalrun(datarun_id, signal_ids[signal.name])
+        detector = Sintel("arima", window_size=40)
+        detected = detector.fit_detect(signal)
+        explorer.add_detected_events(signalrun_id, signal_ids[signal.name], detected)
+        explorer.end_signalrun(signalrun_id, status="done", n_events=len(detected))
+        print(f"{signal.name:<34}{len(detected):>10}{len(signal.anomalies):>8}")
+    explorer.end_datarun(datarun_id)
+
+    # 3. Experts review the flagged events through the API: annotate and
+    #    discuss. (Here a simulated expert team plays that role.)
+    reviewed = 0
+    confirmed = 0
+    for signal in signals:
+        signal_id = signal_ids[signal.name]
+        events = api.get("/events", query={"signal_id": signal_id}).body["events"]
+        detected = [(event["start_time"], event["stop_time"]) for event in events]
+        reviews = experts.review_signal(signal, detected, missed_fraction=0.5)
+        for event, review in zip(events, reviews):
+            tag = review["tag"] if review["tag"] != "problematic" else "anomaly"
+            api.post(f"/events/{event['_id']}/annotations",
+                     {"user": review["expert"], "tag": tag})
+            if tag == "anomaly":
+                api.post(f"/events/{event['_id']}/comments",
+                         {"user": review["expert"],
+                          "text": "Confirmed anomaly — escalate to flight team."})
+                confirmed += 1
+            reviewed += 1
+
+    print(f"\nexpert review: {reviewed} events reviewed, {confirmed} confirmed")
+
+    # 4. Confirmed annotations become labeled intervals for retraining.
+    labeled = {
+        signal.name: explorer.get_annotated_intervals(signal_ids[signal.name])
+        for signal in signals
+    }
+    n_labeled = sum(len(intervals) for intervals in labeled.values())
+    print(f"labeled intervals available for the supervised pipeline: {n_labeled}")
+
+    print("\nknowledge base contents:")
+    for collection, count in explorer.summary().items():
+        print(f"  {collection:<14} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Wind-turbine component failure prediction: the supervised workflow.
+
+The paper's §5 ("Going beyond satellite operations") describes deploying
+the framework with a large electric utility to predict component failures
+in wind turbines — a setting where labels are available, so most pipelines
+are *supervised* (Figure 2b). This example reproduces that workflow:
+
+1. generate vibration-like turbine telemetry with labeled failure windows;
+2. train the supervised LSTM classifier pipeline on historical labels;
+3. predict failure windows on new data and evaluate them;
+4. inspect the flagged windows with the terminal visualization helpers.
+
+Run with:  python examples/wind_turbine_failures.py
+"""
+
+import numpy as np
+
+from repro import Sintel
+from repro.data import Signal
+from repro.evaluation import overlapping_segment_scores
+from repro.viz import render_events, render_signal
+
+
+def build_turbine_signal(name, length=700, n_failures=3, seed=0):
+    """Vibration RMS telemetry with labeled pre-failure windows.
+
+    A developing bearing fault shows up as a slow exponential rise of the
+    vibration level on top of the rotation-speed-driven baseline; the
+    labeled interval covers the degradation window before the (simulated)
+    failure and repair.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=float)
+    # Baseline: rotation-speed-driven vibration with measurement noise.
+    baseline = 1.0 + 0.2 * np.sin(2 * np.pi * t / 96) + rng.normal(0, 0.05, length)
+
+    values = baseline.copy()
+    failures = []
+    segment = length // (n_failures + 1)
+    for k in range(1, n_failures + 1):
+        onset = k * segment - 40 + int(rng.integers(-10, 10))
+        failure = onset + 40
+        growth = np.exp(np.linspace(0.0, 1.2, failure - onset)) - 1.0
+        values[onset:failure] += growth
+        # After the failure the component is replaced: back to baseline.
+        failures.append((onset, failure - 1))
+
+    return Signal(
+        name=name,
+        timestamps=np.arange(length, dtype=np.int64) * 600,  # 10-minute SCADA data
+        values=values,
+        anomalies=[(int(start) * 600, int(end) * 600) for start, end in failures],
+        metadata={"asset": "wind-turbine", "channel": "vibration_rms"},
+    )
+
+
+def main():
+    # Historical turbines with known failures (labels available) and a new
+    # turbine to monitor.
+    history = build_turbine_signal("turbine-A", seed=1)
+    target = build_turbine_signal("turbine-B", seed=7)
+
+    print("historical turbine (training data), labeled degradation windows:")
+    print(render_signal(history, events=history.anomalies, width=90))
+
+    # Train the supervised pipeline (Figure 2b) on the labeled history.
+    model = Sintel("lstm_classifier", window_size=30, epochs=12)
+    model.fit(history.to_array(), events=history.anomalies)
+
+    # Predict failure windows on the new turbine.
+    predicted = model.detect(target.to_array(), events=history.anomalies)
+    scores = overlapping_segment_scores(target.anomalies, predicted)
+
+    print("\nmonitored turbine (new data) with predicted degradation windows:")
+    print(render_signal(target, events=[(p[0], p[1]) for p in predicted], width=90))
+
+    print("\npredicted windows:")
+    print(render_events(target, [(p[0], p[1]) for p in predicted]))
+
+    print(f"\nquality vs. the turbine's true degradation windows: "
+          f"f1={scores['f1']:.3f}  precision={scores['precision']:.3f}  "
+          f"recall={scores['recall']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``repro.api``: REST-style API over the knowledge base."""
+
+from repro.api.rest import Response, SintelAPI
+
+__all__ = ["SintelAPI", "Response"]

@@ -1,0 +1,201 @@
+"""An in-process REST-style API over the knowledge base.
+
+The paper exposes the database and the HIL operations through a RESTful
+web server consumed by the visualization tool. This module reproduces the
+API surface — resources, verbs, JSON payloads, status codes — as an
+in-process router so the endpoint logic can be exercised and tested without
+a network stack or a web framework.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.db.explorer import SintelExplorer
+from repro.exceptions import DatabaseError, NotFoundError
+
+__all__ = ["Response", "SintelAPI"]
+
+
+class Response:
+    """A minimal HTTP-like response object."""
+
+    def __init__(self, status: int, body):
+        self.status = status
+        self.body = body
+
+    @property
+    def ok(self) -> bool:
+        """Whether the status code indicates success."""
+        return 200 <= self.status < 300
+
+    def json(self) -> str:
+        """The body serialized as JSON."""
+        return json.dumps(self.body, default=str)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Response(status={self.status})"
+
+
+class SintelAPI:
+    """Route table + handlers for the Sintel REST API.
+
+    Routes (mirroring the open-source sintel API):
+
+    * ``GET  /datasets``                 — list datasets
+    * ``POST /datasets``                 — register a dataset
+    * ``GET  /signals``                  — list signals
+    * ``GET  /events``                   — list events (``?signal_id=`` filter)
+    * ``POST /events``                   — create a (human) event
+    * ``GET  /events/<id>``              — fetch one event
+    * ``PATCH /events/<id>``             — modify an event's boundaries
+    * ``DELETE /events/<id>``            — remove an event
+    * ``POST /events/<id>/annotations``  — annotate an event
+    * ``GET  /events/<id>/annotations``  — list an event's annotations
+    * ``POST /events/<id>/comments``     — comment on an event
+    * ``GET  /events/<id>/comments``     — list an event's comments
+    * ``GET  /pipelines``                — list registered pipelines
+    """
+
+    def __init__(self, explorer: Optional[SintelExplorer] = None):
+        self.explorer = explorer or SintelExplorer()
+        self._routes: List[Tuple[str, re.Pattern, Callable]] = []
+        self._register_routes()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _register_routes(self) -> None:
+        self._routes = [
+            ("GET", re.compile(r"^/datasets$"), self._list_datasets),
+            ("POST", re.compile(r"^/datasets$"), self._create_dataset),
+            ("GET", re.compile(r"^/signals$"), self._list_signals),
+            ("GET", re.compile(r"^/events$"), self._list_events),
+            ("POST", re.compile(r"^/events$"), self._create_event),
+            ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)$"), self._get_event),
+            ("PATCH", re.compile(r"^/events/(?P<event_id>[^/]+)$"), self._update_event),
+            ("DELETE", re.compile(r"^/events/(?P<event_id>[^/]+)$"), self._delete_event),
+            ("POST", re.compile(r"^/events/(?P<event_id>[^/]+)/annotations$"),
+             self._create_annotation),
+            ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)/annotations$"),
+             self._list_annotations),
+            ("POST", re.compile(r"^/events/(?P<event_id>[^/]+)/comments$"),
+             self._create_comment),
+            ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)/comments$"),
+             self._list_comments),
+            ("GET", re.compile(r"^/pipelines$"), self._list_pipelines),
+        ]
+
+    def handle(self, method: str, path: str, body: Optional[dict] = None,
+               query: Optional[dict] = None) -> Response:
+        """Dispatch a request to the matching handler."""
+        method = method.upper()
+        matched_path = False
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if not match:
+                continue
+            matched_path = True
+            if route_method != method:
+                continue
+            try:
+                return handler(body or {}, query or {}, **match.groupdict())
+            except NotFoundError as error:
+                return Response(404, {"error": str(error)})
+            except (DatabaseError, ValueError, KeyError) as error:
+                return Response(400, {"error": str(error)})
+        if matched_path:
+            return Response(405, {"error": f"Method {method} not allowed for {path}"})
+        return Response(404, {"error": f"Unknown route {path}"})
+
+    # Convenience verb helpers -------------------------------------------------
+    def get(self, path: str, query: Optional[dict] = None) -> Response:
+        """Issue a GET request."""
+        return self.handle("GET", path, query=query)
+
+    def post(self, path: str, body: Optional[dict] = None) -> Response:
+        """Issue a POST request."""
+        return self.handle("POST", path, body=body)
+
+    def patch(self, path: str, body: Optional[dict] = None) -> Response:
+        """Issue a PATCH request."""
+        return self.handle("PATCH", path, body=body)
+
+    def delete(self, path: str) -> Response:
+        """Issue a DELETE request."""
+        return self.handle("DELETE", path)
+
+    # ------------------------------------------------------------------ #
+    # handlers
+    # ------------------------------------------------------------------ #
+    def _list_datasets(self, body, query) -> Response:
+        return Response(200, {"datasets": self.explorer.store["datasets"].find()})
+
+    def _create_dataset(self, body, query) -> Response:
+        dataset_id = self.explorer.add_dataset(body["name"],
+                                               **body.get("metadata", {}))
+        return Response(201, {"id": dataset_id})
+
+    def _list_signals(self, body, query) -> Response:
+        signals = self.explorer.get_signals(dataset_id=query.get("dataset_id"))
+        return Response(200, {"signals": signals})
+
+    def _list_events(self, body, query) -> Response:
+        events = self.explorer.get_events(
+            signal_id=query.get("signal_id"), source=query.get("source")
+        )
+        return Response(200, {"events": events})
+
+    def _create_event(self, body, query) -> Response:
+        event_id = self.explorer.add_event(
+            signalrun_id=body.get("signalrun_id", "manual"),
+            signal_id=body["signal_id"],
+            start_time=body["start_time"],
+            stop_time=body["stop_time"],
+            severity=body.get("severity", 0.0),
+            source=body.get("source", "human"),
+        )
+        return Response(201, {"id": event_id})
+
+    def _get_event(self, body, query, event_id: str) -> Response:
+        return Response(200, self.explorer.store["events"].get(event_id))
+
+    def _update_event(self, body, query, event_id: str) -> Response:
+        self.explorer.update_event(
+            event_id,
+            start_time=body.get("start_time"),
+            stop_time=body.get("stop_time"),
+        )
+        return Response(200, self.explorer.store["events"].get(event_id))
+
+    def _delete_event(self, body, query, event_id: str) -> Response:
+        self.explorer.delete_event(event_id)
+        return Response(204, {})
+
+    def _create_annotation(self, body, query, event_id: str) -> Response:
+        annotation_id = self.explorer.add_annotation(
+            event_id, user=body["user"], tag=body["tag"],
+            comment=body.get("comment", ""),
+        )
+        return Response(201, {"id": annotation_id})
+
+    def _list_annotations(self, body, query, event_id: str) -> Response:
+        annotations = self.explorer.get_annotations(event_id=event_id)
+        return Response(200, {"annotations": annotations})
+
+    def _create_comment(self, body, query, event_id: str) -> Response:
+        comment_id = self.explorer.add_comment(event_id, user=body["user"],
+                                               text=body["text"])
+        return Response(201, {"id": comment_id})
+
+    def _list_comments(self, body, query, event_id: str) -> Response:
+        comments = self.explorer.store["comments"].find({"event_id": event_id})
+        return Response(200, {"comments": comments})
+
+    def _list_pipelines(self, body, query) -> Response:
+        # Imported lazily so the API module does not depend on the hub at import time.
+        from repro.pipelines import list_pipelines
+
+        return Response(200, {"pipelines": list_pipelines()})

@@ -1,0 +1,37 @@
+"""``repro.benchmark``: the standardized benchmarking framework (paper §3.4)."""
+
+from repro.benchmark.comparison import (
+    FEATURE_MATRIX,
+    FEATURES,
+    SYSTEMS,
+    feature_coverage,
+    format_table,
+)
+from repro.benchmark.profiling import (
+    primitive_overhead,
+    profile_overhead,
+    profile_pipeline_steps,
+    run_primitives_standalone,
+)
+from repro.benchmark.results import BenchmarkResult
+from repro.benchmark.runner import (
+    DEFAULT_PIPELINE_OPTIONS,
+    benchmark,
+    run_pipeline_on_signal,
+)
+
+__all__ = [
+    "benchmark",
+    "run_pipeline_on_signal",
+    "DEFAULT_PIPELINE_OPTIONS",
+    "BenchmarkResult",
+    "profile_pipeline_steps",
+    "run_primitives_standalone",
+    "primitive_overhead",
+    "profile_overhead",
+    "FEATURES",
+    "SYSTEMS",
+    "FEATURE_MATRIX",
+    "feature_coverage",
+    "format_table",
+]

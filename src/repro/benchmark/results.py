@@ -1,0 +1,142 @@
+"""Benchmark result containers and table formatting."""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["BenchmarkResult"]
+
+
+@dataclass
+class BenchmarkResult:
+    """Raw per-signal benchmark records plus aggregation helpers.
+
+    Every record is a dictionary with at least ``pipeline``, ``dataset``,
+    ``signal``, the quality metrics (``f1``, ``precision``, ``recall``), the
+    computational metrics (``fit_time``, ``detect_time``, ``memory``), and a
+    ``status`` field (``"ok"`` or ``"error"``).
+    """
+
+    records: List[dict] = field(default_factory=list)
+    method: str = "overlapping"
+
+    def add(self, record: dict) -> None:
+        """Append a record."""
+        self.records.append(dict(record))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pipelines(self) -> List[str]:
+        """Pipelines present in the records."""
+        return sorted({record["pipeline"] for record in self.records})
+
+    @property
+    def datasets(self) -> List[str]:
+        """Datasets present in the records."""
+        return sorted({record["dataset"] for record in self.records})
+
+    def ok_records(self, pipeline: Optional[str] = None,
+                   dataset: Optional[str] = None) -> List[dict]:
+        """Successful records, optionally filtered."""
+        selected = [record for record in self.records if record.get("status") == "ok"]
+        if pipeline is not None:
+            selected = [r for r in selected if r["pipeline"] == pipeline]
+        if dataset is not None:
+            selected = [r for r in selected if r["dataset"] == dataset]
+        return selected
+
+    # ------------------------------------------------------------------ #
+    def quality_table(self, metrics=("f1", "precision", "recall")) -> Dict[str, dict]:
+        """Aggregate quality metrics per pipeline per dataset (Table 3).
+
+        Returns ``{pipeline: {dataset: {metric: (mean, std)}}}``.
+        """
+        table: Dict[str, dict] = {}
+        for pipeline in self.pipelines:
+            table[pipeline] = {}
+            for dataset in self.datasets:
+                rows = self.ok_records(pipeline, dataset)
+                if not rows:
+                    continue
+                table[pipeline][dataset] = {
+                    metric: (
+                        float(np.mean([row[metric] for row in rows])),
+                        float(np.std([row[metric] for row in rows])),
+                    )
+                    for metric in metrics
+                }
+        return table
+
+    def computational_table(self) -> Dict[str, dict]:
+        """Aggregate computational metrics per pipeline (Figure 7a).
+
+        Returns ``{pipeline: {"fit_time": s, "detect_time": s, "memory": MB}}``
+        summed over every benchmarked signal, mirroring the paper's totals.
+        """
+        table = {}
+        for pipeline in self.pipelines:
+            rows = self.ok_records(pipeline)
+            if not rows:
+                continue
+            table[pipeline] = {
+                "fit_time": float(np.sum([row["fit_time"] for row in rows])),
+                "detect_time": float(np.sum([row["detect_time"] for row in rows])),
+                "memory_mb": float(np.max([row.get("memory", 0) for row in rows]) / 1e6),
+                "signals": len(rows),
+            }
+        return table
+
+    # ------------------------------------------------------------------ #
+    def format_quality(self) -> str:
+        """Render the Table 3 layout as aligned text."""
+        table = self.quality_table()
+        lines = []
+        header = f"{'pipeline':<24}" + "".join(
+            f"{dataset + ' ' + metric:>18}"
+            for dataset in self.datasets
+            for metric in ("f1", "precision", "recall")
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for pipeline in self.pipelines:
+            cells = [f"{pipeline:<24}"]
+            for dataset in self.datasets:
+                metrics = table.get(pipeline, {}).get(dataset)
+                for metric in ("f1", "precision", "recall"):
+                    if metrics is None:
+                        cells.append(f"{'-':>18}")
+                    else:
+                        mean, std = metrics[metric]
+                        cells.append(f"{mean:>10.3f} ±{std:>5.2f}")
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+    def format_computational(self) -> str:
+        """Render the Figure 7a aggregates as aligned text."""
+        table = self.computational_table()
+        lines = [f"{'pipeline':<24}{'train time (s)':>16}{'latency (s)':>14}"
+                 f"{'memory (MB)':>14}{'signals':>10}"]
+        lines.append("-" * len(lines[0]))
+        for pipeline, row in sorted(table.items()):
+            lines.append(
+                f"{pipeline:<24}{row['fit_time']:>16.2f}{row['detect_time']:>14.2f}"
+                f"{row['memory_mb']:>14.2f}{row['signals']:>10}"
+            )
+        return "\n".join(lines)
+
+    def to_csv(self, path) -> None:
+        """Dump the raw records to a CSV file."""
+        if not self.records:
+            raise ValueError("There are no records to write")
+        fieldnames = sorted({key for record in self.records for key in record})
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
+            writer.writeheader()
+            writer.writerows(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,171 @@
+"""The benchmarking framework (paper §3.4).
+
+``benchmark`` runs every requested pipeline over every signal of every
+requested dataset under identical conditions, recording both *quality*
+(contextual precision / recall / F1 against the known anomalies) and
+*computational performance* (training time, detect latency, peak memory).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Dict, Optional, Sequence, Union
+
+from repro.core.sintel import Sintel
+from repro.data.datasets import load_benchmark_datasets
+from repro.data.signal import Dataset, Signal
+from repro.evaluation import overlapping_segment_scores, weighted_segment_scores
+from repro.exceptions import BenchmarkError
+from repro.benchmark.results import BenchmarkResult
+from repro.pipelines import BENCHMARK_PIPELINES, list_pipelines
+
+__all__ = ["benchmark", "run_pipeline_on_signal", "DEFAULT_PIPELINE_OPTIONS"]
+
+#: Scaled-down pipeline options so the full benchmark runs on a laptop.
+DEFAULT_PIPELINE_OPTIONS: Dict[str, dict] = {
+    "lstm_dynamic_threshold": {"window_size": 50, "epochs": 5},
+    "lstm_autoencoder": {"window_size": 50, "epochs": 5},
+    "dense_autoencoder": {"window_size": 50, "epochs": 10},
+    "tadgan": {"window_size": 50, "epochs": 3},
+    "arima": {"window_size": 50},
+    "azure": {},
+}
+
+
+def run_pipeline_on_signal(pipeline_name: str, signal: Signal,
+                           pipeline_options: Optional[dict] = None,
+                           method: str = "overlapping",
+                           profile_memory: bool = True) -> dict:
+    """Fit and detect one pipeline on one signal and score the result.
+
+    Returns a benchmark record dictionary (see
+    :class:`repro.benchmark.results.BenchmarkResult`).
+    """
+    options = dict(DEFAULT_PIPELINE_OPTIONS.get(pipeline_name, {}))
+    options.update(pipeline_options or {})
+    record = {
+        "pipeline": pipeline_name,
+        "dataset": signal.metadata.get("dataset", "unknown"),
+        "signal": signal.name,
+        "status": "ok",
+    }
+    data = signal.to_array()
+
+    try:
+        sintel = Sintel(pipeline_name, **options)
+
+        if profile_memory:
+            tracemalloc.start()
+        started = time.perf_counter()
+        sintel.fit(data)
+        record["fit_time"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        detected = sintel.detect(data)
+        record["detect_time"] = time.perf_counter() - started
+        if profile_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            record["memory"] = peak
+        else:
+            record["memory"] = 0
+
+        if method == "weighted":
+            data_range = (float(data[0, 0]), float(data[-1, 0]))
+            scores = weighted_segment_scores(signal.anomalies, detected, data_range)
+        else:
+            scores = overlapping_segment_scores(signal.anomalies, detected)
+        record.update({
+            "f1": scores["f1"],
+            "precision": scores["precision"],
+            "recall": scores["recall"],
+            "n_detected": len(detected),
+            "n_truth": len(signal.anomalies),
+        })
+    except Exception as error:  # noqa: BLE001 - a failing pipeline is a result
+        if profile_memory and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        record.update({
+            "status": "error",
+            "error": str(error),
+            "fit_time": 0.0,
+            "detect_time": 0.0,
+            "memory": 0,
+            "f1": 0.0,
+            "precision": 0.0,
+            "recall": 0.0,
+        })
+    return record
+
+
+def benchmark(pipelines: Optional[Sequence[str]] = None,
+              datasets: Optional[Union[Dict[str, Dataset], Sequence[str]]] = None,
+              method: str = "overlapping",
+              scale: float = 0.02,
+              max_signals: Optional[int] = None,
+              pipeline_options: Optional[Dict[str, dict]] = None,
+              random_state: int = 0,
+              profile_memory: bool = True,
+              verbose: bool = False) -> BenchmarkResult:
+    """Run the full quality + computational benchmark (Table 3 / Figure 7a).
+
+    Args:
+        pipelines: pipeline names (defaults to the paper's six benchmark
+            pipelines).
+        datasets: mapping of name -> :class:`Dataset`, a list of dataset
+            names, or ``None`` for all three synthetic datasets.
+        method: contextual scoring method (``"overlapping"`` as in Table 3,
+            or ``"weighted"``).
+        scale: dataset scale when datasets are built by name.
+        max_signals: optional cap on signals per dataset (keeps runs short).
+        pipeline_options: per-pipeline spec-factory overrides.
+        random_state: seed for dataset construction.
+        profile_memory: record peak memory with ``tracemalloc``.
+        verbose: print one line per (pipeline, signal).
+
+    Returns:
+        A :class:`BenchmarkResult` with one record per (pipeline, signal).
+    """
+    if method not in ("overlapping", "weighted"):
+        raise BenchmarkError(f"Unknown evaluation method {method!r}")
+
+    pipelines = list(pipelines) if pipelines else list(BENCHMARK_PIPELINES)
+    unknown = set(pipelines) - set(list_pipelines())
+    if unknown:
+        raise BenchmarkError(f"Unknown pipelines requested: {sorted(unknown)}")
+
+    if datasets is None or (isinstance(datasets, (list, tuple))
+                            and all(isinstance(d, str) for d in datasets)):
+        names = list(datasets) if datasets else None
+        datasets = load_benchmark_datasets(scale=scale, random_state=random_state,
+                                           names=names)
+    elif not isinstance(datasets, dict):
+        raise BenchmarkError(
+            "datasets must be None, a list of names, or a {name: Dataset} mapping"
+        )
+
+    pipeline_options = pipeline_options or {}
+    result = BenchmarkResult(method=method)
+
+    for dataset_name, dataset in datasets.items():
+        signals = list(dataset)
+        if max_signals is not None:
+            signals = signals[:max_signals]
+        for pipeline_name in pipelines:
+            for signal in signals:
+                record = run_pipeline_on_signal(
+                    pipeline_name, signal,
+                    pipeline_options=pipeline_options.get(pipeline_name),
+                    method=method,
+                    profile_memory=profile_memory,
+                )
+                record["dataset"] = dataset_name
+                result.add(record)
+                if verbose:  # pragma: no cover - console output
+                    print(
+                        f"{pipeline_name:<24} {dataset_name:<8} {signal.name:<28} "
+                        f"f1={record['f1']:.3f} fit={record['fit_time']:.1f}s "
+                        f"status={record['status']}"
+                    )
+    return result

@@ -1,0 +1,25 @@
+"""``repro.core``: primitives, pipelines, templates, and the Sintel API."""
+
+from repro.core.analysis import AnalysisReport, analyze
+from repro.core.pipeline import Pipeline, Template
+from repro.core.primitive import (
+    Primitive,
+    get_primitive,
+    get_primitive_class,
+    list_primitives,
+    register_primitive,
+)
+from repro.core.sintel import Sintel
+
+__all__ = [
+    "Primitive",
+    "register_primitive",
+    "get_primitive",
+    "get_primitive_class",
+    "list_primitives",
+    "Template",
+    "Pipeline",
+    "Sintel",
+    "analyze",
+    "AnalysisReport",
+]

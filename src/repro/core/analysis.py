@@ -1,0 +1,134 @@
+"""Dataset-level analysis: run a pipeline over a dataset and log everything.
+
+The core of the framework "allows users to train and benchmark pipelines
+and to predict and store anomalies" (paper §3.1). :func:`analyze` is that
+glue: it runs one pipeline over every signal of a dataset, records the
+experiment / datarun / signalrun / event trail in the knowledge base, and
+returns a report that the REST API and the HIL tools can work from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.sintel import Sintel
+from repro.data.signal import Dataset, Signal
+from repro.db.explorer import SintelExplorer
+from repro.evaluation import overlapping_segment_scores
+
+__all__ = ["analyze", "AnalysisReport"]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one :func:`analyze` run."""
+
+    experiment_id: str
+    datarun_id: str
+    pipeline: str
+    signal_results: List[dict] = field(default_factory=list)
+
+    @property
+    def n_events(self) -> int:
+        """Total number of detected events across signals."""
+        return sum(result["n_events"] for result in self.signal_results)
+
+    @property
+    def n_failed(self) -> int:
+        """Number of signals whose run failed."""
+        return sum(1 for result in self.signal_results
+                   if result["status"] == "error")
+
+    def mean_score(self, metric: str = "f1") -> Optional[float]:
+        """Mean quality score across scored signals, or None if unscored."""
+        values = [result["scores"][metric] for result in self.signal_results
+                  if result.get("scores")]
+        if not values:
+            return None
+        return float(sum(values) / len(values))
+
+
+def analyze(dataset: Union[Dataset, List[Signal]], pipeline: str,
+            explorer: Optional[SintelExplorer] = None,
+            pipeline_options: Optional[dict] = None,
+            hyperparameters: Optional[dict] = None,
+            experiment_name: Optional[str] = None,
+            project: str = "default",
+            evaluate: bool = True) -> AnalysisReport:
+    """Run ``pipeline`` over every signal of ``dataset`` and log the results.
+
+    Args:
+        dataset: a :class:`Dataset` or a plain list of signals.
+        pipeline: registered pipeline name.
+        explorer: knowledge base to record into (a fresh in-memory one is
+            created when omitted).
+        pipeline_options: spec-factory options (window sizes, epochs, ...).
+        hyperparameters: hyperparameter overrides for the pipeline.
+        experiment_name: name recorded for the experiment; generated from
+            the dataset and pipeline names when omitted.
+        evaluate: score detections against each signal's ground-truth
+            anomalies (when the signal has any).
+
+    Returns:
+        An :class:`AnalysisReport` with one entry per signal.
+    """
+    explorer = explorer or SintelExplorer()
+    signals = list(dataset) if not isinstance(dataset, Dataset) else list(dataset)
+    dataset_name = dataset.name if isinstance(dataset, Dataset) else "signals"
+
+    dataset_doc = explorer.store["datasets"].find_one({"name": dataset_name})
+    dataset_id = dataset_doc["_id"] if dataset_doc else explorer.add_dataset(dataset_name)
+
+    template_doc = explorer.store["templates"].find_one({"name": pipeline})
+    template_id = template_doc["_id"] if template_doc else explorer.add_template(
+        pipeline, {"pipeline": pipeline, "options": pipeline_options or {}}
+    )
+    run_number = len(explorer.store["experiments"]) + 1
+    pipeline_id = explorer.add_pipeline(
+        f"{pipeline}@{int(time.time())}#{run_number}", template_id,
+        hyperparameters or {}
+    )
+
+    experiment_name = experiment_name or (
+        f"{dataset_name}-{pipeline}-run{run_number}"
+    )
+    experiment_id = explorer.add_experiment(experiment_name, project=project,
+                                            dataset=dataset_name, pipeline=pipeline)
+    datarun_id = explorer.add_datarun(experiment_id, pipeline_id)
+
+    report = AnalysisReport(experiment_id=experiment_id, datarun_id=datarun_id,
+                            pipeline=pipeline)
+
+    known_signals = {doc["name"]: doc["_id"]
+                     for doc in explorer.get_signals(dataset_id=dataset_id)}
+
+    for signal in signals:
+        signal_id = known_signals.get(signal.name) or explorer.add_signal(dataset_id,
+                                                                          signal)
+        known_signals[signal.name] = signal_id
+        signalrun_id = explorer.add_signalrun(datarun_id, signal_id)
+        entry = {"signal": signal.name, "signal_id": signal_id,
+                 "signalrun_id": signalrun_id, "status": "ok", "n_events": 0,
+                 "scores": None}
+        try:
+            model = Sintel(pipeline, hyperparameters=hyperparameters,
+                           **(pipeline_options or {}))
+            detected = model.fit_detect(signal.to_array())
+            explorer.add_detected_events(signalrun_id, signal_id, detected)
+            entry["n_events"] = len(detected)
+            if evaluate and signal.anomalies:
+                entry["scores"] = overlapping_segment_scores(signal.anomalies,
+                                                             detected)
+            metrics = entry["scores"] or {}
+            explorer.end_signalrun(signalrun_id, status="done",
+                                   n_events=len(detected), **metrics)
+        except Exception as error:  # noqa: BLE001 - a failing signal is a result
+            entry["status"] = "error"
+            entry["error"] = str(error)
+            explorer.end_signalrun(signalrun_id, status="error", error=str(error))
+        report.signal_results.append(entry)
+
+    explorer.end_datarun(datarun_id, status="done")
+    return report

@@ -1,0 +1,292 @@
+"""Templates and pipelines: computational graphs of primitives.
+
+Following the paper (§3.2), a *template* ``T = <V, E, Λ>`` is a sequence of
+pipeline steps ``V`` whose data flow ``E`` is given by the variables each
+primitive consumes and produces, together with the joint tunable
+hyperparameter space ``Λ``. A *pipeline* ``P = <V, E, λ>`` fixes a specific
+hyperparameter assignment ``λ ∈ Λ``.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+import tracemalloc
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.core.primitive import get_primitive, get_primitive_class
+from repro.exceptions import NotFittedError, PipelineError
+
+__all__ = ["Template", "Pipeline"]
+
+
+class Template:
+    """A pipeline template with an open hyperparameter space.
+
+    Args:
+        spec: dictionary with keys ``name``, optional ``description``, and
+            ``steps`` — a list of step dictionaries with keys ``primitive``
+            (registry name), optional ``name`` (unique step name), optional
+            ``hyperparameters``, and optional ``inputs`` / ``outputs``
+            mappings from primitive argument names to context variable names.
+    """
+
+    def __init__(self, spec: dict):
+        if "steps" not in spec or not spec["steps"]:
+            raise PipelineError("A template spec must declare at least one step")
+        self.spec = copy.deepcopy(spec)
+        self.name = spec.get("name", "template")
+        self.description = spec.get("description", "")
+        self.steps = self.spec["steps"]
+        self._assign_step_names()
+        self._validate()
+
+    def _assign_step_names(self) -> None:
+        seen = set()
+        for step in self.steps:
+            if "primitive" not in step:
+                raise PipelineError(f"Step {step!r} does not declare a primitive")
+            name = step.get("name", step["primitive"])
+            base = name
+            suffix = 1
+            while name in seen:
+                suffix += 1
+                name = f"{base}#{suffix}"
+            step["name"] = name
+            seen.add(name)
+
+    def _validate(self) -> None:
+        """Check that every primitive exists and inputs are producible."""
+        available = {"data", "events"}
+        graph = nx.DiGraph()
+        previous_producer = {}
+        for step in self.steps:
+            cls = get_primitive_class(step["primitive"])
+            graph.add_node(step["name"])
+            inputs = step.get("inputs", {})
+            outputs = step.get("outputs", {})
+
+            for arg in set(cls.produce_args) | set(cls.fit_args):
+                variable = inputs.get(arg, arg)
+                if variable not in available:
+                    raise PipelineError(
+                        f"Step {step['name']!r} requires variable {variable!r} "
+                        "which no earlier step produces"
+                    )
+                if variable in previous_producer:
+                    graph.add_edge(previous_producer[variable], step["name"])
+
+            for out in cls.produce_output:
+                variable = outputs.get(out, out)
+                available.add(variable)
+                previous_producer[variable] = step["name"]
+
+        if not nx.is_directed_acyclic_graph(graph):
+            raise PipelineError(f"Template {self.name!r} contains a cycle")
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    def get_tunable_hyperparameters(self) -> Dict[str, Dict[str, dict]]:
+        """Return ``Λ``: the tunable hyperparameters of every step."""
+        space = {}
+        for step in self.steps:
+            cls = get_primitive_class(step["primitive"])
+            tunable = cls.get_tunable_hyperparameters()
+            if tunable:
+                space[step["name"]] = tunable
+        return space
+
+    def get_default_hyperparameters(self) -> Dict[str, dict]:
+        """Return the default ``λ`` for every step (fixed values merged in)."""
+        defaults = {}
+        for step in self.steps:
+            cls = get_primitive_class(step["primitive"])
+            values = cls.get_default_hyperparameters()
+            values.update(step.get("hyperparameters", {}))
+            defaults[step["name"]] = values
+        return defaults
+
+    def create_pipeline(self, hyperparameters: Optional[dict] = None) -> "Pipeline":
+        """Instantiate a :class:`Pipeline` with a fixed ``λ``."""
+        return Pipeline(self.spec, hyperparameters=hyperparameters)
+
+    @property
+    def engines(self) -> List[str]:
+        """Engine category of every step, in order."""
+        return [get_primitive_class(step["primitive"]).engine for step in self.steps]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Template(name={self.name!r}, steps={len(self.steps)})"
+
+
+class Pipeline:
+    """An executable anomaly detection pipeline.
+
+    The pipeline runs its steps sequentially over a shared *context* — a
+    dictionary of named variables. ``fit`` calls every step's ``fit`` and
+    ``produce``; ``detect`` only calls ``produce``. Per-step execution time
+    and memory are recorded for the computational benchmark (Figure 7).
+    """
+
+    def __init__(self, spec: dict, hyperparameters: Optional[dict] = None):
+        self.template = Template(spec)
+        self.spec = self.template.spec
+        self.name = self.template.name
+        self.steps = self.template.steps
+        self._hyperparameters = self.template.get_default_hyperparameters()
+        if hyperparameters:
+            self.set_hyperparameters(hyperparameters)
+        self._primitives = None
+        self.fitted = False
+        self.step_timings: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # hyperparameters
+    # ------------------------------------------------------------------ #
+    def get_hyperparameters(self) -> dict:
+        """Return the current hyperparameter assignment per step."""
+        return copy.deepcopy(self._hyperparameters)
+
+    def set_hyperparameters(self, hyperparameters: dict) -> None:
+        """Update hyperparameters. Keys are step names, values are dicts.
+
+        A flat ``{(step, name): value}`` mapping (as produced by the tuner)
+        is also accepted.
+        """
+        flat = {}
+        for key, value in hyperparameters.items():
+            if isinstance(key, tuple):
+                step, name = key
+                flat.setdefault(step, {})[name] = value
+            else:
+                if not isinstance(value, dict):
+                    raise PipelineError(
+                        "Hyperparameters must map step names to dictionaries"
+                    )
+                flat.setdefault(key, {}).update(value)
+
+        step_names = {step["name"] for step in self.steps}
+        for step, values in flat.items():
+            if step not in step_names:
+                raise PipelineError(f"Unknown pipeline step {step!r}")
+            self._hyperparameters.setdefault(step, {}).update(values)
+        self._primitives = None
+        self.fitted = False
+
+    def get_tunable_hyperparameters(self) -> dict:
+        """Expose the template's tunable hyperparameter space."""
+        return self.template.get_tunable_hyperparameters()
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _build_primitives(self):
+        primitives = []
+        for step in self.steps:
+            values = self._hyperparameters.get(step["name"], {})
+            cls = get_primitive_class(step["primitive"])
+            known = cls.get_default_hyperparameters()
+            usable = {key: value for key, value in values.items() if key in known}
+            primitives.append((step, get_primitive(step["primitive"], usable)))
+        return primitives
+
+    def _run(self, context: dict, fit: bool, profile: bool = False) -> dict:
+        if fit or self._primitives is None:
+            self._primitives = self._build_primitives()
+        self.step_timings = {}
+
+        for step, primitive in self._primitives:
+            inputs = step.get("inputs", {})
+            outputs = step.get("outputs", {})
+            started = time.perf_counter()
+            if profile:
+                tracemalloc.start()
+
+            if fit and primitive.fit_args:
+                kwargs = self._collect(context, primitive.fit_args, inputs, step)
+                primitive.fit(**kwargs)
+
+            kwargs = self._collect(context, primitive.produce_args, inputs, step)
+            produced = primitive.produce(**kwargs)
+            if not isinstance(produced, dict):
+                raise PipelineError(
+                    f"Primitive {primitive.name!r} must return a dict of outputs"
+                )
+            for out_name, value in produced.items():
+                context[outputs.get(out_name, out_name)] = value
+
+            elapsed = time.perf_counter() - started
+            memory = 0
+            if profile:
+                _, memory = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+            self.step_timings[step["name"]] = {
+                "elapsed": elapsed,
+                "engine": primitive.engine,
+                "memory": memory,
+            }
+
+        return context
+
+    @staticmethod
+    def _collect(context: dict, args, inputs: dict, step: dict) -> dict:
+        kwargs = {}
+        for arg in args:
+            variable = inputs.get(arg, arg)
+            if variable not in context:
+                raise PipelineError(
+                    f"Step {step['name']!r} needs variable {variable!r} "
+                    "which is not present in the context"
+                )
+            kwargs[arg] = context[variable]
+        return kwargs
+
+    def fit(self, data, profile: bool = False, **context_variables) -> "Pipeline":
+        """Fit every step on ``data`` (a ``(timestamp, values...)`` array)."""
+        context = {"data": np.asarray(data, dtype=float), "events": None}
+        context.update(context_variables)
+        self._run(context, fit=True, profile=profile)
+        self.fitted = True
+        return self
+
+    def detect(self, data, visualization: bool = False, profile: bool = False,
+               **context_variables):
+        """Detect anomalies in ``data``.
+
+        Returns a list of ``(start, end, severity)`` tuples, or a tuple of
+        ``(anomalies, context)`` when ``visualization`` is requested.
+        """
+        if not self.fitted:
+            raise NotFittedError(f"Pipeline {self.name!r} must be fit before detect")
+        context = {"data": np.asarray(data, dtype=float), "events": None}
+        context.update(context_variables)
+        context = self._run(context, fit=False, profile=profile)
+        anomalies = self._format_anomalies(context.get("anomalies"))
+        if visualization:
+            return anomalies, context
+        return anomalies
+
+    def fit_detect(self, data, **context_variables):
+        """Fit on ``data`` and immediately detect anomalies in it."""
+        self.fit(data, **context_variables)
+        return self.detect(data, **context_variables)
+
+    @staticmethod
+    def _format_anomalies(anomalies) -> List[tuple]:
+        if anomalies is None:
+            return []
+        anomalies = np.asarray(anomalies)
+        if anomalies.size == 0:
+            return []
+        formatted = []
+        for row in np.atleast_2d(anomalies):
+            start, end = float(row[0]), float(row[1])
+            severity = float(row[2]) if len(row) > 2 else 0.0
+            formatted.append((start, end, severity))
+        return formatted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Pipeline(name={self.name!r}, steps={len(self.steps)})"

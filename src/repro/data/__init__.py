@@ -1,0 +1,32 @@
+"""``repro.data``: signal containers, synthetic generators, and datasets."""
+
+from repro.data.datasets import (
+    DATASET_SPECS,
+    load_benchmark_datasets,
+    load_dataset,
+    load_nab,
+    load_nasa,
+    load_yahoo,
+)
+from repro.data.signal import Dataset, Signal
+from repro.data.synthetic import (
+    ANOMALY_TYPES,
+    SignalGenerator,
+    generate_signal,
+    inject_anomalies,
+)
+
+__all__ = [
+    "Signal",
+    "Dataset",
+    "SignalGenerator",
+    "generate_signal",
+    "inject_anomalies",
+    "ANOMALY_TYPES",
+    "load_nab",
+    "load_nasa",
+    "load_yahoo",
+    "load_dataset",
+    "load_benchmark_datasets",
+    "DATASET_SPECS",
+]

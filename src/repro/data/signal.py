@@ -1,0 +1,206 @@
+"""Signal and dataset containers.
+
+The framework's input standard follows the paper: a signal is a table of
+``(timestamp, value, ...)`` rows. :class:`Signal` wraps that table together
+with a name and optional ground-truth anomalies, and :class:`Dataset` groups
+signals the way the benchmark consumes them.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Signal", "Dataset"]
+
+Interval = Tuple[int, int]
+
+
+@dataclass
+class Signal:
+    """A univariate or multivariate time series.
+
+    Attributes:
+        name: signal identifier.
+        timestamps: integer array of shape ``(n,)``, strictly increasing.
+        values: float array of shape ``(n,)`` or ``(n, m)`` with the channel
+            values at each timestamp.
+        anomalies: optional ground-truth anomalies as ``(start, end)``
+            timestamp intervals.
+        metadata: free-form dictionary (subsystem, units, source dataset...).
+    """
+
+    name: str
+    timestamps: np.ndarray
+    values: np.ndarray
+    anomalies: List[Interval] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.timestamps = np.asarray(self.timestamps, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim == 1:
+            self.values = self.values.reshape(-1, 1)
+        if self.timestamps.ndim != 1:
+            raise ValueError("timestamps must be one-dimensional")
+        if len(self.timestamps) != len(self.values):
+            raise ValueError(
+                "timestamps and values must have the same length "
+                f"({len(self.timestamps)} vs {len(self.values)})"
+            )
+        if len(self.timestamps) > 1 and np.any(np.diff(self.timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        self.anomalies = [
+            (int(start), int(end)) for start, end in (self.anomalies or [])
+        ]
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels in the signal."""
+        return self.values.shape[1]
+
+    @property
+    def interval(self) -> int:
+        """Most common sampling interval (in timestamp units)."""
+        if len(self.timestamps) < 2:
+            return 1
+        diffs = np.diff(self.timestamps)
+        values, counts = np.unique(diffs, return_counts=True)
+        return int(values[np.argmax(counts)])
+
+    def to_array(self) -> np.ndarray:
+        """Return the ``(timestamp, values...)`` table as a 2D float array."""
+        return np.column_stack([self.timestamps.astype(float), self.values])
+
+    @classmethod
+    def from_array(cls, name: str, data: np.ndarray,
+                   anomalies: Optional[Sequence[Interval]] = None,
+                   metadata: Optional[dict] = None) -> "Signal":
+        """Build a signal from a ``(timestamp, values...)`` table."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or data.shape[1] < 2:
+            raise ValueError(
+                "data must be a 2D array with a timestamp column and at "
+                "least one value column"
+            )
+        return cls(
+            name=name,
+            timestamps=data[:, 0].astype(np.int64),
+            values=data[:, 1:],
+            anomalies=list(anomalies or []),
+            metadata=dict(metadata or {}),
+        )
+
+    def slice(self, start: int, end: int) -> "Signal":
+        """Return a new signal restricted to timestamps in ``[start, end)``."""
+        mask = (self.timestamps >= start) & (self.timestamps < end)
+        anomalies = [
+            (max(a_start, start), min(a_end, end - 1))
+            for a_start, a_end in self.anomalies
+            if a_end >= start and a_start < end
+        ]
+        return Signal(
+            name=self.name,
+            timestamps=self.timestamps[mask],
+            values=self.values[mask],
+            anomalies=anomalies,
+            metadata=dict(self.metadata),
+        )
+
+    def split(self, ratio: float = 0.7) -> Tuple["Signal", "Signal"]:
+        """Split the signal into leading/trailing portions by row count."""
+        if not 0.0 < ratio < 1.0:
+            raise ValueError("ratio must be strictly between 0 and 1")
+        pivot_index = int(len(self) * ratio)
+        pivot_index = max(1, min(pivot_index, len(self) - 1))
+        pivot = int(self.timestamps[pivot_index])
+        first = self.slice(int(self.timestamps[0]), pivot)
+        second = self.slice(pivot, int(self.timestamps[-1]) + 1)
+        return first, second
+
+    def label_array(self) -> np.ndarray:
+        """Return a 0/1 array marking samples inside ground-truth anomalies."""
+        labels = np.zeros(len(self), dtype=int)
+        for start, end in self.anomalies:
+            labels[(self.timestamps >= start) & (self.timestamps <= end)] = 1
+        return labels
+
+    def to_csv(self, path) -> None:
+        """Write the signal as a CSV with ``timestamp`` and value columns."""
+        header = ["timestamp"] + [f"value_{i}" for i in range(self.n_channels)]
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            for timestamp, row in zip(self.timestamps, self.values):
+                writer.writerow([int(timestamp)] + [float(v) for v in row])
+
+    @classmethod
+    def from_csv(cls, path, name: str = None,
+                 anomalies: Optional[Sequence[Interval]] = None) -> "Signal":
+        """Read a signal written by :meth:`to_csv`."""
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            rows = [[float(cell) for cell in row] for row in reader if row]
+        if not rows:
+            raise ValueError(f"CSV file {path} contains no data rows")
+        data = np.asarray(rows)
+        if header and header[0] != "timestamp":
+            raise ValueError("first CSV column must be 'timestamp'")
+        return cls.from_array(name or str(path), data, anomalies=anomalies)
+
+
+@dataclass
+class Dataset:
+    """A named collection of signals with ground-truth anomalies."""
+
+    name: str
+    signals: Dict[str, Signal] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    def add_signal(self, signal: Signal) -> None:
+        """Register a signal, keyed by its name."""
+        if signal.name in self.signals:
+            raise ValueError(f"Dataset {self.name} already has signal {signal.name}")
+        self.signals[signal.name] = signal
+
+    def __len__(self) -> int:
+        return len(self.signals)
+
+    def __iter__(self):
+        return iter(self.signals.values())
+
+    def __getitem__(self, name: str) -> Signal:
+        return self.signals[name]
+
+    @property
+    def signal_names(self) -> List[str]:
+        """Sorted list of signal names."""
+        return sorted(self.signals)
+
+    @property
+    def n_anomalies(self) -> int:
+        """Total ground-truth anomalies across signals."""
+        return sum(len(signal.anomalies) for signal in self)
+
+    @property
+    def average_length(self) -> float:
+        """Average signal length in samples."""
+        if not self.signals:
+            return 0.0
+        return float(np.mean([len(signal) for signal in self]))
+
+    def summary(self) -> dict:
+        """Return the Table 2 style summary row for this dataset."""
+        return {
+            "dataset": self.name,
+            "signals": len(self),
+            "anomalies": self.n_anomalies,
+            "avg_length": round(self.average_length, 1),
+        }

@@ -1,0 +1,15 @@
+"""``repro.db``: the persistent knowledge base (paper §3.5, Figure 6)."""
+
+from repro.db.explorer import SintelExplorer
+from repro.db.schema import ANNOTATION_TAGS, COLLECTIONS, EVENT_SOURCES, new_document
+from repro.db.store import Collection, DocumentStore
+
+__all__ = [
+    "DocumentStore",
+    "Collection",
+    "SintelExplorer",
+    "COLLECTIONS",
+    "EVENT_SOURCES",
+    "ANNOTATION_TAGS",
+    "new_document",
+]

@@ -1,0 +1,268 @@
+"""High-level record API over the knowledge base (the "SintelExplorer").
+
+The explorer wraps the document store with domain operations matching the
+anomaly-detection workflow: registering datasets/signals/templates,
+recording experiments, dataruns and signalruns, storing detected events,
+and collecting human annotations, interactions and comments. This is the
+persistence layer that the REST API and the HIL subsystem build on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.data.signal import Dataset, Signal
+from repro.db.schema import ANNOTATION_TAGS, EVENT_SOURCES, new_document
+from repro.db.store import DocumentStore
+from repro.exceptions import DatabaseError, NotFoundError
+
+__all__ = ["SintelExplorer"]
+
+
+class SintelExplorer:
+    """Domain-level operations over the Figure 6 schema."""
+
+    def __init__(self, store: Optional[DocumentStore] = None,
+                 path: Optional[str] = None):
+        self.store = store or DocumentStore(path=path)
+        self.store.collection("datasets").ensure_unique("name")
+        self.store.collection("templates").ensure_unique("name")
+        self.store.collection("experiments").ensure_unique("name")
+
+    # ------------------------------------------------------------------ #
+    # datasets and signals
+    # ------------------------------------------------------------------ #
+    def add_dataset(self, name: str, **metadata) -> str:
+        """Register a dataset and return its id."""
+        document = new_document("datasets", name=name, metadata=metadata)
+        return self.store["datasets"].insert(document)
+
+    def add_signal(self, dataset_id: str, signal: Signal) -> str:
+        """Register a signal belonging to ``dataset_id``."""
+        self.store["datasets"].get(dataset_id)
+        document = new_document(
+            "signals",
+            name=signal.name,
+            dataset_id=dataset_id,
+            length=len(signal),
+            n_channels=signal.n_channels,
+            start_time=int(signal.timestamps[0]) if len(signal) else None,
+            stop_time=int(signal.timestamps[-1]) if len(signal) else None,
+            metadata=dict(signal.metadata),
+        )
+        return self.store["signals"].insert(document)
+
+    def register_dataset(self, dataset: Dataset) -> str:
+        """Register a dataset object together with all of its signals."""
+        dataset_id = self.add_dataset(dataset.name, **dataset.metadata)
+        for signal in dataset:
+            self.add_signal(dataset_id, signal)
+        return dataset_id
+
+    def get_signals(self, dataset_id: Optional[str] = None) -> List[dict]:
+        """List signals, optionally restricted to one dataset."""
+        query = {"dataset_id": dataset_id} if dataset_id else None
+        return self.store["signals"].find(query, sort="name")
+
+    # ------------------------------------------------------------------ #
+    # templates and pipelines
+    # ------------------------------------------------------------------ #
+    def add_template(self, name: str, spec: dict) -> str:
+        """Register a pipeline template spec."""
+        document = new_document("templates", name=name, spec=spec)
+        return self.store["templates"].insert(document)
+
+    def add_pipeline(self, name: str, template_id: str,
+                     hyperparameters: Optional[dict] = None) -> str:
+        """Register a configured pipeline derived from a template."""
+        self.store["templates"].get(template_id)
+        document = new_document(
+            "pipelines",
+            name=name,
+            template_id=template_id,
+            hyperparameters=hyperparameters or {},
+        )
+        return self.store["pipelines"].insert(document)
+
+    # ------------------------------------------------------------------ #
+    # experiments, dataruns, signalruns
+    # ------------------------------------------------------------------ #
+    def add_experiment(self, name: str, project: str = "default",
+                       **metadata) -> str:
+        """Register an experiment."""
+        document = new_document("experiments", name=name, project=project,
+                                metadata=metadata)
+        return self.store["experiments"].insert(document)
+
+    def add_datarun(self, experiment_id: str, pipeline_id: str) -> str:
+        """Record one pipeline execution batch within an experiment."""
+        self.store["experiments"].get(experiment_id)
+        self.store["pipelines"].get(pipeline_id)
+        document = new_document(
+            "dataruns",
+            experiment_id=experiment_id,
+            pipeline_id=pipeline_id,
+            status="running",
+            start_time=time.time(),
+        )
+        return self.store["dataruns"].insert(document)
+
+    def add_signalrun(self, datarun_id: str, signal_id: str,
+                      status: str = "running") -> str:
+        """Record the execution of one pipeline over one signal."""
+        self.store["dataruns"].get(datarun_id)
+        document = new_document(
+            "signalruns",
+            datarun_id=datarun_id,
+            signal_id=signal_id,
+            status=status,
+            start_time=time.time(),
+        )
+        return self.store["signalruns"].insert(document)
+
+    def end_signalrun(self, signalrun_id: str, status: str = "done",
+                      **metrics) -> None:
+        """Mark a signalrun as finished and attach metrics."""
+        self.store["signalruns"].get(signalrun_id)
+        self.store["signalruns"].update(
+            {"_id": signalrun_id},
+            {"status": status, "stop_time": time.time(), "metrics": metrics},
+        )
+
+    def end_datarun(self, datarun_id: str, status: str = "done") -> None:
+        """Mark a datarun as finished."""
+        self.store["dataruns"].get(datarun_id)
+        self.store["dataruns"].update(
+            {"_id": datarun_id}, {"status": status, "stop_time": time.time()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # events
+    # ------------------------------------------------------------------ #
+    def add_event(self, signalrun_id: str, signal_id: str, start_time: float,
+                  stop_time: float, severity: float = 0.0,
+                  source: str = "machine") -> str:
+        """Store a detected (or manually created) anomalous event."""
+        if source not in EVENT_SOURCES:
+            raise DatabaseError(f"Unknown event source {source!r}")
+        document = new_document(
+            "events",
+            signalrun_id=signalrun_id,
+            signal_id=signal_id,
+            start_time=float(start_time),
+            stop_time=float(stop_time),
+            severity=float(severity),
+            source=source,
+        )
+        return self.store["events"].insert(document)
+
+    def add_detected_events(self, signalrun_id: str, signal_id: str,
+                            anomalies) -> List[str]:
+        """Store a pipeline's detected anomalies as machine events."""
+        event_ids = []
+        for anomaly in anomalies:
+            start, end = float(anomaly[0]), float(anomaly[1])
+            severity = float(anomaly[2]) if len(anomaly) > 2 else 0.0
+            event_ids.append(
+                self.add_event(signalrun_id, signal_id, start, end, severity,
+                               source="machine")
+            )
+        return event_ids
+
+    def get_events(self, signal_id: Optional[str] = None,
+                   source: Optional[str] = None) -> List[dict]:
+        """List events, optionally filtered by signal and source."""
+        query = {}
+        if signal_id:
+            query["signal_id"] = signal_id
+        if source:
+            query["source"] = source
+        return self.store["events"].find(query or None, sort="start_time")
+
+    def update_event(self, event_id: str, start_time: Optional[float] = None,
+                     stop_time: Optional[float] = None) -> None:
+        """Modify an event's boundaries (human interaction)."""
+        event = self.store["events"].get(event_id)
+        changes = {}
+        if start_time is not None:
+            changes["start_time"] = float(start_time)
+        if stop_time is not None:
+            changes["stop_time"] = float(stop_time)
+        if changes:
+            new_start = changes.get("start_time", event["start_time"])
+            new_stop = changes.get("stop_time", event["stop_time"])
+            if new_stop < new_start:
+                raise DatabaseError("Event stop_time must not precede start_time")
+            changes["source"] = "both" if event["source"] == "machine" else event["source"]
+            self.store["events"].update({"_id": event_id}, changes)
+
+    def delete_event(self, event_id: str) -> None:
+        """Remove an event (and its annotations, interactions, comments)."""
+        if not self.store["events"].delete({"_id": event_id}):
+            raise NotFoundError(f"No event with id {event_id!r}")
+        self.store["annotations"].delete({"event_id": event_id})
+        self.store["interactions"].delete({"event_id": event_id})
+        self.store["comments"].delete({"event_id": event_id})
+
+    # ------------------------------------------------------------------ #
+    # human feedback
+    # ------------------------------------------------------------------ #
+    def add_annotation(self, event_id: str, user: str, tag: str,
+                       comment: str = "") -> str:
+        """Attach an expert annotation (tag) to an event."""
+        self.store["events"].get(event_id)
+        if tag not in ANNOTATION_TAGS:
+            raise DatabaseError(
+                f"Unknown annotation tag {tag!r}; allowed: {ANNOTATION_TAGS}"
+            )
+        document = new_document("annotations", event_id=event_id, user=user,
+                                tag=tag, comment=comment)
+        annotation_id = self.store["annotations"].insert(document)
+        self.add_interaction(event_id, user, "annotate", {"tag": tag})
+        return annotation_id
+
+    def add_interaction(self, event_id: str, user: str, action: str,
+                        details: Optional[dict] = None) -> str:
+        """Log a user interaction with an event (view, modify, annotate...)."""
+        document = new_document("interactions", event_id=event_id, user=user,
+                                action=action, details=details or {})
+        return self.store["interactions"].insert(document)
+
+    def add_comment(self, event_id: str, user: str, text: str) -> str:
+        """Add a free-text discussion comment to an event."""
+        self.store["events"].get(event_id)
+        document = new_document("comments", event_id=event_id, user=user, text=text)
+        return self.store["comments"].insert(document)
+
+    def get_annotations(self, event_id: Optional[str] = None,
+                        tag: Optional[str] = None) -> List[dict]:
+        """List annotations, optionally filtered."""
+        query = {}
+        if event_id:
+            query["event_id"] = event_id
+        if tag:
+            query["tag"] = tag
+        return self.store["annotations"].find(query or None, sort="created_at")
+
+    def get_annotated_intervals(self, signal_id: str, tags=("anomaly", "problematic")
+                                ) -> List[tuple]:
+        """Return the intervals of events annotated with the given tags.
+
+        This is what the feedback loop consumes: confirmed anomalous events
+        become the labeled training intervals of the semi-supervised pipeline.
+        """
+        intervals = []
+        for event in self.get_events(signal_id=signal_id):
+            annotations = self.get_annotations(event_id=event["_id"])
+            if any(annotation["tag"] in tags for annotation in annotations):
+                intervals.append((event["start_time"], event["stop_time"]))
+        return sorted(intervals)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Document counts per collection — a quick health check."""
+        return {
+            name: len(self.store[name])
+            for name in sorted(self.store.list_collections())
+        }

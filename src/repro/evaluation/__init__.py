@@ -1,0 +1,51 @@
+"""``repro.evaluation``: pipeline evaluation metrics (paper §2.3)."""
+
+from repro.evaluation.contextual import (
+    contextual_confusion_matrix,
+    contextual_f1_score,
+    contextual_precision,
+    contextual_recall,
+    overlapping_segment_confusion_matrix,
+    overlapping_segment_scores,
+    weighted_segment_confusion_matrix,
+    weighted_segment_scores,
+)
+from repro.evaluation.point import (
+    intervals_to_labels,
+    point_accuracy,
+    point_confusion_matrix,
+    point_f1_score,
+    point_precision,
+    point_recall,
+)
+from repro.evaluation.regression import (
+    REGRESSION_METRICS,
+    mae,
+    mape,
+    mse,
+    r2_score,
+    rmse,
+)
+
+__all__ = [
+    "weighted_segment_confusion_matrix",
+    "overlapping_segment_confusion_matrix",
+    "weighted_segment_scores",
+    "overlapping_segment_scores",
+    "contextual_confusion_matrix",
+    "contextual_f1_score",
+    "contextual_precision",
+    "contextual_recall",
+    "point_confusion_matrix",
+    "point_precision",
+    "point_recall",
+    "point_f1_score",
+    "point_accuracy",
+    "intervals_to_labels",
+    "mse",
+    "mae",
+    "mape",
+    "rmse",
+    "r2_score",
+    "REGRESSION_METRICS",
+]

@@ -1,0 +1,196 @@
+"""Contextual (interval-based) evaluation metrics.
+
+The paper defines two methods for comparing detected anomalies against
+ground truth without assuming regular sampling (§2.3):
+
+* **Weighted segment** (Algorithm 1) — partition the timeline by every
+  interval edge and weight each partition's confusion-matrix contribution
+  by its duration. Strict; equivalent to sample-based scoring for regularly
+  sampled signals.
+* **Overlapping segment** (Algorithm 2) — reward the detector if it alerts
+  on any part of a true anomaly; count unmatched predictions as false
+  positives. Lenient; inspired by Hundman et al.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "weighted_segment_confusion_matrix",
+    "overlapping_segment_confusion_matrix",
+    "weighted_segment_scores",
+    "overlapping_segment_scores",
+    "contextual_confusion_matrix",
+    "contextual_f1_score",
+    "contextual_precision",
+    "contextual_recall",
+]
+
+Interval = Tuple[float, float]
+
+
+def _normalize(intervals: Optional[Iterable]) -> List[Interval]:
+    """Normalize intervals to a sorted list of ``(start, end)`` floats."""
+    normalized = []
+    for interval in intervals or []:
+        start, end = float(interval[0]), float(interval[1])
+        if end < start:
+            raise ValueError(f"Interval end before start: {(start, end)}")
+        normalized.append((start, end))
+    return sorted(normalized)
+
+
+def _covered(point_start: float, point_end: float,
+             intervals: Sequence[Interval]) -> bool:
+    """Whether the segment ``[point_start, point_end]`` overlaps any interval."""
+    for start, end in intervals:
+        if point_start < end and point_end > start:
+            return True
+        if start >= point_end:
+            break
+    return False
+
+
+def weighted_segment_confusion_matrix(expected, observed,
+                                      data_range: Optional[Interval] = None):
+    """Algorithm 1: duration-weighted confusion matrix.
+
+    Args:
+        expected: ground-truth anomalies as ``(start, end)`` pairs.
+        observed: predicted anomalies as ``(start, end[, severity])`` rows.
+        data_range: optional ``(start, end)`` of the full signal, so that the
+            leading/trailing normal segments contribute true negatives.
+
+    Returns:
+        Tuple ``(tp, fp, fn, tn)`` of segment durations.
+    """
+    expected = _normalize(expected)
+    observed = _normalize((row[0], row[1]) for row in observed or [])
+
+    edges = set()
+    for start, end in expected + observed:
+        edges.add(start)
+        edges.add(end)
+    if data_range is not None:
+        edges.add(float(data_range[0]))
+        edges.add(float(data_range[1]))
+    edges = sorted(edges)
+
+    if len(edges) < 2:
+        return 0.0, 0.0, 0.0, 0.0
+
+    tp = fp = fn = tn = 0.0
+    for left, right in zip(edges[:-1], edges[1:]):
+        weight = right - left
+        if weight <= 0:
+            continue
+        in_truth = _covered(left, right, expected)
+        in_predicted = _covered(left, right, observed)
+        if in_truth and in_predicted:
+            tp += weight
+        elif in_truth and not in_predicted:
+            fn += weight
+        elif not in_truth and in_predicted:
+            fp += weight
+        else:
+            tn += weight
+    return tp, fp, fn, tn
+
+
+def overlapping_segment_confusion_matrix(expected, observed):
+    """Algorithm 2: event-level confusion counts ``(tp, fp, fn)``.
+
+    Every ground-truth anomaly that overlaps at least one prediction counts
+    as one true positive; otherwise it is a false negative. Predictions that
+    overlap no ground-truth anomaly are false positives.
+    """
+    expected = _normalize(expected)
+    observed = _normalize((row[0], row[1]) for row in observed or [])
+
+    tp = 0
+    fn = 0
+    matched_predictions = set()
+    for truth in expected:
+        overlap_found = False
+        for i, prediction in enumerate(observed):
+            if truth[0] <= prediction[1] and truth[1] >= prediction[0]:
+                overlap_found = True
+                matched_predictions.add(i)
+        if overlap_found:
+            tp += 1
+        else:
+            fn += 1
+
+    fp = len(observed) - len(matched_predictions)
+    return tp, fp, fn
+
+
+def _scores_from_counts(tp: float, fp: float, fn: float) -> dict:
+    precision = tp / (tp + fp) if (tp + fp) > 0 else 0.0
+    recall = tp / (tp + fn) if (tp + fn) > 0 else 0.0
+    if precision + recall > 0:
+        f1 = 2 * precision * recall / (precision + recall)
+    else:
+        f1 = 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def weighted_segment_scores(expected, observed,
+                            data_range: Optional[Interval] = None) -> dict:
+    """Precision/recall/F1 under the weighted segment method."""
+    tp, fp, fn, tn = weighted_segment_confusion_matrix(expected, observed, data_range)
+    scores = _scores_from_counts(tp, fp, fn)
+    total = tp + fp + fn + tn
+    scores["accuracy"] = (tp + tn) / total if total > 0 else 0.0
+    return scores
+
+
+def overlapping_segment_scores(expected, observed) -> dict:
+    """Precision/recall/F1 under the overlapping segment method."""
+    tp, fp, fn = overlapping_segment_confusion_matrix(expected, observed)
+    return _scores_from_counts(tp, fp, fn)
+
+
+_METHODS = {
+    "weighted": weighted_segment_scores,
+    "overlapping": overlapping_segment_scores,
+}
+
+
+def contextual_confusion_matrix(expected, observed, method: str = "overlapping",
+                                data_range: Optional[Interval] = None):
+    """Return the confusion counts for the requested method."""
+    if method == "weighted":
+        return weighted_segment_confusion_matrix(expected, observed, data_range)
+    if method == "overlapping":
+        return overlapping_segment_confusion_matrix(expected, observed)
+    raise ValueError(f"Unknown evaluation method {method!r}")
+
+
+def _score(expected, observed, method, key, data_range=None) -> float:
+    if method not in _METHODS:
+        raise ValueError(f"Unknown evaluation method {method!r}")
+    if method == "weighted":
+        return _METHODS[method](expected, observed, data_range)[key]
+    return _METHODS[method](expected, observed)[key]
+
+
+def contextual_f1_score(expected, observed, method: str = "overlapping",
+                        data_range=None) -> float:
+    """Contextual F1 score under the requested method."""
+    return _score(expected, observed, method, "f1", data_range)
+
+
+def contextual_precision(expected, observed, method: str = "overlapping",
+                         data_range=None) -> float:
+    """Contextual precision under the requested method."""
+    return _score(expected, observed, method, "precision", data_range)
+
+
+def contextual_recall(expected, observed, method: str = "overlapping",
+                      data_range=None) -> float:
+    """Contextual recall under the requested method."""
+    return _score(expected, observed, method, "recall", data_range)

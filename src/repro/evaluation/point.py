@@ -1,0 +1,65 @@
+"""Point-wise (sample-based) classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "point_confusion_matrix",
+    "point_precision",
+    "point_recall",
+    "point_f1_score",
+    "point_accuracy",
+    "intervals_to_labels",
+]
+
+
+def intervals_to_labels(intervals, index) -> np.ndarray:
+    """Convert ``(start, end)`` intervals into 0/1 labels over ``index``."""
+    index = np.asarray(index)
+    labels = np.zeros(len(index), dtype=int)
+    for interval in intervals or []:
+        start, end = float(interval[0]), float(interval[1])
+        labels[(index >= start) & (index <= end)] = 1
+    return labels
+
+
+def point_confusion_matrix(y_true, y_pred):
+    """Return ``(tp, fp, fn, tn)`` counts for binary label arrays."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    return tp, fp, fn, tn
+
+
+def point_precision(y_true, y_pred) -> float:
+    """Sample-based precision."""
+    tp, fp, _, _ = point_confusion_matrix(y_true, y_pred)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def point_recall(y_true, y_pred) -> float:
+    """Sample-based recall."""
+    tp, _, fn, _ = point_confusion_matrix(y_true, y_pred)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def point_f1_score(y_true, y_pred) -> float:
+    """Sample-based F1 score."""
+    precision = point_precision(y_true, y_pred)
+    recall = point_recall(y_true, y_pred)
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def point_accuracy(y_true, y_pred) -> float:
+    """Sample-based accuracy."""
+    tp, fp, fn, tn = point_confusion_matrix(y_true, y_pred)
+    total = tp + fp + fn + tn
+    return (tp + tn) / total if total else 0.0

@@ -1,0 +1,61 @@
+"""Regression metrics used as unsupervised tuning objectives (Figure 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse", "mae", "mape", "rmse", "r2_score", "REGRESSION_METRICS"]
+
+
+def _check(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if len(y_true) == 0:
+        raise ValueError("Cannot compute a metric over empty arrays")
+    return y_true, y_pred
+
+
+def mse(y_true, y_pred) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(y_true, y_pred)))
+
+
+def mae(y_true, y_pred) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mape(y_true, y_pred) -> float:
+    """Mean absolute percentage error (safe around zero)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    denominator = np.where(np.abs(y_true) < 1e-8, 1e-8, np.abs(y_true))
+    return float(np.mean(np.abs(y_true - y_pred) / denominator))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _check(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+#: Named registry of regression metrics for the tuner's objective functions.
+REGRESSION_METRICS = {
+    "mse": mse,
+    "rmse": rmse,
+    "mae": mae,
+    "mape": mape,
+    "r2": r2_score,
+}

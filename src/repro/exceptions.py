@@ -1,0 +1,51 @@
+"""Exception hierarchy shared across the ``repro`` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "PipelineError",
+    "PrimitiveError",
+    "DatabaseError",
+    "NotFoundError",
+    "DuplicateKeyError",
+    "TuningError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class NotFittedError(ReproError):
+    """Raised when ``detect``/``predict`` is called before ``fit``."""
+
+
+class PipelineError(ReproError):
+    """Raised for malformed pipelines (cycles, missing inputs, bad specs)."""
+
+
+class PrimitiveError(ReproError):
+    """Raised when a primitive fails validation or execution."""
+
+
+class DatabaseError(ReproError):
+    """Base class for knowledge-base errors."""
+
+
+class NotFoundError(DatabaseError):
+    """Raised when a requested document does not exist."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """Raised when inserting a document that violates a unique constraint."""
+
+
+class TuningError(ReproError):
+    """Raised for hyperparameter-tuning failures."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when a benchmark configuration is invalid."""

@@ -1,0 +1,16 @@
+"""``repro.hil``: human-in-the-loop annotation and feedback (paper §3.6)."""
+
+from repro.hil.annotations import Annotation, AnnotationQueue, overlaps
+from repro.hil.feedback import FeedbackIteration, FeedbackLoop, FeedbackResult
+from repro.hil.simulator import ExpertStudySimulator, SimulatedAnnotator
+
+__all__ = [
+    "Annotation",
+    "AnnotationQueue",
+    "overlaps",
+    "SimulatedAnnotator",
+    "ExpertStudySimulator",
+    "FeedbackLoop",
+    "FeedbackIteration",
+    "FeedbackResult",
+]

@@ -1,0 +1,71 @@
+"""Annotation helpers shared by the HIL components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Annotation", "AnnotationQueue", "overlaps"]
+
+Interval = Tuple[float, float]
+
+
+def overlaps(first: Interval, second: Interval) -> bool:
+    """Whether two ``(start, end)`` intervals overlap (inclusive)."""
+    return first[0] <= second[1] and first[1] >= second[0]
+
+
+@dataclass
+class Annotation:
+    """A single expert annotation of an event.
+
+    Attributes:
+        event: the annotated ``(start, end)`` interval.
+        action: ``"confirm"`` (the event is a real anomaly), ``"remove"``
+            (the event is normal / a false positive), or ``"add"`` (the
+            expert created an event the model missed).
+        tag: free-form tag (``"anomaly"``, ``"normal"``, ``"investigate"``...).
+        user: annotator identifier.
+    """
+
+    event: Interval
+    action: str
+    tag: str = ""
+    user: str = "expert"
+
+    def __post_init__(self):
+        if self.action not in ("confirm", "remove", "add"):
+            raise ValueError(f"Unknown annotation action {self.action!r}")
+        self.event = (float(self.event[0]), float(self.event[1]))
+
+
+@dataclass
+class AnnotationQueue:
+    """The growing set of annotations collected during a feedback session."""
+
+    annotations: List[Annotation] = field(default_factory=list)
+
+    def extend(self, annotations: List[Annotation]) -> None:
+        """Append a batch of annotations."""
+        self.annotations.extend(annotations)
+
+    @property
+    def confirmed_events(self) -> List[Interval]:
+        """Intervals the expert confirmed or added — the positive labels."""
+        return sorted(
+            annotation.event
+            for annotation in self.annotations
+            if annotation.action in ("confirm", "add")
+        )
+
+    @property
+    def rejected_events(self) -> List[Interval]:
+        """Intervals the expert removed — confirmed normal behaviour."""
+        return sorted(
+            annotation.event
+            for annotation in self.annotations
+            if annotation.action == "remove"
+        )
+
+    def __len__(self) -> int:
+        return len(self.annotations)

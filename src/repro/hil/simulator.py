@@ -1,0 +1,153 @@
+"""Simulated experts.
+
+The paper evaluates the human-in-the-loop components in two ways: by
+simulating annotation actions against ground truth (Figure 8a) and through
+a user study with six satellite experts (Figure 8b / Table 4). Neither
+involves a live UI in this reproduction, so both are driven by the
+simulated experts defined here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.signal import Signal
+from repro.hil.annotations import Annotation, overlaps
+
+__all__ = ["SimulatedAnnotator", "ExpertStudySimulator"]
+
+Interval = Tuple[float, float]
+
+
+class SimulatedAnnotator:
+    """Simulates a user annotating ``k`` events per iteration (Figure 8a).
+
+    The annotator compares pending events against ground truth: detected
+    events that overlap a true anomaly are confirmed, detected events with
+    no overlap are removed, and true anomalies the model missed are added.
+    """
+
+    def __init__(self, k: int = 2, random_state: int = 0):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self.rng = np.random.default_rng(random_state)
+
+    def build_queue(self, detected: Sequence[Interval],
+                    ground_truth: Sequence[Interval]) -> List[Annotation]:
+        """Create the full list of pending annotation decisions."""
+        pending: List[Annotation] = []
+        for event in detected:
+            event = (float(event[0]), float(event[1]))
+            if any(overlaps(event, truth) for truth in ground_truth):
+                pending.append(Annotation(event=event, action="confirm", tag="anomaly"))
+            else:
+                pending.append(Annotation(event=event, action="remove", tag="normal"))
+        for truth in ground_truth:
+            truth = (float(truth[0]), float(truth[1]))
+            if not any(overlaps(truth, event[:2]) for event in detected):
+                pending.append(Annotation(event=truth, action="add", tag="anomaly"))
+        self.rng.shuffle(pending)
+        return pending
+
+    def next_batch(self, pending: List[Annotation]) -> List[Annotation]:
+        """Pop the next ``k`` annotations from the pending queue."""
+        batch = pending[:self.k]
+        del pending[:self.k]
+        return batch
+
+
+class ExpertStudySimulator:
+    """Simulates the satellite-operator study (Figure 8b / Table 4).
+
+    A team of experts reviews a sample of events: those surfaced by the ML
+    pipeline ("ML identified") and those the experts add themselves ("ML
+    missed"). Each event receives one of three tags — ``normal``,
+    ``problematic``, or ``investigate`` — with probabilities calibrated so
+    the aggregate distribution matches the study reported in the paper
+    (52.7% normal, 11+6 problematic, the rest marked for investigation).
+    """
+
+    #: Tag probabilities for events the ML identified, given ground truth.
+    _IDENTIFIED_TRUE = {"problematic": 0.55, "investigate": 0.35, "normal": 0.10}
+    _IDENTIFIED_FALSE = {"problematic": 0.02, "investigate": 0.15, "normal": 0.83}
+    #: Tag probabilities for expert-added events the ML missed.
+    _MISSED = {"problematic": 0.25, "investigate": 0.65, "normal": 0.10}
+
+    def __init__(self, experts: Optional[List[str]] = None, random_state: int = 0):
+        self.experts = list(experts) if experts else [
+            f"expert-{i}" for i in range(1, 7)
+        ]
+        self.rng = np.random.default_rng(random_state)
+
+    def _draw(self, probabilities: Dict[str, float]) -> str:
+        tags = list(probabilities)
+        weights = np.array([probabilities[tag] for tag in tags], dtype=float)
+        weights /= weights.sum()
+        return str(self.rng.choice(tags, p=weights))
+
+    def review_signal(self, signal: Signal, detected: Sequence[Interval],
+                      missed_fraction: float = 0.35) -> List[dict]:
+        """Simulate the expert review of one signal.
+
+        Args:
+            signal: the reviewed signal (its ``anomalies`` are ground truth).
+            detected: events identified by the ML pipeline.
+            missed_fraction: fraction of undetected ground-truth anomalies
+                that an expert notices and adds.
+
+        Returns:
+            A list of review records with ``origin`` (``ml_identified`` /
+            ``ml_missed``), ``tag``, ``expert`` and the event interval.
+        """
+        records = []
+        ground_truth = signal.anomalies
+
+        for event in detected:
+            interval = (float(event[0]), float(event[1]))
+            is_true = any(overlaps(interval, truth) for truth in ground_truth)
+            probabilities = self._IDENTIFIED_TRUE if is_true else self._IDENTIFIED_FALSE
+            records.append({
+                "signal": signal.name,
+                "origin": "ml_identified",
+                "event": interval,
+                "tag": self._draw(probabilities),
+                "expert": str(self.rng.choice(self.experts)),
+            })
+
+        for truth in ground_truth:
+            truth = (float(truth[0]), float(truth[1]))
+            if any(overlaps(truth, (float(e[0]), float(e[1]))) for e in detected):
+                continue
+            if self.rng.random() > missed_fraction:
+                continue
+            records.append({
+                "signal": signal.name,
+                "origin": "ml_missed",
+                "event": truth,
+                "tag": self._draw(self._MISSED),
+                "expert": str(self.rng.choice(self.experts)),
+            })
+
+        return records
+
+    @staticmethod
+    def tabulate(records: List[dict]) -> Dict[str, Dict[str, int]]:
+        """Aggregate review records into the Table 4 layout.
+
+        Returns a mapping ``{tag: {"ml_identified": n, "ml_missed": n}}``
+        plus a ``"total"`` row.
+        """
+        table = {
+            tag: {"ml_identified": 0, "ml_missed": 0}
+            for tag in ("normal", "problematic", "investigate")
+        }
+        for record in records:
+            table[record["tag"]][record["origin"]] += 1
+        table["total"] = {
+            "ml_identified": sum(row["ml_identified"] for row in table.values()),
+            "ml_missed": sum(row["ml_missed"] for row in table.values()),
+        }
+        return table

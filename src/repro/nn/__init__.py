@@ -1,0 +1,76 @@
+"""``repro.nn``: a from-scratch numpy neural-network substrate.
+
+The paper's pipelines use Keras models (LSTM regressors, LSTM/Dense
+autoencoders, a GAN). This subpackage provides the equivalent building
+blocks — layers, losses, optimizers, and a ``Sequential`` trainer — with
+full backpropagation, so the modeling primitives can be implemented without
+any deep-learning framework dependency.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+from repro.nn.callbacks import Callback, EarlyStopping, History
+from repro.nn.initializers import get_initializer
+from repro.nn.layers import (
+    LSTM,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    RepeatVector,
+    Reshape,
+    TimeDistributed,
+)
+from repro.nn.losses import (
+    BinaryCrossentropy,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    Wasserstein,
+    get_loss,
+)
+from repro.nn.network import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSprop, get_optimizer
+
+__all__ = [
+    "Activation",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "get_activation",
+    "get_initializer",
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Reshape",
+    "RepeatVector",
+    "TimeDistributed",
+    "LSTM",
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "BinaryCrossentropy",
+    "Wasserstein",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "get_optimizer",
+    "Callback",
+    "EarlyStopping",
+    "History",
+    "Sequential",
+]

@@ -1,0 +1,94 @@
+"""Training callbacks for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Callback", "EarlyStopping", "History"]
+
+
+class Callback:
+    """Base callback: hooks called by :class:`repro.nn.network.Sequential`."""
+
+    def on_train_begin(self, model) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, model, epoch: int, logs: dict) -> None:
+        """Called after every epoch with the epoch's metric logs."""
+
+    def on_train_end(self, model) -> None:
+        """Called once after training finishes."""
+
+    @property
+    def stop_training(self) -> bool:
+        """Whether the training loop should stop after the current epoch."""
+        return False
+
+
+class History(Callback):
+    """Record per-epoch metrics. Automatically attached by ``fit``."""
+
+    def __init__(self):
+        self.history = {}
+
+    def on_train_begin(self, model):
+        self.history = {}
+
+    def on_epoch_end(self, model, epoch, logs):
+        for key, value in logs.items():
+            self.history.setdefault(key, []).append(value)
+
+
+class EarlyStopping(Callback):
+    """Stop training when a monitored metric stops improving.
+
+    Args:
+        monitor: key in the epoch logs to watch (``"loss"`` or ``"val_loss"``).
+        patience: number of epochs without improvement before stopping.
+        min_delta: minimum decrease to count as an improvement.
+        restore_best_weights: whether to roll the model back to its best epoch.
+    """
+
+    def __init__(self, monitor: str = "val_loss", patience: int = 5,
+                 min_delta: float = 0.0, restore_best_weights: bool = True):
+        if patience < 0:
+            raise ValueError("patience must be non-negative")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best_weights = bool(restore_best_weights)
+        self.best = np.inf
+        self.wait = 0
+        self.stopped_epoch = None
+        self._stop = False
+        self._best_weights = None
+
+    def on_train_begin(self, model):
+        self.best = np.inf
+        self.wait = 0
+        self.stopped_epoch = None
+        self._stop = False
+        self._best_weights = None
+
+    def on_epoch_end(self, model, epoch, logs):
+        current = logs.get(self.monitor, logs.get("loss"))
+        if current is None:
+            return
+        if current < self.best - self.min_delta:
+            self.best = current
+            self.wait = 0
+            if self.restore_best_weights:
+                self._best_weights = model.get_weights()
+        else:
+            self.wait += 1
+            if self.wait >= self.patience:
+                self._stop = True
+                self.stopped_epoch = epoch
+
+    def on_train_end(self, model):
+        if self.restore_best_weights and self._best_weights is not None and self._stop:
+            model.set_weights(self._best_weights)
+
+    @property
+    def stop_training(self) -> bool:
+        return self._stop

@@ -1,0 +1,95 @@
+"""Weight initializers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "orthogonal",
+    "zeros",
+    "ones",
+    "get_initializer",
+]
+
+
+def glorot_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initializer."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initializer."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initializer, suited to ReLU-family activations."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initializer, commonly used for recurrent kernels."""
+    if len(shape) < 2:
+        return rng.normal(0.0, 1.0, size=shape)
+
+    rows, cols = int(np.prod(shape[:-1])), shape[-1]
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return np.ascontiguousarray(q[:rows, :cols].reshape(shape))
+
+
+def zeros(shape, rng: np.random.Generator = None) -> np.ndarray:
+    """All-zeros initializer."""
+    return np.zeros(shape)
+
+
+def ones(shape, rng: np.random.Generator = None) -> np.ndarray:
+    """All-ones initializer."""
+    return np.ones(shape)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "orthogonal": orthogonal,
+    "zeros": zeros,
+    "ones": ones,
+}
+
+
+def get_initializer(name):
+    """Resolve an initializer by name or pass a callable through.
+
+    Raises:
+        ValueError: if the name is unknown.
+    """
+    if callable(name):
+        return name
+    if name not in _INITIALIZERS:
+        raise ValueError(
+            f"Unknown initializer {name!r}. Known initializers: {sorted(_INITIALIZERS)}"
+        )
+    return _INITIALIZERS[name]
+
+
+def _fans(shape):
+    """Compute fan-in and fan-out for a weight tensor shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[:-2]))
+    return shape[-2] * receptive, shape[-1] * receptive

@@ -1,0 +1,121 @@
+"""Loss functions for the numpy neural-network substrate.
+
+Each loss exposes ``loss(y_true, y_pred)`` returning a scalar and
+``gradient(y_true, y_pred)`` returning the gradient of the mean loss with
+respect to ``y_pred``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "BinaryCrossentropy",
+    "Wasserstein",
+    "get_loss",
+]
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "loss"
+
+    def loss(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, y_true: np.ndarray, y_pred: np.ndarray) -> float:
+        return self.loss(y_true, y_pred)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}()"
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over every element."""
+
+    name = "mse"
+
+    def loss(self, y_true, y_pred):
+        return float(np.mean((y_pred - y_true) ** 2))
+
+    def gradient(self, y_true, y_pred):
+        return 2.0 * (y_pred - y_true) / y_pred.size
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error over every element."""
+
+    name = "mae"
+
+    def loss(self, y_true, y_pred):
+        return float(np.mean(np.abs(y_pred - y_true)))
+
+    def gradient(self, y_true, y_pred):
+        return np.sign(y_pred - y_true) / y_pred.size
+
+
+class BinaryCrossentropy(Loss):
+    """Binary cross-entropy on probabilities in ``[0, 1]``."""
+
+    name = "binary_crossentropy"
+
+    def loss(self, y_true, y_pred):
+        pred = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        return float(
+            -np.mean(y_true * np.log(pred) + (1.0 - y_true) * np.log(1.0 - pred))
+        )
+
+    def gradient(self, y_true, y_pred):
+        pred = np.clip(y_pred, _EPS, 1.0 - _EPS)
+        return (pred - y_true) / (pred * (1.0 - pred)) / y_pred.size
+
+
+class Wasserstein(Loss):
+    """Wasserstein critic loss.
+
+    ``y_true`` holds ``+1`` for real samples and ``-1`` for generated samples;
+    the loss is the mean of ``y_true * y_pred`` which the critic minimizes for
+    generated samples and maximizes for real ones (we always minimize, so the
+    caller sets the signs accordingly, matching the TadGAN formulation).
+    """
+
+    name = "wasserstein"
+
+    def loss(self, y_true, y_pred):
+        return float(np.mean(y_true * y_pred))
+
+    def gradient(self, y_true, y_pred):
+        return y_true / y_pred.size
+
+
+_LOSSES = {
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "mean_absolute_error": MeanAbsoluteError,
+    "binary_crossentropy": BinaryCrossentropy,
+    "wasserstein": Wasserstein,
+}
+
+
+def get_loss(name) -> Loss:
+    """Resolve a loss from a name or instance.
+
+    Raises:
+        ValueError: if the name is unknown.
+    """
+    if isinstance(name, Loss):
+        return name
+    key = name.lower() if isinstance(name, str) else name
+    if key not in _LOSSES:
+        raise ValueError(f"Unknown loss {name!r}. Known losses: {sorted(_LOSSES)}")
+    return _LOSSES[key]()

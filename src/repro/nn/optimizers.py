@@ -1,0 +1,131 @@
+"""Gradient-descent optimizers for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "get_optimizer"]
+
+
+class Optimizer:
+    """Base optimizer.
+
+    Optimizers keep per-parameter state keyed by an identifier supplied by
+    the caller (layer name + parameter name), so one optimizer instance can
+    serve a whole network.
+    """
+
+    def __init__(self, learning_rate: float = 0.001, clipnorm: float = None):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = clipnorm
+        self.iterations = 0
+
+    def update(self, key: str, param: np.ndarray, grad: np.ndarray) -> np.ndarray:
+        """Return the updated parameter value for ``param`` given ``grad``."""
+        raise NotImplementedError
+
+    def step(self) -> None:
+        """Signal that one batch of updates has been applied."""
+        self.iterations += 1
+
+    def _clip(self, grad: np.ndarray) -> np.ndarray:
+        if self.clipnorm is None:
+            return grad
+        norm = np.linalg.norm(grad)
+        if norm > self.clipnorm and norm > 0:
+            grad = grad * (self.clipnorm / norm)
+        return grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(learning_rate={self.learning_rate})"
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0,
+                 clipnorm: float = None):
+        super().__init__(learning_rate, clipnorm)
+        self.momentum = float(momentum)
+        self._velocity = {}
+
+    def update(self, key, param, grad):
+        grad = self._clip(grad)
+        if self.momentum:
+            velocity = self._velocity.get(key, np.zeros_like(param))
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[key] = velocity
+            return param + velocity
+        return param - self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(self, learning_rate: float = 0.001, beta_1: float = 0.9,
+                 beta_2: float = 0.999, epsilon: float = 1e-8,
+                 clipnorm: float = None):
+        super().__init__(learning_rate, clipnorm)
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m = {}
+        self._v = {}
+
+    def update(self, key, param, grad):
+        grad = self._clip(grad)
+        t = self.iterations + 1
+        m = self._m.get(key, np.zeros_like(param))
+        v = self._v.get(key, np.zeros_like(param))
+
+        m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+        v = self.beta_2 * v + (1.0 - self.beta_2) * grad ** 2
+        self._m[key] = m
+        self._v[key] = v
+
+        m_hat = m / (1.0 - self.beta_1 ** t)
+        v_hat = v / (1.0 - self.beta_2 ** t)
+        return param - self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class RMSprop(Optimizer):
+    """RMSprop optimizer."""
+
+    def __init__(self, learning_rate: float = 0.001, rho: float = 0.9,
+                 epsilon: float = 1e-8, clipnorm: float = None):
+        super().__init__(learning_rate, clipnorm)
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+        self._cache = {}
+
+    def update(self, key, param, grad):
+        grad = self._clip(grad)
+        cache = self._cache.get(key, np.zeros_like(param))
+        cache = self.rho * cache + (1.0 - self.rho) * grad ** 2
+        self._cache[key] = cache
+        return param - self.learning_rate * grad / (np.sqrt(cache) + self.epsilon)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSprop,
+}
+
+
+def get_optimizer(name, **kwargs) -> Optimizer:
+    """Resolve an optimizer from a name or instance.
+
+    Raises:
+        ValueError: if the name is unknown.
+    """
+    if isinstance(name, Optimizer):
+        return name
+    key = name.lower() if isinstance(name, str) else name
+    if key not in _OPTIMIZERS:
+        raise ValueError(
+            f"Unknown optimizer {name!r}. Known optimizers: {sorted(_OPTIMIZERS)}"
+        )
+    return _OPTIMIZERS[key](**kwargs)

@@ -1,0 +1,21 @@
+"""``repro.pipelines``: the AD pipeline hub."""
+
+from repro.pipelines.hub import (
+    BENCHMARK_PIPELINES,
+    PIPELINE_REGISTRY,
+    get_pipeline_spec,
+    list_pipelines,
+    load_pipeline,
+    load_template,
+    register_pipeline,
+)
+
+__all__ = [
+    "PIPELINE_REGISTRY",
+    "BENCHMARK_PIPELINES",
+    "register_pipeline",
+    "list_pipelines",
+    "get_pipeline_spec",
+    "load_template",
+    "load_pipeline",
+]

@@ -1,0 +1,73 @@
+"""The AD Pipeline Hub: registry of named pipeline templates."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.pipeline import Pipeline, Template
+from repro.exceptions import PipelineError
+from repro.pipelines import specs
+
+__all__ = [
+    "PIPELINE_REGISTRY",
+    "register_pipeline",
+    "list_pipelines",
+    "get_pipeline_spec",
+    "load_template",
+    "load_pipeline",
+    "BENCHMARK_PIPELINES",
+]
+
+#: Mapping from pipeline name to a spec factory (callable returning a dict).
+PIPELINE_REGISTRY: Dict[str, Callable[..., dict]] = {
+    "lstm_dynamic_threshold": specs.lstm_dynamic_threshold,
+    "arima": specs.arima,
+    "lstm_autoencoder": specs.lstm_autoencoder,
+    "dense_autoencoder": specs.dense_autoencoder,
+    "tadgan": specs.tadgan,
+    "azure": specs.azure,
+    "lstm_classifier": specs.lstm_classifier,
+}
+
+#: The unsupervised pipelines used by the paper's benchmark (Table 3).
+BENCHMARK_PIPELINES = [
+    "lstm_dynamic_threshold",
+    "dense_autoencoder",
+    "lstm_autoencoder",
+    "tadgan",
+    "arima",
+    "azure",
+]
+
+
+def register_pipeline(name: str, factory: Callable[..., dict],
+                      overwrite: bool = False) -> None:
+    """Register a custom pipeline spec factory under ``name``."""
+    if name in PIPELINE_REGISTRY and not overwrite:
+        raise PipelineError(f"A pipeline named {name!r} is already registered")
+    PIPELINE_REGISTRY[name] = factory
+
+
+def list_pipelines() -> List[str]:
+    """Return the sorted names of every registered pipeline."""
+    return sorted(PIPELINE_REGISTRY)
+
+
+def get_pipeline_spec(name: str, **options) -> dict:
+    """Build the spec dictionary for a registered pipeline."""
+    if name not in PIPELINE_REGISTRY:
+        raise PipelineError(
+            f"Unknown pipeline {name!r}. Available: {list_pipelines()}"
+        )
+    return PIPELINE_REGISTRY[name](**options)
+
+
+def load_template(name: str, **options) -> Template:
+    """Load a registered pipeline as an (untuned) :class:`Template`."""
+    return Template(get_pipeline_spec(name, **options))
+
+
+def load_pipeline(name: str, hyperparameters: Optional[dict] = None,
+                  **options) -> Pipeline:
+    """Load a registered pipeline as an executable :class:`Pipeline`."""
+    return Pipeline(get_pipeline_spec(name, **options), hyperparameters=hyperparameters)

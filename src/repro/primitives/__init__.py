@@ -1,0 +1,56 @@
+"""``repro.primitives``: the built-in primitive catalog.
+
+Importing this package registers every built-in primitive with the
+registry in :mod:`repro.core.primitive`, grouped by engine:
+
+* preprocessing — aggregation, imputation, scaling, window construction;
+* modeling — LSTM regressor/classifier, autoencoders, TadGAN, ARIMA,
+  Spectral Residual;
+* postprocessing — error calculation and anomaly extraction.
+"""
+
+from repro.primitives.preprocessing import (
+    CutoffWindowSequences,
+    MinMaxScaler,
+    RollingWindowSequences,
+    SimpleImputer,
+    StandardScaler,
+    TimeSegmentsAggregate,
+)
+from repro.primitives.modeling import (
+    ARIMA,
+    DenseAutoencoder,
+    LSTMAutoencoder,
+    LSTMTimeSeriesClassifier,
+    LSTMTimeSeriesRegressor,
+    SpectralResidual,
+    TadGAN,
+)
+from repro.primitives.postprocessing import (
+    FindAnomalies,
+    FixedThreshold,
+    ProbabilitiesToIntervals,
+    ReconstructionErrors,
+    RegressionErrors,
+)
+
+__all__ = [
+    "TimeSegmentsAggregate",
+    "SimpleImputer",
+    "MinMaxScaler",
+    "StandardScaler",
+    "RollingWindowSequences",
+    "CutoffWindowSequences",
+    "LSTMTimeSeriesRegressor",
+    "LSTMTimeSeriesClassifier",
+    "LSTMAutoencoder",
+    "DenseAutoencoder",
+    "TadGAN",
+    "ARIMA",
+    "SpectralResidual",
+    "RegressionErrors",
+    "ReconstructionErrors",
+    "FindAnomalies",
+    "FixedThreshold",
+    "ProbabilitiesToIntervals",
+]

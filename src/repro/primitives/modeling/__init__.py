@@ -1,0 +1,19 @@
+"""Modeling engine primitives."""
+
+from repro.primitives.modeling.arima import ARIMA, ArimaModel
+from repro.primitives.modeling.autoencoders import DenseAutoencoder, LSTMAutoencoder
+from repro.primitives.modeling.lstm_classifier import LSTMTimeSeriesClassifier
+from repro.primitives.modeling.lstm_regressor import LSTMTimeSeriesRegressor
+from repro.primitives.modeling.spectral_residual import SpectralResidual
+from repro.primitives.modeling.tadgan import TadGAN
+
+__all__ = [
+    "ARIMA",
+    "ArimaModel",
+    "LSTMAutoencoder",
+    "DenseAutoencoder",
+    "LSTMTimeSeriesClassifier",
+    "LSTMTimeSeriesRegressor",
+    "SpectralResidual",
+    "TadGAN",
+]

@@ -1,0 +1,179 @@
+"""ARIMA forecasting primitive.
+
+The paper's statistical baseline pipeline uses an ARIMA model (Pena et al.,
+2013). statsmodels is not available offline, so this module implements an
+ARIMA(p, d, q) estimator from scratch:
+
+* differencing of order ``d``;
+* AR and MA coefficients estimated with the Hannan–Rissanen two-stage
+  procedure (a long AR fit provides innovation estimates, then a joint OLS
+  regression on lags and innovations gives the final coefficients).
+
+The primitive exposes the same windowed regressor interface as the neural
+models so it slots into the shared pipeline structure: ``fit(X, y)`` on
+rolling windows and their targets, ``produce(X)`` returning one-step-ahead
+forecasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import NotFittedError, PrimitiveError
+
+__all__ = ["ARIMA", "ArimaModel"]
+
+
+class ArimaModel:
+    """Minimal ARIMA(p, d, q) model fitted on a single series."""
+
+    def __init__(self, p: int = 5, d: int = 0, q: int = 0):
+        if p < 0 or d < 0 or q < 0:
+            raise ValueError("p, d and q must be non-negative")
+        if p == 0 and q == 0:
+            raise ValueError("At least one of p or q must be positive")
+        self.p = int(p)
+        self.d = int(d)
+        self.q = int(q)
+        self.ar_coef = None
+        self.ma_coef = None
+        self.intercept = 0.0
+
+    # ------------------------------------------------------------------ #
+    def fit(self, series: np.ndarray) -> "ArimaModel":
+        """Estimate coefficients from a 1D series."""
+        series = np.asarray(series, dtype=float).ravel()
+        diffed = self._difference(series)
+        if len(diffed) <= self.p + self.q + 1:
+            raise ValueError("Series too short for the requested ARIMA order")
+
+        if self.q == 0:
+            design, target = self._lag_matrix(diffed, self.p)
+            coef = _least_squares(design, target)
+            self.intercept = coef[0]
+            self.ar_coef = coef[1:]
+            self.ma_coef = np.zeros(0)
+            return self
+
+        # Hannan–Rissanen: long-AR residuals approximate the innovations.
+        long_order = min(len(diffed) // 3, max(self.p + self.q + 2, 10))
+        design, target = self._lag_matrix(diffed, long_order)
+        long_coef = _least_squares(design, target)
+        residuals = target - design @ long_coef
+        residuals = np.concatenate([np.zeros(long_order), residuals])
+
+        offset = max(self.p, self.q)
+        rows = []
+        targets = []
+        for t in range(offset, len(diffed)):
+            ar_terms = diffed[t - self.p:t][::-1] if self.p else np.zeros(0)
+            ma_terms = residuals[t - self.q:t][::-1] if self.q else np.zeros(0)
+            rows.append(np.concatenate([[1.0], ar_terms, ma_terms]))
+            targets.append(diffed[t])
+        coef = _least_squares(np.asarray(rows), np.asarray(targets))
+        self.intercept = coef[0]
+        self.ar_coef = coef[1:1 + self.p]
+        self.ma_coef = coef[1 + self.p:]
+        return self
+
+    def forecast_next(self, history: np.ndarray) -> float:
+        """Forecast the value following ``history`` (original scale)."""
+        if self.ar_coef is None:
+            raise NotFittedError("ArimaModel must be fit before forecasting")
+        history = np.asarray(history, dtype=float).ravel()
+        diffed = self._difference(history)
+        needed = max(self.p, 1)
+        if len(diffed) < needed:
+            diffed = np.concatenate([np.zeros(needed - len(diffed)), diffed])
+
+        prediction = self.intercept
+        if self.p:
+            prediction += float(self.ar_coef @ diffed[-self.p:][::-1])
+        # Innovations are unobservable at produce time; their conditional
+        # expectation is zero, so the MA terms drop out of the point forecast.
+        return self._undifference(history, prediction)
+
+    # ------------------------------------------------------------------ #
+    def _difference(self, series: np.ndarray) -> np.ndarray:
+        for _ in range(self.d):
+            series = np.diff(series)
+        return series
+
+    def _undifference(self, history: np.ndarray, prediction: float) -> float:
+        if self.d == 0:
+            return float(prediction)
+        # Re-integrate: add back the last value of each differencing level.
+        levels = [history]
+        for _ in range(self.d - 1):
+            levels.append(np.diff(levels[-1]))
+        for level in reversed(levels):
+            prediction += level[-1] if len(level) else 0.0
+        return float(prediction)
+
+    @staticmethod
+    def _lag_matrix(series: np.ndarray, order: int):
+        rows = []
+        targets = []
+        for t in range(order, len(series)):
+            rows.append(np.concatenate([[1.0], series[t - order:t][::-1]]))
+            targets.append(series[t])
+        return np.asarray(rows), np.asarray(targets)
+
+
+def _least_squares(design: np.ndarray, target: np.ndarray) -> np.ndarray:
+    coef, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return coef
+
+
+@register_primitive
+class ARIMA(Primitive):
+    """ARIMA one-step-ahead forecaster over rolling windows."""
+
+    name = "ARIMA"
+    engine = "modeling"
+    description = "ARIMA(p, d, q) one-step-ahead forecaster."
+    fit_args = ["X", "y"]
+    produce_args = ["X"]
+    produce_output = ["y_hat"]
+    fixed_hyperparameters = {"target_column": 0}
+    tunable_hyperparameters = {
+        "p": {"type": "int", "default": 5, "range": [1, 20]},
+        "d": {"type": "int", "default": 0, "range": [0, 2]},
+        "q": {"type": "int", "default": 1, "range": [0, 5]},
+    }
+
+    def __init__(self, **hyperparameters):
+        super().__init__(**hyperparameters)
+        self._model = None
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        series = self._training_series(X)
+        model = ArimaModel(p=int(self.p), d=int(self.d), q=int(self.q))
+        try:
+            model.fit(series)
+        except ValueError as error:
+            raise PrimitiveError(f"ARIMA fit failed: {error}") from error
+        self._model = model
+
+    def produce(self, X):
+        if self._model is None:
+            raise NotFittedError("ARIMA must be fit before produce")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 2:
+            X = X[..., np.newaxis]
+        column = int(self.target_column)
+        predictions = np.array([
+            self._model.forecast_next(window[:, column]) for window in X
+        ])
+        return {"y_hat": predictions.reshape(-1, 1)}
+
+    def _training_series(self, X: np.ndarray) -> np.ndarray:
+        """Rebuild a contiguous series from rolling windows (step size 1)."""
+        if X.ndim == 2:
+            X = X[..., np.newaxis]
+        column = int(self.target_column)
+        first_window = X[0, :, column]
+        continuation = X[1:, -1, column]
+        return np.concatenate([first_window, continuation])

@@ -1,0 +1,78 @@
+"""Supervised LSTM classifier (the modeling step of the supervised pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import NotFittedError
+from repro.nn import LSTM, Dense, Dropout, EarlyStopping, Sequential
+
+__all__ = ["LSTMTimeSeriesClassifier"]
+
+
+@register_primitive
+class LSTMTimeSeriesClassifier(Primitive):
+    """LSTM classifier scoring each window's probability of being anomalous.
+
+    This is the modeling primitive of the supervised pipeline in Figure 2b,
+    used by the feedback loop: windows labeled by expert annotations train
+    the classifier, which then scores unseen windows.
+    """
+
+    name = "LSTMTimeSeriesClassifier"
+    engine = "modeling"
+    description = "LSTM binary classifier over trailing windows."
+    fit_args = ["X", "y"]
+    produce_args = ["X"]
+    produce_output = ["y_hat"]
+    fixed_hyperparameters = {
+        "validation_split": 0.1,
+        "verbose": False,
+        "random_state": 0,
+        "patience": 5,
+    }
+    tunable_hyperparameters = {
+        "lstm_units": {"type": "int", "default": 24, "range": [8, 128]},
+        "dropout_rate": {"type": "float", "default": 0.2, "range": [0.0, 0.6]},
+        "epochs": {"type": "int", "default": 15, "range": [1, 100]},
+        "batch_size": {"type": "int", "default": 64, "range": [16, 256]},
+        "learning_rate": {"type": "float", "default": 0.005, "range": [1e-4, 1e-1]},
+    }
+
+    def __init__(self, **hyperparameters):
+        super().__init__(**hyperparameters)
+        self._model = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 2:
+            X = X[..., np.newaxis]
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+
+        model = Sequential(random_state=int(self.random_state))
+        model.add(LSTM(int(self.lstm_units), return_sequences=False))
+        model.add(Dropout(float(self.dropout_rate)))
+        model.add(Dense(1, activation="sigmoid"))
+        model.compile(optimizer="adam", loss="binary_crossentropy",
+                      learning_rate=float(self.learning_rate))
+        model.build(X.shape[1:])
+
+        callbacks = [EarlyStopping(monitor="val_loss", patience=int(self.patience))]
+        model.fit(
+            X, y,
+            epochs=int(self.epochs),
+            batch_size=int(self.batch_size),
+            validation_split=float(self.validation_split),
+            callbacks=callbacks,
+            verbose=bool(self.verbose),
+        )
+        self._model = model
+
+    def produce(self, X):
+        if self._model is None:
+            raise NotFittedError("LSTMTimeSeriesClassifier must be fit before produce")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 2:
+            X = X[..., np.newaxis]
+        return {"y_hat": self._model.predict(X).ravel()}

@@ -1,0 +1,18 @@
+"""Postprocessing engine primitives."""
+
+from repro.primitives.postprocessing.anomalies import FindAnomalies, FixedThreshold
+from repro.primitives.postprocessing.classification import ProbabilitiesToIntervals
+from repro.primitives.postprocessing.errors import (
+    ReconstructionErrors,
+    RegressionErrors,
+    smooth_errors,
+)
+
+__all__ = [
+    "RegressionErrors",
+    "ReconstructionErrors",
+    "smooth_errors",
+    "FindAnomalies",
+    "FixedThreshold",
+    "ProbabilitiesToIntervals",
+]

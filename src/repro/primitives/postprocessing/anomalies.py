@@ -1,0 +1,245 @@
+"""Anomaly-extraction primitives (post-processing engine).
+
+``find_anomalies`` implements the non-parametric dynamic thresholding of
+Hundman et al. (KDD 2018), which the paper's LSTM DT pipeline uses: errors
+are examined in sliding windows, a threshold ``mean + z * std`` is selected
+to maximize the drop in mean/std it causes relative to the number of
+anomalous points and sequences it creates, contiguous above-threshold
+regions become candidate anomalies, and low-severity candidates are pruned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import PrimitiveError
+
+__all__ = ["FindAnomalies", "FixedThreshold"]
+
+
+def _find_sequences(above: np.ndarray) -> List[Tuple[int, int]]:
+    """Return inclusive (start, end) index pairs of contiguous True runs."""
+    sequences = []
+    start = None
+    for i, flag in enumerate(above):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            sequences.append((start, i - 1))
+            start = None
+    if start is not None:
+        sequences.append((start, len(above) - 1))
+    return sequences
+
+
+def _select_epsilon(errors: np.ndarray, z_range: Tuple[float, float]) -> float:
+    """Select the error threshold that best separates anomalous points.
+
+    For each candidate ``z`` the threshold ``mean + z * std`` is scored by
+    how much removing above-threshold points reduces the mean and standard
+    deviation, penalized by the number of anomalous points and sequences it
+    creates (Hundman et al., eq. 4).
+    """
+    mean = float(np.mean(errors))
+    std = float(np.std(errors))
+    if std == 0.0:
+        return mean
+
+    best_epsilon = mean + float(z_range[1]) * std
+    best_score = -np.inf
+
+    for z in np.arange(z_range[0], z_range[1] + 0.5, 0.5):
+        epsilon = mean + z * std
+        above = errors > epsilon
+        n_above = int(np.sum(above))
+        if n_above == 0:
+            continue
+        below = errors[~above]
+        if len(below) == 0:
+            continue
+        delta_mean = mean - float(np.mean(below))
+        delta_std = std - float(np.std(below))
+        n_sequences = len(_find_sequences(above))
+        score = (delta_mean / mean + delta_std / std) / (n_above + n_sequences ** 2)
+        if score > best_score:
+            best_score = score
+            best_epsilon = epsilon
+
+    return best_epsilon
+
+
+def _prune_anomalies(errors: np.ndarray, sequences: List[Tuple[int, int]],
+                     min_percent: float) -> List[Tuple[int, int]]:
+    """Prune candidate anomalies whose peak error is not clearly separated.
+
+    Following Hundman et al.'s pruning rule: candidates are sorted by their
+    maximum error (descending) with the non-anomalous baseline appended; a
+    trailing run of candidates whose relative drop from the previous maximum
+    stays below ``min_percent`` — all the way down to the baseline — is
+    discarded, because those peaks are not meaningfully separated from
+    normal behaviour.
+    """
+    if not sequences:
+        return []
+    max_errors = [float(np.max(errors[start:end + 1])) for start, end in sequences]
+    order = list(np.argsort(max_errors)[::-1])
+    sorted_max = [max_errors[i] for i in order]
+
+    anomalous = np.zeros(len(errors), dtype=bool)
+    for start, end in sequences:
+        anomalous[start:end + 1] = True
+    baseline = float(np.max(errors[~anomalous])) if np.any(~anomalous) else 0.0
+    sorted_max.append(baseline)
+
+    to_remove: List[int] = []
+    for i in range(len(sorted_max) - 1):
+        previous = sorted_max[i]
+        drop = (previous - sorted_max[i + 1]) / previous if previous > 0 else 0.0
+        if drop < min_percent:
+            to_remove.append(order[i])
+        else:
+            to_remove = []
+
+    kept = [sequences[i] for i in range(len(sequences)) if i not in set(to_remove)]
+    return sorted(kept)
+
+
+@register_primitive
+class FindAnomalies(Primitive):
+    """Convert an error sequence into anomalous intervals.
+
+    Outputs an array of ``(start_timestamp, end_timestamp, severity)`` rows,
+    where severity is the mean error above the local threshold — the
+    "likelihood probability" proxy mentioned in the paper.
+    """
+
+    name = "find_anomalies"
+    engine = "postprocessing"
+    description = "Non-parametric dynamic thresholding over error windows."
+    produce_args = ["errors", "index"]
+    produce_output = ["anomalies"]
+    fixed_hyperparameters = {
+        "fixed_threshold": False,
+        "lower_z_range": 2.0,
+        "upper_z_range": 12.0,
+    }
+    tunable_hyperparameters = {
+        "window_size_portion": {"type": "float", "default": 0.33, "range": [0.05, 1.0]},
+        "window_step_size_portion": {"type": "float", "default": 0.1,
+                                     "range": [0.05, 1.0]},
+        "min_percent": {"type": "float", "default": 0.1, "range": [0.01, 0.5]},
+        "anomaly_padding": {"type": "int", "default": 5, "range": [0, 50]},
+    }
+
+    def produce(self, errors, index):
+        errors = np.asarray(errors, dtype=float).ravel()
+        index = np.asarray(index)
+        if len(errors) != len(index):
+            raise PrimitiveError("errors and index must have the same length")
+        if len(errors) == 0:
+            return {"anomalies": np.zeros((0, 3))}
+
+        length = len(errors)
+        window_size = max(10, int(length * float(self.window_size_portion)))
+        window_step = max(1, int(length * float(self.window_step_size_portion)))
+
+        flagged = np.zeros(length, dtype=bool)
+        thresholds = np.full(length, np.inf)
+
+        if self.fixed_threshold:
+            # A single global threshold over the whole error sequence.
+            epsilon = float(np.mean(errors) + 4.0 * np.std(errors))
+            flagged = errors > epsilon
+            thresholds[:] = epsilon
+        else:
+            for start in range(0, max(1, length - window_size + 1), window_step):
+                end = min(start + window_size, length)
+                window_errors = errors[start:end]
+                epsilon = _select_epsilon(
+                    window_errors,
+                    (float(self.lower_z_range), float(self.upper_z_range)),
+                )
+                above = window_errors > epsilon
+                flagged[start:end] |= above
+                thresholds[start:end] = np.minimum(thresholds[start:end], epsilon)
+                if end == length:
+                    break
+
+        sequences = _find_sequences(flagged)
+        sequences = _prune_anomalies(errors, sequences, float(self.min_percent))
+
+        padding = int(self.anomaly_padding)
+        anomalies = []
+        for start, end in sequences:
+            padded_start = max(0, start - padding)
+            padded_end = min(length - 1, end + padding)
+            local = errors[start:end + 1]
+            threshold = thresholds[start] if np.isfinite(thresholds[start]) else 0.0
+            severity = float(np.mean(local) - threshold)
+            anomalies.append(
+                (float(index[padded_start]), float(index[padded_end]), severity)
+            )
+
+        anomalies = _merge_overlapping(anomalies)
+        return {"anomalies": np.asarray(anomalies).reshape(-1, 3)}
+
+
+@register_primitive
+class FixedThreshold(Primitive):
+    """Flag anomalies where errors exceed ``mean + k * std`` globally.
+
+    A deliberately simple baseline post-processor, useful for the spectral
+    residual pipeline and for ablations against the dynamic threshold.
+    """
+
+    name = "fixed_threshold"
+    engine = "postprocessing"
+    description = "Global k-sigma thresholding over the error sequence."
+    produce_args = ["errors", "index"]
+    produce_output = ["anomalies"]
+    fixed_hyperparameters = {}
+    tunable_hyperparameters = {
+        "k": {"type": "float", "default": 3.0, "range": [1.0, 8.0]},
+        "anomaly_padding": {"type": "int", "default": 2, "range": [0, 50]},
+    }
+
+    def produce(self, errors, index):
+        errors = np.asarray(errors, dtype=float).ravel()
+        index = np.asarray(index)
+        if len(errors) != len(index):
+            raise PrimitiveError("errors and index must have the same length")
+        if len(errors) == 0:
+            return {"anomalies": np.zeros((0, 3))}
+
+        threshold = float(np.mean(errors) + float(self.k) * np.std(errors))
+        sequences = _find_sequences(errors > threshold)
+
+        padding = int(self.anomaly_padding)
+        anomalies = []
+        for start, end in sequences:
+            padded_start = max(0, start - padding)
+            padded_end = min(len(errors) - 1, end + padding)
+            severity = float(np.mean(errors[start:end + 1]) - threshold)
+            anomalies.append(
+                (float(index[padded_start]), float(index[padded_end]), severity)
+            )
+        anomalies = _merge_overlapping(anomalies)
+        return {"anomalies": np.asarray(anomalies).reshape(-1, 3)}
+
+
+def _merge_overlapping(anomalies: List[Tuple[float, float, float]]):
+    """Merge overlapping or touching intervals, keeping the max severity."""
+    if not anomalies:
+        return []
+    anomalies = sorted(anomalies)
+    merged = [list(anomalies[0])]
+    for start, end, severity in anomalies[1:]:
+        if start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], end)
+            merged[-1][2] = max(merged[-1][2], severity)
+        else:
+            merged.append([start, end, severity])
+    return [tuple(item) for item in merged]

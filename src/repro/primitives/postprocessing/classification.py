@@ -1,0 +1,55 @@
+"""Post-processing for supervised (classification) pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import PrimitiveError
+from repro.primitives.postprocessing.anomalies import _find_sequences, _merge_overlapping
+
+__all__ = ["ProbabilitiesToIntervals"]
+
+
+@register_primitive
+class ProbabilitiesToIntervals(Primitive):
+    """Turn per-window anomaly probabilities into anomalous intervals.
+
+    The supervised pipeline (Figure 2b) scores each trailing window; windows
+    whose probability exceeds ``threshold`` are grouped into contiguous
+    intervals, reported with their mean probability as severity.
+    """
+
+    name = "probabilities_to_intervals"
+    engine = "postprocessing"
+    description = "Threshold classifier probabilities into intervals."
+    produce_args = ["y_hat", "index"]
+    produce_output = ["anomalies"]
+    fixed_hyperparameters = {}
+    tunable_hyperparameters = {
+        "threshold": {"type": "float", "default": 0.5, "range": [0.05, 0.95]},
+        "anomaly_padding": {"type": "int", "default": 2, "range": [0, 50]},
+    }
+
+    def produce(self, y_hat, index):
+        probabilities = np.asarray(y_hat, dtype=float).ravel()
+        index = np.asarray(index)
+        if len(probabilities) != len(index):
+            raise PrimitiveError("y_hat and index must have the same length")
+        if len(probabilities) == 0:
+            return {"anomalies": np.zeros((0, 3))}
+
+        above = probabilities > float(self.threshold)
+        sequences = _find_sequences(above)
+
+        padding = int(self.anomaly_padding)
+        anomalies = []
+        for start, end in sequences:
+            padded_start = max(0, start - padding)
+            padded_end = min(len(probabilities) - 1, end + padding)
+            severity = float(np.mean(probabilities[start:end + 1]))
+            anomalies.append(
+                (float(index[padded_start]), float(index[padded_end]), severity)
+            )
+        anomalies = _merge_overlapping(anomalies)
+        return {"anomalies": np.asarray(anomalies).reshape(-1, 3)}

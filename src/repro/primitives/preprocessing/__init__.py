@@ -1,0 +1,34 @@
+"""Preprocessing engine primitives."""
+
+from repro.primitives.preprocessing.aggregation import TimeSegmentsAggregate
+from repro.primitives.preprocessing.changepoints import (
+    ChangePointSegmenter,
+    detect_change_points,
+)
+from repro.primitives.preprocessing.decomposition import (
+    Differencing,
+    SeasonalTrendDecomposition,
+    decompose,
+)
+from repro.primitives.preprocessing.imputation import SimpleImputer
+from repro.primitives.preprocessing.labels import LabelsFromEvents
+from repro.primitives.preprocessing.scaling import MinMaxScaler, StandardScaler
+from repro.primitives.preprocessing.sequences import (
+    CutoffWindowSequences,
+    RollingWindowSequences,
+)
+
+__all__ = [
+    "TimeSegmentsAggregate",
+    "SimpleImputer",
+    "LabelsFromEvents",
+    "SeasonalTrendDecomposition",
+    "Differencing",
+    "decompose",
+    "ChangePointSegmenter",
+    "detect_change_points",
+    "MinMaxScaler",
+    "StandardScaler",
+    "RollingWindowSequences",
+    "CutoffWindowSequences",
+]

@@ -1,0 +1,41 @@
+"""Label-construction primitives for supervised pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import PrimitiveError
+
+__all__ = ["LabelsFromEvents"]
+
+
+@register_primitive
+class LabelsFromEvents(Primitive):
+    """Turn annotated anomalous intervals into per-timestamp binary labels.
+
+    The supervised pipeline (Figure 2b) trains on labels that come from
+    expert annotations — a list of ``(start, end)`` timestamp intervals that
+    the expert confirmed as anomalous. Each timestamp in ``index`` receives
+    label 1 if it falls inside any annotated event, else 0.
+    """
+
+    name = "labels_from_events"
+    engine = "preprocessing"
+    description = "Binary per-timestamp labels from annotated event intervals."
+    produce_args = ["index", "events"]
+    produce_output = ["y"]
+    fixed_hyperparameters = {}
+    tunable_hyperparameters = {}
+
+    def produce(self, index, events):
+        index = np.asarray(index)
+        labels = np.zeros(len(index), dtype=float)
+        if events is None:
+            return {"y": labels}
+        for event in events:
+            if len(event) < 2:
+                raise PrimitiveError("events must be (start, end[, ...]) tuples")
+            start, end = float(event[0]), float(event[1])
+            labels[(index >= start) & (index <= end)] = 1.0
+        return {"y": labels}

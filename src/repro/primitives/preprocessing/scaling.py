@@ -1,0 +1,105 @@
+"""Feature scaling primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import NotFittedError, PrimitiveError
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+@register_primitive
+class MinMaxScaler(Primitive):
+    """Scale each channel linearly into ``feature_range`` (default [-1, 1])."""
+
+    name = "MinMaxScaler"
+    engine = "preprocessing"
+    description = "Scale values into a fixed range per channel."
+    fit_args = ["X"]
+    produce_args = ["X"]
+    produce_output = ["X"]
+    fixed_hyperparameters = {"feature_range": (-1.0, 1.0)}
+    tunable_hyperparameters = {}
+
+    def __init__(self, **hyperparameters):
+        super().__init__(**hyperparameters)
+        low, high = self.feature_range
+        if low >= high:
+            raise PrimitiveError("feature_range must be an increasing pair")
+        self._min = None
+        self._scale = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        self._min = np.nanmin(X, axis=0)
+        data_range = np.nanmax(X, axis=0) - self._min
+        data_range[data_range == 0] = 1.0
+        self._scale = data_range
+
+    def produce(self, X):
+        if self._min is None:
+            raise NotFittedError("MinMaxScaler must be fit before produce")
+        X = _as_2d(X)
+        low, high = self.feature_range
+        scaled = (X - self._min) / self._scale
+        return {"X": scaled * (high - low) + low}
+
+    def inverse(self, X):
+        """Map scaled values back to the original range."""
+        if self._min is None:
+            raise NotFittedError("MinMaxScaler must be fit before inverse")
+        X = _as_2d(X)
+        low, high = self.feature_range
+        return (X - low) / (high - low) * self._scale + self._min
+
+
+@register_primitive
+class StandardScaler(Primitive):
+    """Standardize each channel to zero mean and unit variance."""
+
+    name = "StandardScaler"
+    engine = "preprocessing"
+    description = "Standardize values per channel (z-score)."
+    fit_args = ["X"]
+    produce_args = ["X"]
+    produce_output = ["X"]
+    fixed_hyperparameters = {"with_mean": True, "with_std": True}
+    tunable_hyperparameters = {}
+
+    def __init__(self, **hyperparameters):
+        super().__init__(**hyperparameters)
+        self._mean = None
+        self._std = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        self._mean = np.nanmean(X, axis=0) if self.with_mean else np.zeros(X.shape[1])
+        if self.with_std:
+            std = np.nanstd(X, axis=0)
+            std[std == 0] = 1.0
+            self._std = std
+        else:
+            self._std = np.ones(X.shape[1])
+
+    def produce(self, X):
+        if self._mean is None:
+            raise NotFittedError("StandardScaler must be fit before produce")
+        X = _as_2d(X)
+        return {"X": (X - self._mean) / self._std}
+
+    def inverse(self, X):
+        """Map standardized values back to the original scale."""
+        if self._mean is None:
+            raise NotFittedError("StandardScaler must be fit before inverse")
+        return _as_2d(X) * self._std + self._mean
+
+
+def _as_2d(X) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise PrimitiveError("Scalers expect a 1D or 2D array")
+    return X

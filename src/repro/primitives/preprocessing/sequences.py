@@ -1,0 +1,118 @@
+"""Window-sequence construction primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import PrimitiveError
+
+__all__ = ["RollingWindowSequences", "CutoffWindowSequences"]
+
+
+@register_primitive
+class RollingWindowSequences(Primitive):
+    """Create overlapping input windows and prediction targets.
+
+    Given a processed signal ``X`` of shape ``(n, m)`` and its timestamp
+    ``index``, produce:
+
+    * ``X`` — array of shape ``(k, window_size, m)`` with rolling windows;
+    * ``y`` — array of shape ``(k, target_size)`` with the values of the
+      ``target_column`` immediately after each window;
+    * ``index`` — timestamp of the first sample of each window;
+    * ``target_index`` — timestamp of the first target of each window.
+
+    This mirrors the ``rolling_window_sequences`` primitive used by the LSTM
+    DT pipeline (Figure 2a) and by the reconstruction pipelines.
+    """
+
+    name = "rolling_window_sequences"
+    engine = "preprocessing"
+    description = "Build rolling windows and forecasting targets."
+    produce_args = ["X", "index"]
+    produce_output = ["X", "y", "index", "target_index"]
+    fixed_hyperparameters = {"target_column": 0, "step_size": 1}
+    tunable_hyperparameters = {
+        "window_size": {"type": "int", "default": 100, "range": [10, 500]},
+        "target_size": {"type": "int", "default": 1, "range": [1, 10]},
+    }
+
+    def produce(self, X, index):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        index = np.asarray(index)
+        if len(X) != len(index):
+            raise PrimitiveError("X and index must have the same length")
+
+        window_size = int(self.window_size)
+        target_size = int(self.target_size)
+        step_size = int(self.step_size)
+        if window_size < 1 or target_size < 1 or step_size < 1:
+            raise PrimitiveError("window_size, target_size and step_size must be >= 1")
+
+        max_start = len(X) - window_size - target_size
+        if max_start < 0:
+            # Shrink the window so that short signals still produce sequences.
+            window_size = max(1, len(X) - target_size - 1)
+            max_start = len(X) - window_size - target_size
+            if max_start < 0:
+                raise PrimitiveError(
+                    f"Signal of length {len(X)} is too short for "
+                    f"window_size={self.window_size} and target_size={target_size}"
+                )
+
+        starts = np.arange(0, max_start + 1, step_size)
+        windows = np.stack([X[s:s + window_size] for s in starts])
+        targets = np.stack([
+            X[s + window_size:s + window_size + target_size, self.target_column]
+            for s in starts
+        ])
+        return {
+            "X": windows,
+            "y": targets,
+            "index": index[starts],
+            "target_index": index[starts + window_size],
+        }
+
+
+@register_primitive
+class CutoffWindowSequences(Primitive):
+    """Build fixed-length windows ending at each sample (no look-ahead).
+
+    Used by the supervised pipeline (Figure 2b): each window summarizes the
+    recent history of the signal up to and including a timestamp, so a
+    classifier can decide whether that timestamp belongs to an anomaly.
+    """
+
+    name = "cutoff_window_sequences"
+    engine = "preprocessing"
+    description = "Build trailing windows for classification."
+    produce_args = ["X", "index"]
+    produce_output = ["X", "index"]
+    fixed_hyperparameters = {"step_size": 1}
+    tunable_hyperparameters = {
+        "window_size": {"type": "int", "default": 50, "range": [10, 300]},
+    }
+
+    def produce(self, X, index):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        index = np.asarray(index)
+        if len(X) != len(index):
+            raise PrimitiveError("X and index must have the same length")
+
+        window_size = int(self.window_size)
+        step_size = int(self.step_size)
+        if window_size < 1 or step_size < 1:
+            raise PrimitiveError("window_size and step_size must be >= 1")
+        if len(X) <= window_size:
+            window_size = max(1, len(X) - 1)
+
+        ends = np.arange(window_size, len(X), step_size)
+        if len(ends) == 0:
+            raise PrimitiveError("Signal too short to build any cutoff window")
+        windows = np.stack([X[end - window_size:end] for end in ends])
+        return {"X": windows, "index": index[ends]}

@@ -1,0 +1,9 @@
+"""``repro.streaming``: concept-drift detection for deployed pipelines (paper §5)."""
+
+from repro.streaming.drift import (
+    DistributionDriftDetector,
+    DriftMonitor,
+    PageHinkley,
+)
+
+__all__ = ["PageHinkley", "DistributionDriftDetector", "DriftMonitor"]

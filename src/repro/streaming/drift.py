@@ -1,0 +1,156 @@
+"""Concept-drift detection for streaming deployments.
+
+The paper's discussion (§5, "Mixing supervised and unsupervised") notes
+that pipelines need to be updated when drift is observed in the streaming
+data (citing Wang & Abraham 2015 and Webb et al. 2017). This module
+provides the two classic detectors used for that purpose:
+
+* :class:`PageHinkley` — an online cumulative-deviation test that flags a
+  sustained shift in the mean;
+* :class:`DistributionDriftDetector` — a windowed two-sample
+  Kolmogorov–Smirnov test comparing a reference window against the most
+  recent window.
+
+The :class:`DriftMonitor` ties a detector to a retraining callback so a
+deployed pipeline can be refreshed when drift is confirmed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["PageHinkley", "DistributionDriftDetector", "DriftMonitor"]
+
+
+class PageHinkley:
+    """Page–Hinkley test for a sustained increase or decrease of the mean.
+
+    Args:
+        delta: magnitude tolerance — deviations smaller than this do not
+            accumulate.
+        threshold: cumulative deviation at which drift is signalled.
+        min_samples: observations required before drift can be signalled.
+    """
+
+    def __init__(self, delta: float = 0.005, threshold: float = 50.0,
+                 min_samples: int = 30):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.min_samples = int(min_samples)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all accumulated state."""
+        self._count = 0
+        self._mean = 0.0
+        self._cumulative_up = 0.0
+        self._cumulative_down = 0.0
+        self._min_up = 0.0
+        self._max_down = 0.0
+        self.drift_detected = False
+
+    def update(self, value: float) -> bool:
+        """Consume one observation; return True when drift is signalled."""
+        value = float(value)
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+
+        deviation = value - self._mean
+        self._cumulative_up += deviation - self.delta
+        self._cumulative_down += deviation + self.delta
+        self._min_up = min(self._min_up, self._cumulative_up)
+        self._max_down = max(self._max_down, self._cumulative_down)
+
+        if self._count < self.min_samples:
+            return False
+        increase = self._cumulative_up - self._min_up
+        decrease = self._max_down - self._cumulative_down
+        self.drift_detected = (increase > self.threshold
+                               or decrease > self.threshold)
+        return self.drift_detected
+
+
+class DistributionDriftDetector:
+    """Two-sample Kolmogorov–Smirnov drift test over sliding windows.
+
+    The first ``window_size`` observations form the reference window; once
+    a further ``window_size`` observations accumulate, the two windows are
+    compared with a KS test and drift is signalled when the p-value drops
+    below ``alpha``.
+    """
+
+    def __init__(self, window_size: int = 100, alpha: float = 0.01):
+        if window_size < 10:
+            raise ValueError("window_size must be at least 10")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.window_size = int(window_size)
+        self.alpha = float(alpha)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all accumulated state."""
+        self._reference: List[float] = []
+        self._current: deque = deque(maxlen=self.window_size)
+        self.drift_detected = False
+        self.last_p_value: Optional[float] = None
+
+    def update(self, value: float) -> bool:
+        """Consume one observation; return True when drift is signalled."""
+        value = float(value)
+        if len(self._reference) < self.window_size:
+            self._reference.append(value)
+            return False
+        self._current.append(value)
+        if len(self._current) < self.window_size:
+            return False
+
+        statistic, p_value = stats.ks_2samp(self._reference, list(self._current))
+        self.last_p_value = float(p_value)
+        self.drift_detected = p_value < self.alpha
+        return self.drift_detected
+
+
+class DriftMonitor:
+    """Feed a stream to a drift detector and trigger retraining on drift.
+
+    Args:
+        detector: a detector with ``update(value) -> bool`` and ``reset()``.
+        on_drift: callback invoked with the sample index whenever drift is
+            confirmed (e.g. schedule a pipeline refresh, as the paper's
+            weekly batch update does for the satellite team).
+        cooldown: samples to ignore after a drift before detecting again.
+    """
+
+    def __init__(self, detector, on_drift: Optional[Callable[[int], None]] = None,
+                 cooldown: int = 50):
+        self.detector = detector
+        self.on_drift = on_drift
+        self.cooldown = int(cooldown)
+        self.drift_points: List[int] = []
+        self._samples_seen = 0
+        self._since_last = None
+
+    def consume(self, values) -> List[int]:
+        """Consume a batch of values; return the global drift indices found."""
+        found = []
+        for value in np.asarray(values, dtype=float).ravel():
+            index = self._samples_seen
+            self._samples_seen += 1
+            if self._since_last is not None and self._since_last < self.cooldown:
+                self._since_last += 1
+                continue
+            if self.detector.update(value):
+                found.append(index)
+                self.drift_points.append(index)
+                if self.on_drift is not None:
+                    self.on_drift(index)
+                self.detector.reset()
+                self._since_last = 0
+        return found

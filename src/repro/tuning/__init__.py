@@ -1,0 +1,18 @@
+"""``repro.tuning``: AutoML hyperparameter optimization (paper §3.3)."""
+
+from repro.tuning.gp import GaussianProcess
+from repro.tuning.session import TuningResult, TuningSession
+from repro.tuning.space import TunableSpace
+from repro.tuning.tuners import BaseTuner, GPEITuner, GPTuner, UniformTuner, get_tuner
+
+__all__ = [
+    "TunableSpace",
+    "GaussianProcess",
+    "BaseTuner",
+    "UniformTuner",
+    "GPTuner",
+    "GPEITuner",
+    "get_tuner",
+    "TuningSession",
+    "TuningResult",
+]

@@ -1,0 +1,73 @@
+"""A small Gaussian-process regressor used as the tuner's meta-model."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+__all__ = ["GaussianProcess"]
+
+
+class GaussianProcess:
+    """Gaussian-process regression with an RBF kernel.
+
+    This is the meta-model behind the GP tuner (the paper uses BTB's
+    ``GPTuner``): it models the objective as a function of the encoded
+    hyperparameter vector and provides posterior means and standard
+    deviations for acquisition functions.
+    """
+
+    def __init__(self, length_scale: float = 0.3, signal_variance: float = 1.0,
+                 noise: float = 1e-4):
+        if length_scale <= 0 or signal_variance <= 0 or noise < 0:
+            raise ValueError("Kernel hyperparameters must be positive")
+        self.length_scale = float(length_scale)
+        self.signal_variance = float(signal_variance)
+        self.noise = float(noise)
+        self._x = None
+        self._y = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._cho = None
+        self._alpha = None
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dist = (
+            np.sum(a ** 2, axis=1)[:, None]
+            + np.sum(b ** 2, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        sq_dist = np.maximum(sq_dist, 0.0)
+        return self.signal_variance * np.exp(-0.5 * sq_dist / self.length_scale ** 2)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit the GP on observed (vector, score) pairs."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if len(x) != len(y):
+            raise ValueError("x and y must have the same number of rows")
+        self._x = x
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        self._y = (y - self._y_mean) / self._y_std
+
+        gram = self._kernel(x, x) + self.noise * np.eye(len(x))
+        self._cho = cho_factor(gram, lower=True)
+        self._alpha = cho_solve(self._cho, self._y)
+        return self
+
+    def predict(self, x: np.ndarray):
+        """Posterior mean and standard deviation at the query points."""
+        if self._x is None:
+            raise RuntimeError("GaussianProcess must be fit before predict")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cross = self._kernel(x, self._x)
+        mean = cross @ self._alpha
+        solved = cho_solve(self._cho, cross.T)
+        prior = np.full(len(x), self.signal_variance)
+        variance = prior - np.sum(cross * solved.T, axis=1)
+        variance = np.maximum(variance, 1e-12)
+        return (
+            mean * self._y_std + self._y_mean,
+            np.sqrt(variance) * self._y_std,
+        )

@@ -1,0 +1,135 @@
+"""Hyperparameter space handling for the AutoML component.
+
+A pipeline template exposes its joint tunable hyperparameter space ``Λ``
+as a nested mapping ``{step: {name: spec}}``. :class:`TunableSpace`
+flattens that mapping, converts candidate assignments to and from a
+numeric vector in the unit hypercube (which is what the Gaussian-process
+meta-model operates on), and samples random candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import TuningError
+
+__all__ = ["TunableSpace"]
+
+Key = Tuple[str, str]
+
+
+class TunableSpace:
+    """Flattened view of a pipeline's tunable hyperparameters."""
+
+    def __init__(self, space: Dict[str, Dict[str, dict]], random_state: int = 0):
+        self._keys: List[Key] = []
+        self._specs: List[dict] = []
+        for step in sorted(space):
+            for name in sorted(space[step]):
+                spec = dict(space[step][name])
+                self._validate_spec(step, name, spec)
+                self._keys.append((step, name))
+                self._specs.append(spec)
+        if not self._keys:
+            raise TuningError("The hyperparameter space is empty")
+        self.rng = np.random.default_rng(random_state)
+
+    @staticmethod
+    def _validate_spec(step: str, name: str, spec: dict) -> None:
+        kind = spec.get("type")
+        if kind in ("int", "float"):
+            if "range" not in spec or len(spec["range"]) != 2:
+                raise TuningError(
+                    f"{step}.{name}: numeric hyperparameters need a [low, high] range"
+                )
+            low, high = spec["range"]
+            if low >= high:
+                raise TuningError(f"{step}.{name}: invalid range {spec['range']}")
+        elif kind == "bool":
+            spec.setdefault("values", [False, True])
+        elif kind == "categorical":
+            if not spec.get("values"):
+                raise TuningError(
+                    f"{step}.{name}: categorical hyperparameters need a values list"
+                )
+        else:
+            raise TuningError(f"{step}.{name}: unsupported type {kind!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> int:
+        """Number of tunable hyperparameters."""
+        return len(self._keys)
+
+    @property
+    def keys(self) -> List[Key]:
+        """The ``(step, name)`` key of every dimension, in vector order."""
+        return list(self._keys)
+
+    def defaults(self) -> dict:
+        """The default candidate (every hyperparameter at its default)."""
+        return {
+            key: spec.get("default", self._midpoint(spec))
+            for key, spec in zip(self._keys, self._specs)
+        }
+
+    @staticmethod
+    def _midpoint(spec: dict):
+        kind = spec["type"]
+        if kind in ("int", "float"):
+            low, high = spec["range"]
+            value = (low + high) / 2
+            return int(round(value)) if kind == "int" else float(value)
+        return spec["values"][0]
+
+    # ------------------------------------------------------------------ #
+    def sample(self) -> dict:
+        """Draw a uniformly random candidate assignment."""
+        return self.from_vector(self.rng.random(self.dimensions))
+
+    def to_vector(self, candidate: dict) -> np.ndarray:
+        """Encode a candidate as a vector in ``[0, 1]^d``."""
+        vector = np.zeros(self.dimensions)
+        for i, (key, spec) in enumerate(zip(self._keys, self._specs)):
+            if key not in candidate:
+                raise TuningError(f"Candidate is missing hyperparameter {key}")
+            value = candidate[key]
+            kind = spec["type"]
+            if kind in ("int", "float"):
+                low, high = spec["range"]
+                vector[i] = (float(value) - low) / (high - low)
+            else:
+                values = spec["values"]
+                vector[i] = values.index(value) / max(1, len(values) - 1)
+        return np.clip(vector, 0.0, 1.0)
+
+    def from_vector(self, vector: np.ndarray) -> dict:
+        """Decode a unit-hypercube vector into a candidate assignment."""
+        vector = np.clip(np.asarray(vector, dtype=float), 0.0, 1.0)
+        if vector.shape != (self.dimensions,):
+            raise TuningError(
+                f"Vector has shape {vector.shape}, expected ({self.dimensions},)"
+            )
+        candidate = {}
+        for i, (key, spec) in enumerate(zip(self._keys, self._specs)):
+            kind = spec["type"]
+            if kind == "int":
+                low, high = spec["range"]
+                candidate[key] = int(round(low + vector[i] * (high - low)))
+            elif kind == "float":
+                low, high = spec["range"]
+                candidate[key] = float(low + vector[i] * (high - low))
+            else:
+                values = spec["values"]
+                index = int(round(vector[i] * (len(values) - 1)))
+                candidate[key] = values[index]
+        return candidate
+
+    def to_nested(self, candidate: dict) -> Dict[str, dict]:
+        """Convert a flat candidate into ``{step: {name: value}}`` form."""
+        nested: Dict[str, dict] = {}
+        for (step, name), value in candidate.items():
+            nested.setdefault(step, {})[name] = value
+        return nested

@@ -1,0 +1,129 @@
+"""Hyperparameter tuners (the BTB-equivalent propose/record loop)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import TuningError
+from repro.tuning.gp import GaussianProcess
+from repro.tuning.space import TunableSpace
+
+__all__ = ["BaseTuner", "UniformTuner", "GPTuner", "GPEITuner", "get_tuner"]
+
+
+class BaseTuner:
+    """Common propose/record machinery.
+
+    Tuners always *maximize* the recorded score; callers minimizing a metric
+    should record its negation.
+    """
+
+    def __init__(self, space: Dict[str, Dict[str, dict]], random_state: int = 0):
+        self.space = TunableSpace(space, random_state=random_state)
+        self.trials: List[Tuple[dict, float]] = []
+        self.rng = np.random.default_rng(random_state)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def best_score(self) -> Optional[float]:
+        """Highest recorded score, or ``None`` before any trial."""
+        if not self.trials:
+            return None
+        return max(score for _, score in self.trials)
+
+    @property
+    def best_proposal(self) -> Optional[dict]:
+        """The candidate that achieved :attr:`best_score`."""
+        if not self.trials:
+            return None
+        return max(self.trials, key=lambda trial: trial[1])[0]
+
+    def record(self, candidate: dict, score: float) -> None:
+        """Record the score obtained by a candidate."""
+        if not np.isfinite(score):
+            raise TuningError(f"Recorded score must be finite, got {score!r}")
+        self.trials.append((dict(candidate), float(score)))
+
+    def propose(self) -> dict:
+        """Propose the next candidate to evaluate."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+
+class UniformTuner(BaseTuner):
+    """Uniform random search baseline."""
+
+    def propose(self) -> dict:
+        if not self.trials:
+            return self.space.defaults()
+        return self.space.sample()
+
+
+class GPTuner(BaseTuner):
+    """Gaussian-process tuner choosing the candidate with the best posterior mean.
+
+    Candidates are scored by the GP posterior mean plus a small exploration
+    bonus proportional to the posterior standard deviation (upper confidence
+    bound), mirroring BTB's ``GPTuner`` behaviour.
+    """
+
+    #: Random trials evaluated before the meta-model is trusted.
+    warmup_trials = 3
+    #: Random candidates scored by the acquisition function at each step.
+    candidate_pool = 200
+    #: Exploration weight for the UCB acquisition.
+    exploration = 1.0
+
+    def propose(self) -> dict:
+        if not self.trials:
+            return self.space.defaults()
+        if len(self.trials) < self.warmup_trials:
+            return self.space.sample()
+
+        x = np.array([self.space.to_vector(candidate) for candidate, _ in self.trials])
+        y = np.array([score for _, score in self.trials])
+        model = GaussianProcess().fit(x, y)
+
+        pool = self.rng.random((self.candidate_pool, self.space.dimensions))
+        scores = self._acquisition(model, pool, y)
+        return self.space.from_vector(pool[int(np.argmax(scores))])
+
+    def _acquisition(self, model: GaussianProcess, pool: np.ndarray,
+                     y: np.ndarray) -> np.ndarray:
+        mean, std = model.predict(pool)
+        return mean + self.exploration * std
+
+
+class GPEITuner(GPTuner):
+    """Gaussian-process tuner with the expected-improvement acquisition."""
+
+    def _acquisition(self, model: GaussianProcess, pool: np.ndarray,
+                     y: np.ndarray) -> np.ndarray:
+        mean, std = model.predict(pool)
+        best = float(np.max(y))
+        improvement = mean - best
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(std > 0, improvement / std, 0.0)
+        expected = improvement * norm.cdf(z) + std * norm.pdf(z)
+        return np.where(std > 0, expected, 0.0)
+
+
+_TUNERS = {
+    "uniform": UniformTuner,
+    "gp": GPTuner,
+    "gpei": GPEITuner,
+}
+
+
+def get_tuner(name: str, space: Dict[str, Dict[str, dict]],
+              random_state: int = 0) -> BaseTuner:
+    """Instantiate a tuner by name (``uniform``, ``gp``, or ``gpei``)."""
+    key = name.lower()
+    if key not in _TUNERS:
+        raise TuningError(f"Unknown tuner {name!r}. Available: {sorted(_TUNERS)}")
+    return _TUNERS[key](space, random_state=random_state)

@@ -1,0 +1,19 @@
+"""``repro.viz``: the data side of the visualization subsystem (paper §3.6)."""
+
+from repro.viz.aggregation import (
+    aggregate_signal,
+    event_overlay,
+    multi_aggregation_view,
+    signal_summary,
+)
+from repro.viz.plotting import render_events, render_signal, sparkline
+
+__all__ = [
+    "aggregate_signal",
+    "multi_aggregation_view",
+    "event_overlay",
+    "signal_summary",
+    "sparkline",
+    "render_signal",
+    "render_events",
+]

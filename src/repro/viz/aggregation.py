@@ -1,0 +1,132 @@
+"""Multi-aggregation views of signals.
+
+The visualization subsystem of the paper (MTV, §3.6) lets experts compare
+a signal at several aggregation levels to understand why an interval was
+flagged. This module provides the data side of those views: multi-level
+resampling, per-window statistics, and event overlays that a UI (or a
+terminal renderer, see :mod:`repro.viz.plotting`) can display.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.signal import Signal
+
+__all__ = ["aggregate_signal", "multi_aggregation_view", "event_overlay",
+           "signal_summary"]
+
+Interval = Tuple[float, float]
+
+_METHODS = {
+    "mean": np.nanmean,
+    "median": np.nanmedian,
+    "min": np.nanmin,
+    "max": np.nanmax,
+    "sum": np.nansum,
+    "std": np.nanstd,
+}
+
+
+def aggregate_signal(signal: Signal, interval: int, method: str = "mean",
+                     channel: int = 0) -> Dict[str, np.ndarray]:
+    """Resample one channel of a signal at the requested interval.
+
+    Returns a dict with ``timestamps`` (segment starts) and ``values``
+    (aggregated values, NaN for empty segments).
+    """
+    if method not in _METHODS:
+        raise ValueError(f"Unknown aggregation method {method!r}")
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if channel < 0 or channel >= signal.n_channels:
+        raise ValueError(f"Signal {signal.name} has no channel {channel}")
+
+    timestamps = signal.timestamps
+    values = signal.values[:, channel]
+    start, end = timestamps[0], timestamps[-1]
+    n_segments = int((end - start) // interval) + 1
+
+    aggregated = np.full(n_segments, np.nan)
+    segment_ids = ((timestamps - start) // interval).astype(int)
+    aggregate = _METHODS[method]
+    for segment in np.unique(segment_ids):
+        aggregated[segment] = aggregate(values[segment_ids == segment])
+    segment_starts = start + interval * np.arange(n_segments)
+    return {"timestamps": segment_starts, "values": aggregated}
+
+
+def multi_aggregation_view(signal: Signal, levels: Optional[Sequence[int]] = None,
+                           method: str = "mean", channel: int = 0
+                           ) -> Dict[int, Dict[str, np.ndarray]]:
+    """Build the multi-aggregation view: one resampled series per level.
+
+    Args:
+        signal: the signal to view.
+        levels: aggregation intervals; defaults to 1x, 5x, 25x the signal's
+            native interval.
+        method: aggregation method shared by every level.
+        channel: channel to aggregate.
+
+    Returns:
+        Mapping from aggregation interval to the resampled series.
+    """
+    native = signal.interval
+    levels = list(levels) if levels else [native, native * 5, native * 25]
+    return {
+        int(level): aggregate_signal(signal, int(level), method=method,
+                                     channel=channel)
+        for level in levels
+    }
+
+
+def event_overlay(signal: Signal, events: Sequence[Interval],
+                  channel: int = 0) -> List[dict]:
+    """Extract the data needed to render events on top of a signal.
+
+    For each event the overlay contains the covered timestamps/values, the
+    local extrema, and how far the event mean deviates from the signal mean
+    (in standard deviations) — the kind of context an expert inspects
+    before annotating.
+    """
+    overlays = []
+    values = signal.values[:, channel]
+    mean = float(np.mean(values))
+    std = float(np.std(values)) or 1.0
+    for event in events:
+        start, end = float(event[0]), float(event[1])
+        mask = (signal.timestamps >= start) & (signal.timestamps <= end)
+        covered = values[mask]
+        if len(covered) == 0:
+            continue
+        overlays.append({
+            "start": start,
+            "end": end,
+            "n_samples": int(mask.sum()),
+            "min": float(np.min(covered)),
+            "max": float(np.max(covered)),
+            "mean": float(np.mean(covered)),
+            "deviation_sigma": float((np.mean(covered) - mean) / std),
+        })
+    return overlays
+
+
+def signal_summary(signal: Signal) -> dict:
+    """Per-signal statistics shown in the signal list of the UI."""
+    values = signal.values
+    return {
+        "name": signal.name,
+        "length": len(signal),
+        "channels": signal.n_channels,
+        "interval": signal.interval,
+        "start": int(signal.timestamps[0]) if len(signal) else None,
+        "end": int(signal.timestamps[-1]) if len(signal) else None,
+        "mean": float(np.nanmean(values)),
+        "std": float(np.nanstd(values)),
+        "min": float(np.nanmin(values)),
+        "max": float(np.nanmax(values)),
+        "missing": int(np.isnan(values).sum()),
+        "known_anomalies": len(signal.anomalies),
+    }

@@ -1,0 +1,81 @@
+"""Terminal rendering of signals and detected events.
+
+The original system ships a web UI (MTV). For an offline, dependency-free
+reproduction the equivalent is a terminal renderer: unicode sparklines and
+block plots with detected events marked, so the examples and the REPL can
+show *why* an interval was flagged without any plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.signal import Signal
+
+__all__ = ["sparkline", "render_signal", "render_events"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+Interval = Tuple[float, float]
+
+
+def sparkline(values, width: int = 80) -> str:
+    """Render a 1D series as a single-line unicode sparkline."""
+    values = np.asarray(values, dtype=float).ravel()
+    values = values[np.isfinite(values)]
+    if len(values) == 0:
+        return ""
+    if len(values) > width:
+        # Downsample by averaging consecutive chunks.
+        chunks = np.array_split(values, width)
+        values = np.array([chunk.mean() for chunk in chunks])
+    low, high = float(np.min(values)), float(np.max(values))
+    span = high - low or 1.0
+    indices = ((values - low) / span * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def render_signal(signal: Signal, events: Optional[Sequence[Interval]] = None,
+                  width: int = 80, channel: int = 0) -> str:
+    """Render a signal as a sparkline with an event marker line underneath.
+
+    Detected (or ground-truth) events are marked with ``^`` under the
+    samples they cover, which is enough to eyeball whether a flagged
+    interval aligns with the visible deviation.
+    """
+    values = signal.values[:, channel]
+    line = sparkline(values, width=width)
+    if not events:
+        return line
+
+    # Build a per-sample marker array, then downsample it the same way.
+    markers = np.zeros(len(values))
+    for event in events:
+        start, end = float(event[0]), float(event[1])
+        mask = (signal.timestamps >= start) & (signal.timestamps <= end)
+        markers[mask] = 1.0
+    if len(markers) > width:
+        chunks = np.array_split(markers, width)
+        markers = np.array([chunk.max() for chunk in chunks])
+    marker_line = "".join("^" if flag else " " for flag in markers[:len(line)])
+    return f"{line}\n{marker_line}"
+
+
+def render_events(signal: Signal, events: Sequence[Interval],
+                  channel: int = 0) -> str:
+    """Render a one-line-per-event textual report of detected events."""
+    from repro.viz.aggregation import event_overlay
+
+    overlays = event_overlay(signal, events, channel=channel)
+    if not overlays:
+        return "(no events)"
+    lines = [f"{'start':>12}{'end':>12}{'samples':>9}{'mean':>10}{'sigma':>8}"]
+    lines.append("-" * len(lines[0]))
+    for overlay in overlays:
+        lines.append(
+            f"{overlay['start']:>12.0f}{overlay['end']:>12.0f}"
+            f"{overlay['n_samples']:>9}{overlay['mean']:>10.3f}"
+            f"{overlay['deviation_sigma']:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Tests for the REST-style API router."""
+
+import json
+
+import pytest
+
+from repro.api import Response, SintelAPI
+from repro.db import SintelExplorer
+
+
+@pytest.fixture
+def api():
+    return SintelAPI(SintelExplorer())
+
+
+@pytest.fixture
+def api_with_event(api):
+    api.post("/datasets", {"name": "NASA"})
+    dataset_id = api.get("/datasets").body["datasets"][0]["_id"]
+    # Register a signal directly through the explorer (no upload endpoint).
+    from repro.data import generate_signal
+
+    signal = generate_signal("sig-1", length=100, n_anomalies=1, random_state=0)
+    signal_id = api.explorer.add_signal(dataset_id, signal)
+    response = api.post("/events", {
+        "signal_id": signal_id, "start_time": 10, "stop_time": 20,
+        "source": "machine", "signalrun_id": "run-1",
+    })
+    return api, signal_id, response.body["id"]
+
+
+class TestRouting:
+    def test_unknown_route_404(self, api):
+        assert api.get("/spaceships").status == 404
+
+    def test_wrong_method_405(self, api):
+        assert api.handle("DELETE", "/datasets").status == 405
+
+    def test_response_json_serialization(self, api):
+        response = api.get("/pipelines")
+        assert response.ok
+        assert "pipelines" in json.loads(response.json())
+
+    def test_pipelines_listed(self, api):
+        body = api.get("/pipelines").body
+        assert "lstm_dynamic_threshold" in body["pipelines"]
+
+
+class TestDatasetsAndSignals:
+    def test_create_and_list_datasets(self, api):
+        created = api.post("/datasets", {"name": "YAHOO"})
+        assert created.status == 201
+        listed = api.get("/datasets")
+        assert listed.body["datasets"][0]["name"] == "YAHOO"
+
+    def test_duplicate_dataset_400(self, api):
+        api.post("/datasets", {"name": "NAB"})
+        assert api.post("/datasets", {"name": "NAB"}).status == 400
+
+    def test_missing_field_400(self, api):
+        assert api.post("/datasets", {}).status == 400
+
+    def test_signals_filtered_by_dataset(self, api_with_event):
+        api, signal_id, _ = api_with_event
+        response = api.get("/signals")
+        assert len(response.body["signals"]) == 1
+        assert response.body["signals"][0]["_id"] == signal_id
+
+
+class TestEvents:
+    def test_create_and_get_event(self, api_with_event):
+        api, _, event_id = api_with_event
+        fetched = api.get(f"/events/{event_id}")
+        assert fetched.ok
+        assert fetched.body["start_time"] == 10
+
+    def test_list_events_by_signal(self, api_with_event):
+        api, signal_id, _ = api_with_event
+        listed = api.get("/events", query={"signal_id": signal_id})
+        assert len(listed.body["events"]) == 1
+
+    def test_patch_event(self, api_with_event):
+        api, _, event_id = api_with_event
+        patched = api.patch(f"/events/{event_id}", {"stop_time": 30})
+        assert patched.ok
+        assert patched.body["stop_time"] == 30
+
+    def test_patch_invalid_boundaries_400(self, api_with_event):
+        api, _, event_id = api_with_event
+        assert api.patch(f"/events/{event_id}", {"stop_time": 1}).status == 400
+
+    def test_delete_event(self, api_with_event):
+        api, _, event_id = api_with_event
+        assert api.delete(f"/events/{event_id}").status == 204
+        assert api.get(f"/events/{event_id}").status == 404
+
+    def test_get_missing_event_404(self, api):
+        assert api.get("/events/unknown-id").status == 404
+
+    def test_invalid_event_payload_400(self, api_with_event):
+        api, signal_id, _ = api_with_event
+        response = api.post("/events", {"signal_id": signal_id, "start_time": 5})
+        assert response.status == 400
+
+
+class TestAnnotationsAndComments:
+    def test_annotate_event(self, api_with_event):
+        api, _, event_id = api_with_event
+        created = api.post(f"/events/{event_id}/annotations",
+                           {"user": "ada", "tag": "anomaly"})
+        assert created.status == 201
+        listed = api.get(f"/events/{event_id}/annotations")
+        assert len(listed.body["annotations"]) == 1
+        assert listed.body["annotations"][0]["tag"] == "anomaly"
+
+    def test_invalid_tag_400(self, api_with_event):
+        api, _, event_id = api_with_event
+        response = api.post(f"/events/{event_id}/annotations",
+                            {"user": "ada", "tag": "meh"})
+        assert response.status == 400
+
+    def test_comment_discussion_panel(self, api_with_event):
+        api, _, event_id = api_with_event
+        api.post(f"/events/{event_id}/comments",
+                 {"user": "ada", "text": "eclipse, not an anomaly"})
+        api.post(f"/events/{event_id}/comments",
+                 {"user": "bob", "text": "agreed"})
+        listed = api.get(f"/events/{event_id}/comments")
+        assert len(listed.body["comments"]) == 2
+
+    def test_annotation_on_missing_event_404(self, api):
+        response = api.post("/events/ghost/annotations",
+                            {"user": "ada", "tag": "anomaly"})
+        assert response.status == 404
+
+    def test_response_repr_and_ok(self):
+        response = Response(204, {})
+        assert response.ok
+        assert not Response(500, {}).ok

@@ -1,0 +1,49 @@
+"""Tests for the Table 1 feature-comparison matrix."""
+
+from repro.benchmark import (
+    FEATURE_MATRIX,
+    FEATURES,
+    SYSTEMS,
+    feature_coverage,
+    format_table,
+)
+from repro.benchmark.comparison import SINTEL_FEATURE_MODULES
+
+
+class TestMatrixStructure:
+    def test_ten_systems_thirteen_features(self):
+        assert len(SYSTEMS) == 10
+        assert len(FEATURES) == 13
+        assert set(FEATURE_MATRIX) == set(FEATURES)
+
+    def test_every_feature_row_covers_every_system(self):
+        for feature, row in FEATURE_MATRIX.items():
+            assert set(row) == set(SYSTEMS), feature
+
+    def test_sintel_claims_every_feature(self):
+        assert all(FEATURE_MATRIX[feature]["Sintel"] for feature in FEATURES)
+
+    def test_only_sintel_claims_hil(self):
+        hil_row = FEATURE_MATRIX["hil"]
+        assert sum(hil_row.values()) == 1
+        assert hil_row["Sintel"]
+
+    def test_azure_rest_but_not_modular(self):
+        assert FEATURE_MATRIX["rest_api"]["MS Azure"]
+        assert not FEATURE_MATRIX["modular"]["MS Azure"]
+
+
+class TestCoverage:
+    def test_every_sintel_feature_maps_to_module(self):
+        assert set(SINTEL_FEATURE_MODULES) == set(FEATURES)
+
+    def test_all_claimed_modules_importable(self):
+        coverage = feature_coverage()
+        assert all(coverage.values()), coverage
+
+    def test_format_table_lists_all_systems(self):
+        rendered = format_table()
+        for system in SYSTEMS:
+            assert system in rendered
+        for feature in FEATURES:
+            assert feature in rendered

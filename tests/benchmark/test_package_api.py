@@ -1,0 +1,48 @@
+"""Tests for the top-level package API surface."""
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_list_helpers(self):
+        assert "lstm_dynamic_threshold" in repro.list_pipelines()
+        assert "find_anomalies" in repro.list_primitives()
+
+    def test_run_benchmark_lazy_wrapper(self):
+        """repro.run_benchmark() forwards to the benchmark subsystem."""
+        dataset = repro.Dataset("wrapper-test")
+        from repro.data import generate_signal
+
+        dataset.add_signal(generate_signal("w-0", length=200, n_anomalies=1,
+                                           random_state=3,
+                                           metadata={"dataset": "wrapper-test"}))
+        result = repro.run_benchmark(pipelines=["azure"],
+                                     datasets={"wrapper-test": dataset},
+                                     profile_memory=False)
+        assert len(result) == 1
+        assert result.records[0]["pipeline"] == "azure"
+
+    def test_load_dataset_exported(self):
+        dataset = repro.load_dataset("NAB", scale=0.02)
+        assert isinstance(dataset, repro.Dataset)
+
+    def test_sintel_and_pipeline_exported(self):
+        assert repro.Sintel is not None
+        pipeline = repro.load_pipeline("azure")
+        assert isinstance(pipeline, repro.Pipeline)
+        template = repro.load_template("azure")
+        assert isinstance(template, repro.Template)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.nonexistent_component  # noqa: B018

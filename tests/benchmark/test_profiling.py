@@ -1,0 +1,61 @@
+"""Tests for primitive-level profiling (Figure 7b mechanics)."""
+
+import pytest
+
+from repro.benchmark import (
+    primitive_overhead,
+    profile_overhead,
+    profile_pipeline_steps,
+    run_primitives_standalone,
+)
+from repro.pipelines import load_pipeline
+
+
+OPTIONS = {"window_size": 30}
+
+
+class TestProfilePipelineSteps:
+    def test_per_step_breakdown(self, small_signal):
+        pipeline = load_pipeline("arima", **OPTIONS)
+        breakdown = profile_pipeline_steps(pipeline, small_signal)
+        assert set(breakdown) == {step["name"] for step in pipeline.steps}
+        for timing in breakdown.values():
+            assert timing["fit_time"] >= 0.0
+            assert timing["detect_time"] >= 0.0
+            assert timing["engine"] in ("preprocessing", "modeling", "postprocessing")
+
+    def test_modeling_step_dominates(self, small_signal):
+        pipeline = load_pipeline("arima", **OPTIONS)
+        breakdown = profile_pipeline_steps(pipeline, small_signal)
+        modeling_time = sum(t["fit_time"] for t in breakdown.values()
+                            if t["engine"] == "modeling")
+        assert modeling_time > 0.0
+
+
+class TestStandaloneExecution:
+    def test_standalone_run_completes(self, small_signal):
+        pipeline = load_pipeline("arima", **OPTIONS)
+        elapsed = run_primitives_standalone(
+            pipeline.spec, pipeline.get_hyperparameters(), small_signal
+        )
+        assert elapsed > 0.0
+
+    def test_overhead_record_fields(self, small_signal):
+        record = primitive_overhead("arima", small_signal, OPTIONS)
+        assert record["pipeline_time"] > 0.0
+        assert record["standalone_time"] > 0.0
+        assert record["delta"] == pytest.approx(
+            record["pipeline_time"] - record["standalone_time"]
+        )
+
+    def test_overhead_is_small_fraction(self, small_signal):
+        """The pipeline abstraction should add only a modest overhead."""
+        record = primitive_overhead("azure", small_signal)
+        assert record["percent_increase"] < 200.0
+
+    def test_profile_overhead_aggregates(self, small_signal, traffic_signal):
+        summary = profile_overhead(["azure"], [small_signal, traffic_signal])
+        assert set(summary) == {"azure"}
+        assert summary["azure"]["runs"] == 2
+        assert "delta_mean" in summary["azure"]
+        assert "percent_increase" in summary["azure"]

@@ -1,0 +1,93 @@
+"""Tests for the benchmark runner."""
+
+import pytest
+
+from repro.benchmark import DEFAULT_PIPELINE_OPTIONS, benchmark, run_pipeline_on_signal
+from repro.data import Dataset, generate_signal
+from repro.exceptions import BenchmarkError
+
+
+FAST = ["arima", "azure"]
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    dataset = Dataset("NAB", metadata={"scale": 0.01})
+    for i in range(2):
+        dataset.add_signal(generate_signal(
+            f"nab-{i}", length=250, n_anomalies=2, random_state=20 + i,
+            flavour="traffic", metadata={"dataset": "NAB"},
+        ))
+    return {"NAB": dataset}
+
+
+class TestRunPipelineOnSignal:
+    def test_record_fields(self, small_signal):
+        record = run_pipeline_on_signal("arima", small_signal,
+                                        pipeline_options={"window_size": 30})
+        assert record["status"] == "ok"
+        for field in ("f1", "precision", "recall", "fit_time", "detect_time",
+                      "memory", "n_detected", "n_truth"):
+            assert field in record
+        assert record["pipeline"] == "arima"
+
+    def test_failure_recorded_not_raised(self, small_signal):
+        record = run_pipeline_on_signal(
+            "arima", small_signal,
+            pipeline_options={"window_size": 10_000_000},
+        )
+        # The window shrinks automatically, so force a failure differently:
+        # an impossible ARIMA order on a short signal.
+        record = run_pipeline_on_signal(
+            "arima", small_signal.slice(0, 30),
+            pipeline_options={"window_size": 20, "p": 50},
+        )
+        assert record["status"] == "error"
+        assert record["f1"] == 0.0
+        assert "error" in record
+
+    def test_memory_profiling_optional(self, small_signal):
+        record = run_pipeline_on_signal("azure", small_signal, profile_memory=False)
+        assert record["memory"] == 0
+
+
+class TestBenchmark:
+    def test_benchmark_on_provided_datasets(self, tiny_datasets):
+        result = benchmark(pipelines=FAST, datasets=tiny_datasets,
+                           profile_memory=False)
+        assert len(result) == len(FAST) * 2
+        assert set(result.pipelines) == set(FAST)
+        assert result.datasets == ["NAB"]
+
+    def test_benchmark_builds_datasets_by_name(self):
+        result = benchmark(pipelines=["azure"], datasets=["NAB"], scale=0.02,
+                           max_signals=1, profile_memory=False)
+        assert len(result) == 1
+
+    def test_max_signals_caps_work(self, tiny_datasets):
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           max_signals=1, profile_memory=False)
+        assert len(result) == 1
+
+    def test_unknown_pipeline_rejected(self, tiny_datasets):
+        with pytest.raises(BenchmarkError):
+            benchmark(pipelines=["definitely-not-real"], datasets=tiny_datasets)
+
+    def test_unknown_method_rejected(self, tiny_datasets):
+        with pytest.raises(BenchmarkError):
+            benchmark(pipelines=FAST, datasets=tiny_datasets, method="vibes")
+
+    def test_invalid_datasets_argument_rejected(self):
+        with pytest.raises(BenchmarkError):
+            benchmark(pipelines=FAST, datasets=42)
+
+    def test_weighted_method_supported(self, tiny_datasets):
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           method="weighted", profile_memory=False)
+        assert result.method == "weighted"
+        assert all(0.0 <= record["f1"] <= 1.0 for record in result.records)
+
+    def test_default_options_cover_benchmark_pipelines(self):
+        from repro.pipelines import BENCHMARK_PIPELINES
+
+        assert set(DEFAULT_PIPELINE_OPTIONS) == set(BENCHMARK_PIPELINES)

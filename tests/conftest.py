@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import Signal, generate_signal
+
+
+@pytest.fixture(scope="session")
+def small_signal() -> Signal:
+    """A short periodic signal with two injected anomalies."""
+    return generate_signal(
+        "fixture-small", length=300, n_anomalies=2, random_state=42,
+        flavour="periodic",
+    )
+
+
+@pytest.fixture(scope="session")
+def traffic_signal() -> Signal:
+    """A traffic-like signal with three injected anomalies."""
+    return generate_signal(
+        "fixture-traffic", length=400, n_anomalies=3, random_state=7,
+        flavour="traffic",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_windows(rng):
+    """Small rolling windows and targets for model tests."""
+    t = np.linspace(0, 8 * np.pi, 220)
+    series = np.sin(t)
+    window = 20
+    X = np.stack([series[i:i + window] for i in range(len(series) - window - 1)])
+    y = np.array([series[i + window] for i in range(len(series) - window - 1)])
+    return X[..., np.newaxis], y.reshape(-1, 1)

@@ -1,0 +1,79 @@
+"""Tests for dataset-level analysis (repro.core.analysis)."""
+
+import pytest
+
+from repro.core import analyze
+from repro.data import Dataset, generate_signal
+from repro.db import SintelExplorer
+
+
+@pytest.fixture
+def dataset():
+    dataset = Dataset("analysis-demo")
+    for i in range(2):
+        dataset.add_signal(generate_signal(
+            f"an-{i}", length=250, n_anomalies=2, random_state=500 + i,
+            flavour="periodic",
+        ))
+    return dataset
+
+
+class TestAnalyze:
+    def test_report_structure(self, dataset):
+        explorer = SintelExplorer()
+        report = analyze(dataset, "arima", explorer=explorer,
+                         pipeline_options={"window_size": 30})
+        assert report.pipeline == "arima"
+        assert len(report.signal_results) == 2
+        assert report.n_failed == 0
+        assert report.n_events >= 0
+
+    def test_events_and_runs_recorded_in_knowledge_base(self, dataset):
+        explorer = SintelExplorer()
+        report = analyze(dataset, "arima", explorer=explorer,
+                         pipeline_options={"window_size": 30})
+        summary = explorer.summary()
+        assert summary["datasets"] == 1
+        assert summary["signals"] == 2
+        assert summary["signalruns"] == 2
+        assert summary["events"] == report.n_events
+        datarun = explorer.store["dataruns"].get(report.datarun_id)
+        assert datarun["status"] == "done"
+
+    def test_scores_computed_when_ground_truth_present(self, dataset):
+        report = analyze(dataset, "arima", pipeline_options={"window_size": 30})
+        assert report.mean_score("f1") is not None
+        assert 0.0 <= report.mean_score("f1") <= 1.0
+
+    def test_evaluation_can_be_disabled(self, dataset):
+        report = analyze(dataset, "arima", pipeline_options={"window_size": 30},
+                         evaluate=False)
+        assert report.mean_score("f1") is None
+
+    def test_accepts_plain_signal_list(self):
+        signals = [generate_signal("plain", length=200, n_anomalies=1,
+                                   random_state=9)]
+        report = analyze(signals, "azure")
+        assert len(report.signal_results) == 1
+
+    def test_failed_signal_recorded_not_raised(self, dataset):
+        explorer = SintelExplorer()
+        # An impossible ARIMA order makes the fit fail on every signal.
+        report = analyze(dataset, "arima", explorer=explorer,
+                         pipeline_options={"window_size": 30},
+                         hyperparameters={"ARIMA": {"p": 10_000}})
+        assert report.n_failed == len(report.signal_results)
+        statuses = {doc["status"] for doc in explorer.store["signalruns"].find()}
+        assert statuses == {"error"}
+
+    def test_reuses_existing_dataset_and_template_records(self, dataset):
+        explorer = SintelExplorer()
+        analyze(dataset, "arima", explorer=explorer,
+                pipeline_options={"window_size": 30})
+        analyze(dataset, "arima", explorer=explorer,
+                pipeline_options={"window_size": 30})
+        summary = explorer.summary()
+        assert summary["datasets"] == 1
+        assert summary["templates"] == 1
+        assert summary["signals"] == 2
+        assert summary["dataruns"] == 2

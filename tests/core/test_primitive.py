@@ -1,0 +1,109 @@
+"""Tests for the primitive contract and registry."""
+
+import pytest
+
+from repro.core.primitive import (
+    Primitive,
+    get_primitive,
+    get_primitive_class,
+    list_primitives,
+    register_primitive,
+)
+from repro.exceptions import PrimitiveError
+
+
+class TestRegistry:
+    def test_builtin_primitives_registered(self):
+        names = list_primitives()
+        for expected in ("time_segments_aggregate", "SimpleImputer",
+                         "LSTMTimeSeriesRegressor", "find_anomalies", "ARIMA"):
+            assert expected in names
+
+    def test_filter_by_engine(self):
+        preprocessing = list_primitives(engine="preprocessing")
+        modeling = list_primitives(engine="modeling")
+        postprocessing = list_primitives(engine="postprocessing")
+        assert "MinMaxScaler" in preprocessing
+        assert "TadGAN" in modeling
+        assert "find_anomalies" in postprocessing
+        assert not set(preprocessing) & set(modeling)
+
+    def test_get_primitive_class_and_instance(self):
+        cls = get_primitive_class("MinMaxScaler")
+        instance = get_primitive("MinMaxScaler", {"feature_range": (0.0, 1.0)})
+        assert isinstance(instance, cls)
+        assert instance.feature_range == (0.0, 1.0)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(PrimitiveError, match="Unknown primitive"):
+            get_primitive_class("FluxCapacitor")
+
+    def test_register_requires_unique_name(self):
+        class Unnamed(Primitive):
+            pass
+
+        with pytest.raises(PrimitiveError):
+            register_primitive(Unnamed)
+
+    def test_register_requires_known_engine(self):
+        class BadEngine(Primitive):
+            name = "bad_engine_primitive"
+            engine = "quantum"
+
+        with pytest.raises(PrimitiveError, match="unknown engine"):
+            register_primitive(BadEngine)
+
+    def test_register_rejects_non_primitive(self):
+        with pytest.raises(PrimitiveError):
+            register_primitive(dict)
+
+    def test_conflicting_registration_rejected(self):
+        class Conflicting(Primitive):
+            name = "MinMaxScaler"
+            engine = "preprocessing"
+
+        with pytest.raises(PrimitiveError, match="already exists"):
+            register_primitive(Conflicting)
+
+
+class TestMetadata:
+    def test_default_hyperparameters_merge_fixed_and_tunable(self):
+        cls = get_primitive_class("find_anomalies")
+        defaults = cls.get_default_hyperparameters()
+        assert "fixed_threshold" in defaults  # fixed
+        assert "min_percent" in defaults  # tunable
+
+    def test_metadata_block_structure(self):
+        metadata = get_primitive_class("rolling_window_sequences").metadata()
+        assert metadata["engine"] == "preprocessing"
+        assert metadata["produce_output"] == ["X", "y", "index", "target_index"]
+        assert "window_size" in metadata["tunable_hyperparameters"]
+
+    def test_tunable_hyperparameters_are_copies(self):
+        cls = get_primitive_class("find_anomalies")
+        first = cls.get_tunable_hyperparameters()
+        first["min_percent"]["default"] = 999
+        second = cls.get_tunable_hyperparameters()
+        assert second["min_percent"]["default"] != 999
+
+    def test_unknown_hyperparameter_rejected_at_construction(self):
+        with pytest.raises(PrimitiveError, match="Unknown hyperparameters"):
+            get_primitive("MinMaxScaler", {"bogus": 1})
+
+    def test_hyperparameters_set_as_attributes(self):
+        primitive = get_primitive("fixed_threshold", {"k": 5.0})
+        assert primitive.k == 5.0
+        assert primitive.hyperparameters["k"] == 5.0
+
+    def test_bad_tunable_type_rejected(self):
+        class BadSpec(Primitive):
+            name = "bad_spec_primitive"
+            engine = "modeling"
+            tunable_hyperparameters = {"alpha": {"type": "complex", "default": 1}}
+
+        with pytest.raises(PrimitiveError, match="unsupported type"):
+            BadSpec.get_tunable_hyperparameters()
+
+    def test_base_produce_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Primitive().produce()

@@ -1,0 +1,133 @@
+"""Tests for the Sintel core API."""
+
+import numpy as np
+import pytest
+
+from repro.core import Pipeline, Sintel, Template
+from repro.exceptions import NotFittedError, PipelineError
+from repro.pipelines import get_pipeline_spec
+
+
+PIPELINE = "arima"
+OPTIONS = {"window_size": 30}
+
+
+class TestConstruction:
+    def test_from_name(self):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        assert sintel.pipeline_name == "arima"
+        assert not sintel.fitted
+
+    def test_from_spec_dict(self):
+        sintel = Sintel(get_pipeline_spec(PIPELINE, **OPTIONS))
+        assert isinstance(sintel.pipeline, Pipeline)
+
+    def test_from_template(self):
+        template = Template(get_pipeline_spec(PIPELINE, **OPTIONS))
+        sintel = Sintel(template)
+        assert sintel.pipeline_name == "arima"
+
+    def test_from_pipeline_instance(self):
+        pipeline = Pipeline(get_pipeline_spec(PIPELINE, **OPTIONS))
+        sintel = Sintel(pipeline)
+        assert sintel.pipeline is pipeline
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(PipelineError):
+            Sintel(42)
+
+    def test_hyperparameters_forwarded(self):
+        sintel = Sintel(PIPELINE, hyperparameters={"ARIMA": {"p": 8}}, **OPTIONS)
+        assert sintel.get_hyperparameters()["ARIMA"]["p"] == 8
+
+
+class TestFitDetect:
+    def test_fit_detect_on_signal_object(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        anomalies = sintel.fit_detect(small_signal)
+        assert isinstance(anomalies, list)
+        assert sintel.fitted
+
+    def test_fit_detect_on_array(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        anomalies = sintel.fit_detect(small_signal.to_array())
+        assert isinstance(anomalies, list)
+
+    def test_bare_value_series_gets_timestamps(self):
+        values = np.sin(np.linspace(0, 20, 300))
+        values[150:160] += 5
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        anomalies = sintel.fit_detect(values)
+        assert isinstance(anomalies, list)
+
+    def test_detect_before_fit_rejected(self, small_signal):
+        with pytest.raises(NotFittedError):
+            Sintel(PIPELINE, **OPTIONS).detect(small_signal)
+
+    def test_invalid_data_shape_rejected(self):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        with pytest.raises(PipelineError):
+            sintel.fit(np.zeros((3, 3, 3)))
+
+    def test_visualization_passthrough(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        sintel.fit(small_signal)
+        anomalies, context = sintel.detect(small_signal, visualization=True)
+        assert "errors" in context
+
+
+class TestEvaluate:
+    def test_overlapping_scores(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        scores = sintel.evaluate(small_signal, small_signal.anomalies, fit=True)
+        assert set(scores) == {"precision", "recall", "f1"}
+        assert 0.0 <= scores["f1"] <= 1.0
+
+    def test_weighted_scores_include_accuracy(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        scores = sintel.evaluate(small_signal, small_signal.anomalies, fit=True,
+                                 method="weighted")
+        assert "accuracy" in scores
+
+    def test_unknown_method_rejected(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        with pytest.raises(ValueError):
+            sintel.evaluate(small_signal, small_signal.anomalies, fit=True,
+                            method="cosmic")
+
+    def test_evaluate_fits_when_not_fitted(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        sintel.evaluate(small_signal, small_signal.anomalies)
+        assert sintel.fitted
+
+
+class TestHyperparametersAndPersistence:
+    def test_tunable_space_exposed(self):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        space = sintel.get_tunable_hyperparameters()
+        assert "find_anomalies" in space
+
+    def test_set_hyperparameters_resets_fit(self, small_signal):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        sintel.fit(small_signal)
+        sintel.set_hyperparameters({"ARIMA": {"p": 3}})
+        assert not sintel.fitted
+
+    def test_save_load_roundtrip(self, small_signal, tmp_path):
+        sintel = Sintel(PIPELINE, **OPTIONS)
+        expected = sintel.fit_detect(small_signal)
+        path = tmp_path / "model.pkl"
+        sintel.save(path)
+
+        loaded = Sintel.load(path)
+        assert loaded.fitted
+        assert loaded.detect(small_signal) == expected
+
+    def test_load_rejects_foreign_pickle(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "other.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "sintel"}, handle)
+        with pytest.raises(PipelineError):
+            Sintel.load(path)

@@ -1,0 +1,83 @@
+"""Tests for repro.data.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    DATASET_SPECS,
+    load_benchmark_datasets,
+    load_dataset,
+    load_nab,
+    load_nasa,
+    load_yahoo,
+)
+
+
+class TestBuilders:
+    def test_nasa_scaled_cardinality(self):
+        dataset = load_nasa(scale=0.05, random_state=0)
+        assert dataset.name == "NASA"
+        assert len(dataset) == int(np.ceil(80 * 0.05))
+        assert dataset.n_anomalies >= len(dataset)
+
+    def test_nasa_has_msl_and_smap_subsets(self):
+        dataset = load_nasa(scale=0.1, random_state=0)
+        subsets = {signal.metadata["subset"] for signal in dataset}
+        assert subsets == {"MSL", "SMAP"}
+
+    def test_yahoo_has_four_subsets(self):
+        dataset = load_yahoo(scale=0.02, random_state=0)
+        subsets = {signal.metadata["subset"] for signal in dataset}
+        assert subsets == {"A1", "A2", "A3", "A4"}
+
+    def test_yahoo_has_many_anomalies_per_signal(self):
+        dataset = load_yahoo(scale=0.02, random_state=0)
+        assert dataset.n_anomalies / len(dataset) >= 3
+
+    def test_nab_categories(self):
+        dataset = load_nab(scale=0.1, random_state=0)
+        categories = {signal.metadata["category"] for signal in dataset}
+        assert len(categories) >= 2
+
+    def test_signals_have_dataset_metadata(self):
+        dataset = load_nab(scale=0.05, random_state=0)
+        for signal in dataset:
+            assert signal.metadata["dataset"] == "NAB"
+
+    def test_determinism(self):
+        first = load_nasa(scale=0.05, random_state=3)
+        second = load_nasa(scale=0.05, random_state=3)
+        for name in first.signal_names:
+            assert np.array_equal(first[name].values, second[name].values)
+
+    def test_different_seed_changes_data(self):
+        first = load_nab(scale=0.05, random_state=0)
+        second = load_nab(scale=0.05, random_state=99)
+        name_first = first.signal_names[0]
+        name_second = second.signal_names[0]
+        assert not np.array_equal(first[name_first].values[:50],
+                                  second[name_second].values[:50])
+
+
+class TestLoaders:
+    def test_load_dataset_by_name_case_insensitive(self):
+        dataset = load_dataset("nasa", scale=0.03)
+        assert dataset.name == "NASA"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError, match="Unknown dataset"):
+            load_dataset("MARS")
+
+    def test_load_benchmark_datasets_all(self):
+        datasets = load_benchmark_datasets(scale=0.02)
+        assert set(datasets) == {"NAB", "NASA", "YAHOO"}
+
+    def test_load_benchmark_datasets_subset(self):
+        datasets = load_benchmark_datasets(scale=0.02, names=["nab"])
+        assert set(datasets) == {"NAB"}
+
+    def test_specs_match_paper_table2(self):
+        assert DATASET_SPECS["NAB"] == {"signals": 45, "anomalies": 94,
+                                        "avg_length": 6088}
+        assert DATASET_SPECS["NASA"]["signals"] == 80
+        assert DATASET_SPECS["YAHOO"]["anomalies"] == 2152

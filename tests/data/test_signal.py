@@ -1,0 +1,129 @@
+"""Tests for repro.data.signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, Signal
+
+
+def _make_signal(n=100, anomalies=None):
+    timestamps = np.arange(n)
+    values = np.sin(np.linspace(0, 10, n))
+    return Signal("sig", timestamps, values, anomalies=anomalies or [])
+
+
+class TestSignal:
+    def test_univariate_values_become_2d(self):
+        signal = _make_signal()
+        assert signal.values.shape == (100, 1)
+        assert signal.n_channels == 1
+
+    def test_length_and_interval(self):
+        signal = Signal("s", np.arange(0, 50, 5), np.zeros(10))
+        assert len(signal) == 10
+        assert signal.interval == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("s", np.arange(5), np.zeros(6))
+
+    def test_non_increasing_timestamps_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("s", np.array([0, 2, 1]), np.zeros(3))
+
+    def test_to_array_roundtrip(self):
+        signal = _make_signal(50)
+        array = signal.to_array()
+        assert array.shape == (50, 2)
+        rebuilt = Signal.from_array("copy", array)
+        assert np.allclose(rebuilt.values, signal.values)
+        assert np.array_equal(rebuilt.timestamps, signal.timestamps)
+
+    def test_from_array_requires_two_columns(self):
+        with pytest.raises(ValueError):
+            Signal.from_array("bad", np.zeros(10))
+
+    def test_slice_restricts_anomalies(self):
+        signal = _make_signal(100, anomalies=[(10, 20), (80, 90)])
+        sliced = signal.slice(0, 50)
+        assert len(sliced) == 50
+        assert sliced.anomalies == [(10, 20)]
+
+    def test_slice_clips_partial_anomaly(self):
+        signal = _make_signal(100, anomalies=[(40, 60)])
+        sliced = signal.slice(0, 50)
+        assert sliced.anomalies == [(40, 49)]
+
+    def test_split_ratio(self):
+        signal = _make_signal(100, anomalies=[(10, 20), (80, 90)])
+        train, test = signal.split(0.7)
+        assert len(train) + len(test) == 100
+        assert train.anomalies == [(10, 20)]
+        assert test.anomalies == [(80, 90)]
+
+    def test_split_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            _make_signal().split(1.5)
+
+    def test_label_array_marks_anomalous_samples(self):
+        signal = _make_signal(20, anomalies=[(5, 8)])
+        labels = signal.label_array()
+        assert labels.sum() == 4
+        assert np.all(labels[5:9] == 1)
+
+    def test_csv_roundtrip(self, tmp_path):
+        signal = _make_signal(30, anomalies=[(3, 6)])
+        path = tmp_path / "signal.csv"
+        signal.to_csv(path)
+        loaded = Signal.from_csv(path, name="reloaded", anomalies=signal.anomalies)
+        assert np.allclose(loaded.values, signal.values)
+        assert loaded.anomalies == signal.anomalies
+
+    def test_from_csv_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("timestamp,value_0\n")
+        with pytest.raises(ValueError):
+            Signal.from_csv(path)
+
+    def test_multichannel_signal(self):
+        values = np.random.default_rng(0).normal(size=(40, 3))
+        signal = Signal("multi", np.arange(40), values)
+        assert signal.n_channels == 3
+        assert signal.to_array().shape == (40, 4)
+
+
+class TestDataset:
+    def test_add_and_lookup(self):
+        dataset = Dataset("demo")
+        dataset.add_signal(_make_signal())
+        assert len(dataset) == 1
+        assert dataset["sig"].name == "sig"
+        assert dataset.signal_names == ["sig"]
+
+    def test_duplicate_signal_rejected(self):
+        dataset = Dataset("demo")
+        dataset.add_signal(_make_signal())
+        with pytest.raises(ValueError):
+            dataset.add_signal(_make_signal())
+
+    def test_summary_counts(self):
+        dataset = Dataset("demo")
+        dataset.add_signal(Signal("a", np.arange(10), np.zeros(10),
+                                  anomalies=[(1, 2)]))
+        dataset.add_signal(Signal("b", np.arange(20), np.zeros(20),
+                                  anomalies=[(1, 2), (5, 6)]))
+        summary = dataset.summary()
+        assert summary["signals"] == 2
+        assert summary["anomalies"] == 3
+        assert summary["avg_length"] == 15.0
+
+    def test_empty_dataset_summary(self):
+        dataset = Dataset("empty")
+        assert dataset.average_length == 0.0
+        assert dataset.n_anomalies == 0
+
+    def test_iteration_yields_signals(self):
+        dataset = Dataset("demo")
+        dataset.add_signal(_make_signal())
+        names = [signal.name for signal in dataset]
+        assert names == ["sig"]

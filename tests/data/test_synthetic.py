@@ -1,0 +1,135 @@
+"""Tests for repro.data.synthetic."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    ANOMALY_TYPES,
+    SignalGenerator,
+    generate_signal,
+    inject_anomalies,
+)
+
+
+class TestSignalGenerator:
+    def test_periodic_length_and_determinism(self):
+        first = SignalGenerator(0).periodic(200)
+        second = SignalGenerator(0).periodic(200)
+        assert len(first) == 200
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        first = SignalGenerator(0).periodic(200)
+        second = SignalGenerator(1).periodic(200)
+        assert not np.array_equal(first, second)
+
+    def test_traffic_is_non_negative(self):
+        values = SignalGenerator(3).traffic(500)
+        assert np.all(values >= 0)
+
+    def test_random_walk_has_drift(self):
+        values = SignalGenerator(0).random_walk(1000, step=0.01, drift=0.5)
+        assert values[-1] > values[0]
+
+    def test_square_wave_two_levels(self):
+        values = SignalGenerator(0).square_wave(400, noise=0.0)
+        assert set(np.round(np.unique(values), 6)) <= {-1.0, 0.0, 1.0}
+
+    def test_trend_seasonal_has_trend(self):
+        values = SignalGenerator(0).trend_seasonal(1000, trend=0.01, noise=0.0)
+        assert values[-100:].mean() > values[:100].mean()
+
+    def test_mixture_produces_requested_length(self):
+        assert len(SignalGenerator(5).mixture(321)) == 321
+
+
+class TestInjectAnomalies:
+    def test_requested_count_injected(self):
+        rng = np.random.default_rng(0)
+        base = SignalGenerator(0).periodic(1000)
+        _, intervals = inject_anomalies(base, 4, rng)
+        assert len(intervals) == 4
+
+    def test_intervals_sorted_and_disjoint(self):
+        rng = np.random.default_rng(1)
+        base = SignalGenerator(1).periodic(2000)
+        _, intervals = inject_anomalies(base, 6, rng)
+        for (s1, e1), (s2, e2) in zip(intervals[:-1], intervals[1:]):
+            assert s1 <= e1
+            assert e1 < s2
+
+    def test_point_anomaly_changes_single_value(self):
+        rng = np.random.default_rng(0)
+        base = np.zeros(500) + np.sin(np.linspace(0, 20, 500))
+        modified, intervals = inject_anomalies(base, 1, rng, anomaly_types=["point"])
+        start, end = intervals[0]
+        assert start == end
+        assert modified[start] != pytest.approx(base[start])
+
+    def test_original_array_not_modified(self):
+        rng = np.random.default_rng(0)
+        base = SignalGenerator(0).periodic(500)
+        original = base.copy()
+        inject_anomalies(base, 3, rng)
+        assert np.array_equal(base, original)
+
+    def test_collective_anomaly_shifts_segment(self):
+        rng = np.random.default_rng(2)
+        base = SignalGenerator(2).periodic(800)
+        modified, intervals = inject_anomalies(base, 1, rng,
+                                               anomaly_types=["collective"])
+        start, end = intervals[0]
+        segment_delta = np.abs(modified[start:end + 1] - base[start:end + 1])
+        assert np.all(segment_delta > 0)
+
+    def test_unknown_anomaly_type_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            inject_anomalies(np.zeros(100), 1, rng, anomaly_types=["alien"])
+
+    def test_margin_keeps_edges_clean(self):
+        rng = np.random.default_rng(3)
+        base = SignalGenerator(3).periodic(1000)
+        _, intervals = inject_anomalies(base, 5, rng, margin=0.1)
+        for start, end in intervals:
+            assert start >= 100
+            assert end < 900 + 50  # change_point intervals keep their start in range
+
+
+class TestGenerateSignal:
+    def test_metadata_and_ground_truth(self):
+        signal = generate_signal("s1", length=500, n_anomalies=3, random_state=0)
+        assert signal.name == "s1"
+        assert len(signal) == 500
+        assert len(signal.anomalies) == 3
+        assert signal.metadata["random_state"] == 0
+
+    def test_anomalies_expressed_in_timestamps(self):
+        signal = generate_signal("s2", length=300, n_anomalies=2, random_state=1,
+                                 interval=10)
+        for start, end in signal.anomalies:
+            assert start % 10 == 0
+            assert start in signal.timestamps
+            assert end in signal.timestamps
+
+    def test_deterministic_given_seed(self):
+        first = generate_signal("a", length=400, n_anomalies=2, random_state=9)
+        second = generate_signal("a", length=400, n_anomalies=2, random_state=9)
+        assert np.array_equal(first.values, second.values)
+        assert first.anomalies == second.anomalies
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ValueError):
+            generate_signal("bad", length=100, n_anomalies=1, flavour="fractal")
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(ValueError):
+            generate_signal("tiny", length=5, n_anomalies=0)
+
+    def test_all_anomaly_types_work(self):
+        for anomaly_type in ANOMALY_TYPES:
+            signal = generate_signal(
+                f"type-{anomaly_type}", length=400, n_anomalies=1,
+                random_state=4, anomaly_types=[anomaly_type],
+            )
+            assert len(signal.anomalies) == 1

@@ -1,0 +1,180 @@
+"""Tests for the SintelExplorer and the Figure 6 schema."""
+
+import pytest
+
+from repro.data import Dataset, generate_signal
+from repro.db import SintelExplorer
+from repro.db.schema import new_document, validate_document
+from repro.exceptions import DatabaseError, NotFoundError
+
+
+@pytest.fixture
+def explorer():
+    return SintelExplorer()
+
+
+@pytest.fixture
+def populated(explorer):
+    """Explorer with a dataset, signal, template, pipeline and a signalrun."""
+    signal = generate_signal("sig-01", length=120, n_anomalies=1, random_state=0)
+    dataset_id = explorer.add_dataset("NASA", source="synthetic")
+    signal_id = explorer.add_signal(dataset_id, signal)
+    template_id = explorer.add_template("lstm_dt", {"steps": []})
+    pipeline_id = explorer.add_pipeline("lstm_dt#1", template_id, {"epochs": 5})
+    experiment_id = explorer.add_experiment("exp-1", project="repro")
+    datarun_id = explorer.add_datarun(experiment_id, pipeline_id)
+    signalrun_id = explorer.add_signalrun(datarun_id, signal_id)
+    return {
+        "explorer": explorer,
+        "dataset_id": dataset_id,
+        "signal_id": signal_id,
+        "pipeline_id": pipeline_id,
+        "experiment_id": experiment_id,
+        "datarun_id": datarun_id,
+        "signalrun_id": signalrun_id,
+    }
+
+
+class TestSchema:
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(DatabaseError, match="missing required fields"):
+            validate_document("signals", {"name": "x"})
+
+    def test_unknown_collection_rejected(self):
+        with pytest.raises(DatabaseError, match="Unknown collection"):
+            validate_document("rockets", {"name": "x"})
+
+    def test_event_source_validated(self):
+        with pytest.raises(DatabaseError, match="source"):
+            new_document("events", signalrun_id="s", signal_id="x", start_time=0,
+                         stop_time=10, source="alien")
+
+    def test_event_time_order_validated(self):
+        with pytest.raises(DatabaseError, match="stop_time"):
+            new_document("events", signalrun_id="s", signal_id="x", start_time=10,
+                         stop_time=0, source="machine")
+
+    def test_new_document_adds_created_at(self):
+        document = new_document("datasets", name="NAB")
+        assert "created_at" in document
+
+
+class TestLifecycle:
+    def test_register_dataset_object(self, explorer):
+        dataset = Dataset("DEMO")
+        dataset.add_signal(generate_signal("a", length=100, n_anomalies=1))
+        dataset.add_signal(generate_signal("b", length=100, n_anomalies=1))
+        explorer.register_dataset(dataset)
+        assert len(explorer.get_signals()) == 2
+
+    def test_duplicate_dataset_name_rejected(self, explorer):
+        explorer.add_dataset("NAB")
+        with pytest.raises(DatabaseError):
+            explorer.add_dataset("NAB")
+
+    def test_signal_requires_existing_dataset(self, explorer):
+        signal = generate_signal("sig", length=50, n_anomalies=0)
+        with pytest.raises(NotFoundError):
+            explorer.add_signal("missing-dataset", signal)
+
+    def test_signalrun_lifecycle(self, populated):
+        explorer = populated["explorer"]
+        explorer.end_signalrun(populated["signalrun_id"], status="done", f1=0.8)
+        run = explorer.store["signalruns"].get(populated["signalrun_id"])
+        assert run["status"] == "done"
+        assert run["metrics"]["f1"] == 0.8
+
+    def test_datarun_lifecycle(self, populated):
+        explorer = populated["explorer"]
+        explorer.end_datarun(populated["datarun_id"])
+        run = explorer.store["dataruns"].get(populated["datarun_id"])
+        assert run["status"] == "done"
+        assert "stop_time" in run
+
+    def test_summary_counts_collections(self, populated):
+        summary = populated["explorer"].summary()
+        assert summary["datasets"] == 1
+        assert summary["signals"] == 1
+        assert summary["signalruns"] == 1
+
+
+class TestEventsAndAnnotations:
+    def test_add_detected_events(self, populated):
+        explorer = populated["explorer"]
+        ids = explorer.add_detected_events(
+            populated["signalrun_id"], populated["signal_id"],
+            [(10, 20, 0.9), (50, 60, 0.4)],
+        )
+        assert len(ids) == 2
+        events = explorer.get_events(signal_id=populated["signal_id"])
+        assert all(event["source"] == "machine" for event in events)
+
+    def test_human_event_and_filter_by_source(self, populated):
+        explorer = populated["explorer"]
+        explorer.add_event(populated["signalrun_id"], populated["signal_id"],
+                           5, 9, source="human")
+        assert len(explorer.get_events(source="human")) == 1
+        assert len(explorer.get_events(source="machine")) == 0
+
+    def test_update_event_marks_source_both(self, populated):
+        explorer = populated["explorer"]
+        event_id = explorer.add_event(populated["signalrun_id"],
+                                      populated["signal_id"], 10, 20)
+        explorer.update_event(event_id, stop_time=25)
+        event = explorer.store["events"].get(event_id)
+        assert event["stop_time"] == 25
+        assert event["source"] == "both"
+
+    def test_update_event_invalid_boundaries_rejected(self, populated):
+        explorer = populated["explorer"]
+        event_id = explorer.add_event(populated["signalrun_id"],
+                                      populated["signal_id"], 10, 20)
+        with pytest.raises(DatabaseError):
+            explorer.update_event(event_id, stop_time=5)
+
+    def test_delete_event_cascades(self, populated):
+        explorer = populated["explorer"]
+        event_id = explorer.add_event(populated["signalrun_id"],
+                                      populated["signal_id"], 10, 20)
+        explorer.add_annotation(event_id, user="ada", tag="anomaly")
+        explorer.add_comment(event_id, user="ada", text="looks bad")
+        explorer.delete_event(event_id)
+        assert explorer.get_annotations(event_id=event_id) == []
+        assert explorer.store["comments"].count({"event_id": event_id}) == 0
+
+    def test_delete_missing_event_raises(self, populated):
+        with pytest.raises(NotFoundError):
+            populated["explorer"].delete_event("nope")
+
+    def test_annotation_tag_validated(self, populated):
+        explorer = populated["explorer"]
+        event_id = explorer.add_event(populated["signalrun_id"],
+                                      populated["signal_id"], 10, 20)
+        with pytest.raises(DatabaseError, match="tag"):
+            explorer.add_annotation(event_id, user="ada", tag="suspicious-maybe")
+
+    def test_annotation_logs_interaction(self, populated):
+        explorer = populated["explorer"]
+        event_id = explorer.add_event(populated["signalrun_id"],
+                                      populated["signal_id"], 10, 20)
+        explorer.add_annotation(event_id, user="ada", tag="anomaly")
+        interactions = explorer.store["interactions"].find({"event_id": event_id})
+        assert len(interactions) == 1
+        assert interactions[0]["action"] == "annotate"
+
+    def test_annotated_intervals_feed_feedback_loop(self, populated):
+        explorer = populated["explorer"]
+        signal_id = populated["signal_id"]
+        keep = explorer.add_event(populated["signalrun_id"], signal_id, 10, 20)
+        skip = explorer.add_event(populated["signalrun_id"], signal_id, 50, 60)
+        explorer.add_annotation(keep, user="ada", tag="anomaly")
+        explorer.add_annotation(skip, user="ada", tag="normal")
+        intervals = explorer.get_annotated_intervals(signal_id)
+        assert intervals == [(10, 20)]
+
+    def test_invalid_event_source_rejected(self, populated):
+        with pytest.raises(DatabaseError):
+            populated["explorer"].add_event(
+                populated["signalrun_id"], populated["signal_id"], 0, 5,
+                source="robot",
+            )

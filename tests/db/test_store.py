@@ -1,0 +1,123 @@
+"""Tests for the document store."""
+
+import pytest
+
+from repro.db.store import DocumentStore
+from repro.exceptions import DatabaseError, DuplicateKeyError, NotFoundError
+
+
+@pytest.fixture
+def store():
+    return DocumentStore()
+
+
+class TestInsertAndFind:
+    def test_insert_assigns_id(self, store):
+        doc_id = store["users"].insert({"name": "ada"})
+        assert doc_id
+        assert store["users"].get(doc_id)["name"] == "ada"
+
+    def test_find_by_equality(self, store):
+        store["users"].insert({"name": "ada", "role": "expert"})
+        store["users"].insert({"name": "bob", "role": "novice"})
+        experts = store["users"].find({"role": "expert"})
+        assert len(experts) == 1
+        assert experts[0]["name"] == "ada"
+
+    def test_find_with_operators(self, store):
+        for value in (1, 5, 10):
+            store["scores"].insert({"value": value})
+        assert store["scores"].count({"value": {"$gt": 1}}) == 2
+        assert store["scores"].count({"value": {"$gte": 5}}) == 2
+        assert store["scores"].count({"value": {"$lt": 5}}) == 1
+        assert store["scores"].count({"value": {"$lte": 10}}) == 3
+        assert store["scores"].count({"value": {"$ne": 5}}) == 2
+        assert store["scores"].count({"value": {"$in": [1, 10]}}) == 2
+
+    def test_unknown_operator_rejected(self, store):
+        store["scores"].insert({"value": 1})
+        with pytest.raises(DatabaseError):
+            store["scores"].find({"value": {"$regex": ".*"}})
+
+    def test_find_sorted_and_limited(self, store):
+        for value in (3, 1, 2):
+            store["items"].insert({"value": value})
+        results = store["items"].find(sort="value")
+        assert [r["value"] for r in results] == [1, 2, 3]
+        assert len(store["items"].find(limit=2)) == 2
+        reverse = store["items"].find(sort="value", reverse=True)
+        assert reverse[0]["value"] == 3
+
+    def test_find_one_returns_none_when_absent(self, store):
+        assert store["missing"].find_one({"x": 1}) is None
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store["users"].get("nope")
+
+    def test_documents_are_copies(self, store):
+        doc_id = store["users"].insert({"name": "ada", "tags": ["a"]})
+        fetched = store["users"].get(doc_id)
+        fetched["tags"].append("mutated")
+        assert store["users"].get(doc_id)["tags"] == ["a"]
+
+    def test_insert_non_dict_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store["users"].insert(["not", "a", "dict"])
+
+    def test_insert_many(self, store):
+        ids = store["users"].insert_many([{"n": 1}, {"n": 2}])
+        assert len(ids) == 2
+
+
+class TestUpdateAndDelete:
+    def test_update_matching_documents(self, store):
+        store["events"].insert({"status": "open", "kind": "a"})
+        store["events"].insert({"status": "open", "kind": "b"})
+        updated = store["events"].update({"kind": "a"}, {"status": "closed"})
+        assert updated == 1
+        assert store["events"].count({"status": "closed"}) == 1
+
+    def test_update_id_rejected(self, store):
+        store["events"].insert({"kind": "a"})
+        with pytest.raises(DatabaseError):
+            store["events"].update({"kind": "a"}, {"_id": "custom"})
+
+    def test_delete(self, store):
+        store["events"].insert({"kind": "a"})
+        store["events"].insert({"kind": "b"})
+        assert store["events"].delete({"kind": "a"}) == 1
+        assert len(store["events"]) == 1
+
+
+class TestConstraintsAndPersistence:
+    def test_unique_constraint(self, store):
+        collection = store["datasets"]
+        collection.ensure_unique("name")
+        collection.insert({"name": "NAB"})
+        with pytest.raises(DuplicateKeyError):
+            collection.insert({"name": "NAB"})
+
+    def test_duplicate_explicit_id_rejected(self, store):
+        store["users"].insert({"_id": "u1", "name": "ada"})
+        with pytest.raises(DuplicateKeyError):
+            store["users"].insert({"_id": "u1", "name": "bob"})
+
+    def test_save_and_reload(self, tmp_path):
+        path = tmp_path / "db.json"
+        store = DocumentStore(path=str(path))
+        store["events"].insert({"kind": "a", "value": 3})
+        store.save()
+
+        reloaded = DocumentStore(path=str(path))
+        assert reloaded["events"].count() == 1
+        assert reloaded["events"].find_one({"kind": "a"})["value"] == 3
+
+    def test_save_without_path_rejected(self, store):
+        with pytest.raises(DatabaseError):
+            store.save()
+
+    def test_drop_clears_collections(self, store):
+        store["events"].insert({"kind": "a"})
+        store.drop()
+        assert store.list_collections() == []

@@ -1,0 +1,139 @@
+"""Tests for the weighted and overlapping segment metrics (paper §2.3)."""
+
+import pytest
+
+from repro.evaluation import (
+    contextual_confusion_matrix,
+    contextual_f1_score,
+    contextual_precision,
+    contextual_recall,
+    overlapping_segment_confusion_matrix,
+    overlapping_segment_scores,
+    weighted_segment_confusion_matrix,
+    weighted_segment_scores,
+)
+
+
+class TestOverlappingSegment:
+    def test_perfect_match(self):
+        truth = [(10, 20), (50, 60)]
+        assert overlapping_segment_confusion_matrix(truth, truth) == (2, 0, 0)
+
+    def test_partial_overlap_counts_as_detection(self):
+        truth = [(10, 20)]
+        predicted = [(18, 30)]
+        tp, fp, fn = overlapping_segment_confusion_matrix(truth, predicted)
+        assert (tp, fp, fn) == (1, 0, 0)
+
+    def test_unmatched_prediction_is_false_positive(self):
+        truth = [(10, 20)]
+        predicted = [(100, 110)]
+        assert overlapping_segment_confusion_matrix(truth, predicted) == (0, 1, 1)
+
+    def test_missed_anomaly_is_false_negative(self):
+        truth = [(10, 20), (50, 60)]
+        predicted = [(12, 15)]
+        assert overlapping_segment_confusion_matrix(truth, predicted) == (1, 0, 1)
+
+    def test_one_prediction_covering_two_anomalies(self):
+        truth = [(10, 20), (30, 40)]
+        predicted = [(5, 45)]
+        tp, fp, fn = overlapping_segment_confusion_matrix(truth, predicted)
+        assert (tp, fp, fn) == (2, 0, 0)
+
+    def test_empty_predictions(self):
+        truth = [(10, 20)]
+        assert overlapping_segment_confusion_matrix(truth, []) == (0, 0, 1)
+
+    def test_empty_ground_truth_counts_all_fp(self):
+        predicted = [(10, 20), (30, 40)]
+        assert overlapping_segment_confusion_matrix([], predicted) == (0, 2, 0)
+
+    def test_scores_perfect(self):
+        truth = [(10, 20)]
+        scores = overlapping_segment_scores(truth, truth)
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_scores_empty_everything(self):
+        scores = overlapping_segment_scores([], [])
+        assert scores["f1"] == 0.0
+
+    def test_predictions_accept_severity_column(self):
+        truth = [(10, 20)]
+        predicted = [(12, 18, 0.7)]
+        scores = overlapping_segment_scores(truth, predicted)
+        assert scores["f1"] == 1.0
+
+
+class TestWeightedSegment:
+    def test_perfect_match_full_precision_recall(self):
+        truth = [(10, 20)]
+        scores = weighted_segment_scores(truth, truth, data_range=(0, 100))
+        assert scores["precision"] == 1.0
+        assert scores["recall"] == 1.0
+        assert scores["f1"] == 1.0
+
+    def test_confusion_matrix_durations(self):
+        truth = [(10, 20)]
+        predicted = [(15, 25)]
+        tp, fp, fn, tn = weighted_segment_confusion_matrix(
+            truth, predicted, data_range=(0, 100)
+        )
+        assert tp == pytest.approx(5)
+        assert fn == pytest.approx(5)
+        assert fp == pytest.approx(5)
+        assert tn == pytest.approx(85)
+
+    def test_recall_is_fraction_of_covered_duration(self):
+        truth = [(0, 100)]
+        predicted = [(0, 50)]
+        scores = weighted_segment_scores(truth, predicted)
+        assert scores["recall"] == pytest.approx(0.5)
+        assert scores["precision"] == pytest.approx(1.0)
+
+    def test_no_overlap_zero_scores(self):
+        scores = weighted_segment_scores([(0, 10)], [(20, 30)], data_range=(0, 100))
+        assert scores["f1"] == 0.0
+
+    def test_accuracy_includes_true_negatives(self):
+        scores = weighted_segment_scores([], [], data_range=(0, 100))
+        assert scores["accuracy"] == pytest.approx(1.0)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_segment_scores([(20, 10)], [])
+
+    def test_stricter_than_overlapping(self):
+        """A tiny partial detection is rewarded by overlapping, not by weighted."""
+        truth = [(0, 100)]
+        predicted = [(0, 5)]
+        lenient = overlapping_segment_scores(truth, predicted)["f1"]
+        strict = weighted_segment_scores(truth, predicted, data_range=(0, 200))["f1"]
+        assert lenient == 1.0
+        assert strict < 0.2
+
+
+class TestDispatch:
+    def test_contextual_f1_methods_agree_on_perfect(self):
+        truth = [(5, 10)]
+        assert contextual_f1_score(truth, truth, method="overlapping") == 1.0
+        assert contextual_f1_score(truth, truth, method="weighted") == 1.0
+
+    def test_precision_recall_helpers(self):
+        truth = [(10, 20), (30, 40)]
+        predicted = [(12, 14)]
+        assert contextual_precision(truth, predicted) == 1.0
+        assert contextual_recall(truth, predicted) == 0.5
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            contextual_f1_score([(0, 1)], [(0, 1)], method="fuzzy")
+        with pytest.raises(ValueError):
+            contextual_confusion_matrix([(0, 1)], [(0, 1)], method="fuzzy")
+
+    def test_confusion_matrix_dispatch(self):
+        truth = [(0, 10)]
+        overlapping = contextual_confusion_matrix(truth, truth, method="overlapping")
+        weighted = contextual_confusion_matrix(truth, truth, method="weighted")
+        assert len(overlapping) == 3
+        assert len(weighted) == 4

@@ -1,0 +1,64 @@
+"""Tests for point-wise metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    intervals_to_labels,
+    point_accuracy,
+    point_confusion_matrix,
+    point_f1_score,
+    point_precision,
+    point_recall,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 1, 0, 1]
+        assert point_confusion_matrix(y_true, y_pred) == (2, 1, 1, 1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            point_confusion_matrix([1, 0], [1])
+
+    def test_perfect_prediction(self):
+        y = [0, 1, 0, 1]
+        assert point_precision(y, y) == 1.0
+        assert point_recall(y, y) == 1.0
+        assert point_f1_score(y, y) == 1.0
+        assert point_accuracy(y, y) == 1.0
+
+    def test_all_negative_prediction(self):
+        y_true = [1, 1, 0]
+        y_pred = [0, 0, 0]
+        assert point_precision(y_true, y_pred) == 0.0
+        assert point_recall(y_true, y_pred) == 0.0
+        assert point_f1_score(y_true, y_pred) == 0.0
+
+    def test_accuracy_on_imbalanced(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 10
+        assert point_accuracy(y_true, y_pred) == pytest.approx(0.9)
+
+
+class TestIntervalsToLabels:
+    def test_marks_inclusive_interval(self):
+        index = np.arange(10)
+        labels = intervals_to_labels([(3, 5)], index)
+        assert list(labels) == [0, 0, 0, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_multiple_intervals(self):
+        index = np.arange(10)
+        labels = intervals_to_labels([(0, 1), (8, 9)], index)
+        assert labels.sum() == 4
+
+    def test_empty_intervals(self):
+        assert intervals_to_labels([], np.arange(5)).sum() == 0
+
+    def test_roundtrip_with_point_metrics(self):
+        index = np.arange(100)
+        truth = intervals_to_labels([(10, 20)], index)
+        predicted = intervals_to_labels([(15, 25)], index)
+        assert 0 < point_f1_score(truth, predicted) < 1

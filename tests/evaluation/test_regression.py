@@ -1,0 +1,51 @@
+"""Tests for regression metrics used as tuning objectives."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import REGRESSION_METRICS, mae, mape, mse, r2_score, rmse
+
+
+class TestValues:
+    def test_mse_and_rmse(self):
+        y_true = np.array([1.0, 2.0, 3.0])
+        y_pred = np.array([1.0, 2.0, 5.0])
+        assert mse(y_true, y_pred) == pytest.approx(4.0 / 3)
+        assert rmse(y_true, y_pred) == pytest.approx(np.sqrt(4.0 / 3))
+
+    def test_mae(self):
+        assert mae([1.0, -1.0], [0.0, 0.0]) == pytest.approx(1.0)
+
+    def test_mape_handles_zero_targets(self):
+        value = mape([0.0, 1.0], [1.0, 1.0])
+        assert np.isfinite(value)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_perfect_prediction_zero_error(self):
+        y = np.random.default_rng(0).normal(size=20)
+        assert mse(y, y) == 0.0
+        assert mae(y, y) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("metric", [mse, mae, mape, rmse, r2_score])
+    def test_shape_mismatch_rejected(self, metric):
+        with pytest.raises(ValueError):
+            metric([1.0, 2.0], [1.0])
+
+    @pytest.mark.parametrize("metric", [mse, mae])
+    def test_empty_rejected(self, metric):
+        with pytest.raises(ValueError):
+            metric([], [])
+
+    def test_registry_contains_all_metrics(self):
+        assert set(REGRESSION_METRICS) == {"mse", "rmse", "mae", "mape", "r2"}
+        assert REGRESSION_METRICS["mse"] is mse

@@ -1,0 +1,62 @@
+"""Tests for HIL annotation helpers."""
+
+import pytest
+
+from repro.hil import Annotation, AnnotationQueue, overlaps
+
+
+class TestOverlaps:
+    def test_overlapping_intervals(self):
+        assert overlaps((0, 10), (5, 15))
+        assert overlaps((5, 15), (0, 10))
+
+    def test_touching_intervals_overlap(self):
+        assert overlaps((0, 10), (10, 20))
+
+    def test_disjoint_intervals(self):
+        assert not overlaps((0, 10), (11, 20))
+
+    def test_contained_interval(self):
+        assert overlaps((0, 100), (40, 50))
+
+
+class TestAnnotation:
+    def test_valid_actions(self):
+        for action in ("confirm", "remove", "add"):
+            annotation = Annotation(event=(0, 10), action=action)
+            assert annotation.action == action
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            Annotation(event=(0, 10), action="maybe")
+
+    def test_event_coerced_to_floats(self):
+        annotation = Annotation(event=(1, 2), action="confirm")
+        assert annotation.event == (1.0, 2.0)
+
+
+class TestAnnotationQueue:
+    def test_confirmed_and_rejected_split(self):
+        queue = AnnotationQueue()
+        queue.extend([
+            Annotation(event=(0, 10), action="confirm", tag="anomaly"),
+            Annotation(event=(20, 30), action="remove", tag="normal"),
+            Annotation(event=(40, 50), action="add", tag="anomaly"),
+        ])
+        assert queue.confirmed_events == [(0.0, 10.0), (40.0, 50.0)]
+        assert queue.rejected_events == [(20.0, 30.0)]
+        assert len(queue) == 3
+
+    def test_empty_queue(self):
+        queue = AnnotationQueue()
+        assert queue.confirmed_events == []
+        assert queue.rejected_events == []
+        assert len(queue) == 0
+
+    def test_confirmed_events_sorted(self):
+        queue = AnnotationQueue()
+        queue.extend([
+            Annotation(event=(40, 50), action="add"),
+            Annotation(event=(0, 10), action="confirm"),
+        ])
+        assert queue.confirmed_events == [(0.0, 10.0), (40.0, 50.0)]

@@ -1,0 +1,88 @@
+"""Tests for the feedback loop (Figure 8a mechanics)."""
+
+import pytest
+
+from repro.data import generate_signal
+from repro.hil import FeedbackLoop
+
+
+FAST_UNSUPERVISED = {"window_size": 30}
+FAST_SUPERVISED = {"window_size": 20, "epochs": 3}
+
+
+@pytest.fixture(scope="module")
+def signals():
+    return [
+        generate_signal(f"fb-{i}", length=300, n_anomalies=3, random_state=10 + i,
+                        flavour="periodic")
+        for i in range(2)
+    ]
+
+
+@pytest.fixture(scope="module")
+def result(signals):
+    loop = FeedbackLoop(
+        signals,
+        unsupervised_pipeline="arima",
+        supervised_pipeline="lstm_classifier",
+        k=2,
+        unsupervised_options=FAST_UNSUPERVISED,
+        supervised_options=FAST_SUPERVISED,
+        random_state=0,
+    )
+    return loop.run(max_iterations=3)
+
+
+class TestFeedbackLoop:
+    def test_requires_signals(self):
+        with pytest.raises(ValueError):
+            FeedbackLoop([])
+
+    def test_baseline_scores_present(self, result):
+        assert set(result.unsupervised_baseline) == {"precision", "recall", "f1"}
+
+    def test_iterations_recorded_with_monotone_annotations(self, result):
+        assert 1 <= len(result.iterations) <= 3
+        counts = [item.n_annotations for item in result.iterations]
+        assert counts == sorted(counts)
+        assert counts[0] > 0
+
+    def test_scores_are_valid_fractions(self, result):
+        for item in result.iterations:
+            assert 0.0 <= item.f1 <= 1.0
+            assert 0.0 <= item.precision <= 1.0
+            assert 0.0 <= item.recall <= 1.0
+
+    def test_confirmed_events_never_exceed_annotations(self, result):
+        for item in result.iterations:
+            assert item.n_confirmed <= item.n_annotations
+
+    def test_final_f1_property(self, result):
+        assert result.final_f1 == result.iterations[-1].f1
+
+    def test_surpassed_baseline_flag_consistent(self, result):
+        baseline = result.unsupervised_baseline["f1"]
+        expected = any(item.f1 > baseline for item in result.iterations)
+        assert result.surpassed_baseline == expected
+
+    def test_too_short_signals_rejected(self):
+        short = generate_signal("short", length=40, n_anomalies=1, random_state=0)
+        loop = FeedbackLoop([short], unsupervised_options=FAST_UNSUPERVISED,
+                            supervised_options=FAST_SUPERVISED)
+        with pytest.raises(ValueError):
+            loop.run(max_iterations=1)
+
+    def test_semi_supervised_learns_with_enough_annotations(self, signals):
+        """With the full queue annotated, the classifier should detect something."""
+        loop = FeedbackLoop(
+            signals,
+            unsupervised_pipeline="arima",
+            supervised_pipeline="lstm_classifier",
+            k=10,
+            unsupervised_options=FAST_UNSUPERVISED,
+            supervised_options={"window_size": 20, "epochs": 10},
+            random_state=0,
+        )
+        outcome = loop.run()
+        assert outcome.iterations[-1].n_confirmed > 0
+        assert outcome.iterations[-1].recall >= 0.0

@@ -1,0 +1,96 @@
+"""Tests for the simulated annotator and the expert study simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_signal
+from repro.hil import ExpertStudySimulator, SimulatedAnnotator
+
+
+class TestSimulatedAnnotator:
+    def test_queue_covers_all_decisions(self):
+        annotator = SimulatedAnnotator(k=2, random_state=0)
+        detected = [(10, 20), (200, 210)]
+        ground_truth = [(15, 25), (300, 320)]
+        queue = annotator.build_queue(detected, ground_truth)
+        actions = sorted(a.action for a in queue)
+        # (10,20) overlaps truth -> confirm; (200,210) -> remove;
+        # (300,320) missed -> add.
+        assert actions == ["add", "confirm", "remove"]
+
+    def test_no_ground_truth_everything_removed(self):
+        annotator = SimulatedAnnotator(k=1, random_state=0)
+        queue = annotator.build_queue([(0, 5), (10, 15)], [])
+        assert all(a.action == "remove" for a in queue)
+
+    def test_no_detections_everything_added(self):
+        annotator = SimulatedAnnotator(k=1, random_state=0)
+        queue = annotator.build_queue([], [(0, 5)])
+        assert [a.action for a in queue] == ["add"]
+
+    def test_next_batch_consumes_queue(self):
+        annotator = SimulatedAnnotator(k=2, random_state=0)
+        queue = annotator.build_queue([(0, 5), (10, 15), (20, 25)], [(0, 5)])
+        first = annotator.next_batch(queue)
+        assert len(first) == 2
+        assert len(queue) == 1
+        second = annotator.next_batch(queue)
+        assert len(second) == 1
+        assert annotator.next_batch(queue) == []
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnotator(k=0)
+
+
+class TestExpertStudySimulator:
+    @pytest.fixture
+    def study(self):
+        return ExpertStudySimulator(random_state=0)
+
+    def test_review_produces_records_for_detected_events(self, study):
+        signal = generate_signal("s", length=400, n_anomalies=2, random_state=0)
+        detected = [(sig_start, sig_end) for sig_start, sig_end in signal.anomalies]
+        records = study.review_signal(signal, detected, missed_fraction=1.0)
+        origins = {record["origin"] for record in records}
+        assert "ml_identified" in origins
+        assert all(record["tag"] in ("normal", "problematic", "investigate")
+                   for record in records)
+
+    def test_missed_events_reviewed_when_fraction_one(self, study):
+        signal = generate_signal("s", length=400, n_anomalies=3, random_state=1)
+        records = study.review_signal(signal, detected=[], missed_fraction=1.0)
+        assert len(records) == 3
+        assert all(record["origin"] == "ml_missed" for record in records)
+
+    def test_missed_fraction_zero_skips_missed(self, study):
+        signal = generate_signal("s", length=400, n_anomalies=3, random_state=1)
+        records = study.review_signal(signal, detected=[], missed_fraction=0.0)
+        assert records == []
+
+    def test_tabulate_matches_table4_layout(self, study):
+        records = [
+            {"origin": "ml_identified", "tag": "normal"},
+            {"origin": "ml_identified", "tag": "problematic"},
+            {"origin": "ml_missed", "tag": "investigate"},
+            {"origin": "ml_missed", "tag": "problematic"},
+        ]
+        table = study.tabulate(records)
+        assert table["normal"]["ml_identified"] == 1
+        assert table["problematic"]["ml_missed"] == 1
+        assert table["total"]["ml_identified"] == 2
+        assert table["total"]["ml_missed"] == 2
+
+    def test_experts_default_to_six(self, study):
+        assert len(study.experts) == 6
+
+    def test_false_positives_mostly_tagged_normal(self, study):
+        signal = generate_signal("s", length=500, n_anomalies=1, random_state=2)
+        # Detected events far away from the single true anomaly.
+        truth_start = signal.anomalies[0][0]
+        detected = [(truth_start + 2000 + i * 10, truth_start + 2005 + i * 10)
+                    for i in range(40)]
+        records = study.review_signal(signal, detected)
+        identified = [r for r in records if r["origin"] == "ml_identified"]
+        normal_share = np.mean([r["tag"] == "normal" for r in identified])
+        assert normal_share > 0.5

@@ -1,0 +1,126 @@
+"""Integration tests: every pipeline end-to-end, plus cross-module workflows."""
+
+import numpy as np
+import pytest
+
+from repro import Sintel, load_dataset
+from repro.api import SintelAPI
+from repro.db import SintelExplorer
+from repro.evaluation import contextual_recall
+from repro.hil import ExpertStudySimulator
+from repro.pipelines import BENCHMARK_PIPELINES
+
+FAST_OPTIONS = {
+    "lstm_dynamic_threshold": {"window_size": 40, "epochs": 2},
+    "lstm_autoencoder": {"window_size": 40, "epochs": 2},
+    "dense_autoencoder": {"window_size": 40, "epochs": 4},
+    "tadgan": {"window_size": 40, "epochs": 1},
+    "arima": {"window_size": 40},
+    "azure": {},
+}
+
+
+class TestEveryPipelineEndToEnd:
+    @pytest.mark.parametrize("name", BENCHMARK_PIPELINES)
+    def test_fit_detect_evaluate(self, name, small_signal):
+        sintel = Sintel(name, **FAST_OPTIONS[name])
+        anomalies = sintel.fit_detect(small_signal)
+        assert isinstance(anomalies, list)
+        for start, end, severity in anomalies:
+            assert small_signal.timestamps[0] <= start <= small_signal.timestamps[-1]
+            assert start <= end
+        scores = sintel.evaluate(small_signal, small_signal.anomalies)
+        assert 0.0 <= scores["f1"] <= 1.0
+
+    def test_statistical_pipelines_detect_obvious_anomaly(self, traffic_signal):
+        """ARIMA and Azure-SR should both find at least one injected anomaly."""
+        for name in ("arima", "azure"):
+            sintel = Sintel(name, **FAST_OPTIONS[name])
+            detected = sintel.fit_detect(traffic_signal)
+            recall = contextual_recall(traffic_signal.anomalies, detected)
+            assert recall > 0.0, name
+
+    def test_supervised_pipeline_with_events(self, small_signal):
+        sintel = Sintel("lstm_classifier", window_size=20, epochs=3)
+        sintel.fit(small_signal, events=small_signal.anomalies)
+        detected = sintel.detect(small_signal, events=small_signal.anomalies)
+        assert isinstance(detected, list)
+
+
+class TestTrainDetectSplit:
+    def test_fit_on_history_detect_on_future(self, traffic_signal):
+        train, test = traffic_signal.split(0.6)
+        sintel = Sintel("arima", window_size=40)
+        sintel.fit(train)
+        detected = sintel.detect(test)
+        for start, end, _ in detected:
+            assert start >= test.timestamps[0]
+
+
+class TestDatasetWorkflow:
+    def test_benchmark_dataset_through_pipeline(self):
+        dataset = load_dataset("NAB", scale=0.02, random_state=1)
+        signal = next(iter(dataset))
+        sintel = Sintel("azure")
+        detected = sintel.fit_detect(signal)
+        assert isinstance(detected, list)
+
+
+class TestDetectionToKnowledgeBase:
+    def test_full_workflow_detection_storage_annotation_api(self, small_signal):
+        """The paper's workflow: detect -> store -> annotate -> retrieve."""
+        explorer = SintelExplorer()
+        api = SintelAPI(explorer)
+
+        # 1. Register the dataset and signal.
+        dataset_id = explorer.add_dataset("demo")
+        signal_id = explorer.add_signal(dataset_id, small_signal)
+
+        # 2. Register the template/pipeline and run the detection.
+        template_id = explorer.add_template("arima", {"steps": ["..."]})
+        pipeline_id = explorer.add_pipeline("arima#fast", template_id,
+                                            {"window_size": 30})
+        experiment_id = explorer.add_experiment("integration-test")
+        datarun_id = explorer.add_datarun(experiment_id, pipeline_id)
+        signalrun_id = explorer.add_signalrun(datarun_id, signal_id)
+
+        sintel = Sintel("arima", window_size=30)
+        detected = sintel.fit_detect(small_signal)
+        explorer.add_detected_events(signalrun_id, signal_id, detected)
+        explorer.end_signalrun(signalrun_id, status="done", n_events=len(detected))
+        explorer.end_datarun(datarun_id)
+
+        # 3. The expert reviews events through the REST API.
+        events = api.get("/events", query={"signal_id": signal_id}).body["events"]
+        assert len(events) == len(detected)
+        if events:
+            event_id = events[0]["_id"]
+            api.post(f"/events/{event_id}/annotations",
+                     {"user": "expert-1", "tag": "anomaly"})
+            api.post(f"/events/{event_id}/comments",
+                     {"user": "expert-1", "text": "confirmed during maneuver"})
+
+            # 4. Confirmed events become labeled intervals for retraining.
+            intervals = explorer.get_annotated_intervals(signal_id)
+            assert len(intervals) == 1
+
+    def test_expert_study_uses_detected_events(self, small_signal):
+        sintel = Sintel("azure")
+        detected = sintel.fit_detect(small_signal)
+        study = ExpertStudySimulator(random_state=0)
+        records = study.review_signal(small_signal, detected)
+        table = study.tabulate(records)
+        assert table["total"]["ml_identified"] == len(detected)
+
+
+class TestReproducibility:
+    def test_same_seed_same_detections(self, small_signal):
+        first = Sintel("arima", window_size=30).fit_detect(small_signal)
+        second = Sintel("arima", window_size=30).fit_detect(small_signal)
+        assert first == second
+
+    def test_dense_autoencoder_deterministic_given_random_state(self, small_signal):
+        options = {"window_size": 40, "epochs": 3}
+        first = Sintel("dense_autoencoder", **options).fit_detect(small_signal)
+        second = Sintel("dense_autoencoder", **options).fit_detect(small_signal)
+        assert first == second

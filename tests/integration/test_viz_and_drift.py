@@ -1,0 +1,65 @@
+"""Integration tests tying detection to the viz helpers and drift monitoring."""
+
+import numpy as np
+
+from repro import Sintel
+from repro.data import generate_signal
+from repro.streaming import DistributionDriftDetector, DriftMonitor, PageHinkley
+from repro.viz import event_overlay, multi_aggregation_view, render_signal
+
+
+class TestDetectionWithVisualization:
+    def test_detected_events_can_be_rendered_and_overlaid(self, small_signal):
+        sintel = Sintel("arima", window_size=30)
+        detected = sintel.fit_detect(small_signal)
+        events = [(event[0], event[1]) for event in detected]
+
+        rendered = render_signal(small_signal, events=events, width=60)
+        assert isinstance(rendered, str)
+        if events:
+            assert "^" in rendered
+
+        overlays = event_overlay(small_signal, events)
+        assert len(overlays) <= len(events)
+        for overlay in overlays:
+            assert overlay["n_samples"] > 0
+
+    def test_multi_aggregation_view_of_flagged_signal(self, traffic_signal):
+        views = multi_aggregation_view(traffic_signal, levels=[1, 10, 40])
+        assert set(views) == {1, 10, 40}
+        # Aggregating preserves the overall mean roughly.
+        fine = np.nanmean(views[1]["values"])
+        coarse = np.nanmean(views[40]["values"])
+        assert abs(fine - coarse) < 0.2 * (abs(fine) + 1.0)
+
+
+class TestDriftTriggeredRetraining:
+    def test_drift_monitor_triggers_pipeline_refresh(self):
+        """A distribution shift in the stream triggers a retraining callback,
+        reproducing the §5 'update pipelines under drift' workflow."""
+        before = generate_signal("drift-before", length=300, n_anomalies=0,
+                                 random_state=1, flavour="periodic")
+        rng = np.random.default_rng(0)
+        # The monitored stream: stationary sensor noise, then a lasting shift.
+        baseline = rng.normal(0.0, 0.3, 300)
+        stream = np.concatenate([baseline, baseline + 4.0])
+
+        retrained = []
+
+        def refresh(index):
+            model = Sintel("arima", window_size=30)
+            model.fit(before.to_array())
+            retrained.append((index, model.fitted))
+
+        monitor = DriftMonitor(PageHinkley(threshold=30.0), on_drift=refresh,
+                               cooldown=1000)
+        monitor.consume(stream)
+        assert retrained, "drift should have been detected and trigger retraining"
+        assert retrained[0][0] >= len(baseline) - 50
+        assert retrained[0][1] is True
+
+    def test_ks_detector_agrees_on_large_shift(self):
+        rng = np.random.default_rng(2)
+        stream = np.concatenate([rng.normal(0, 1, 300), rng.normal(5, 1, 300)])
+        detector = DistributionDriftDetector(window_size=100, alpha=0.01)
+        assert any(detector.update(value) for value in stream)

@@ -1,0 +1,101 @@
+"""Tests for repro.nn.activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import (
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    get_activation,
+)
+
+
+class TestForward:
+    def test_linear_identity(self):
+        x = np.array([-2.0, 0.0, 3.5])
+        assert np.array_equal(Linear().forward(x), x)
+
+    def test_relu_clamps_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_keeps_scaled_negatives(self):
+        out = LeakyReLU(alpha=0.1).forward(np.array([-10.0, 5.0]))
+        assert out[0] == pytest.approx(-1.0)
+        assert out[1] == pytest.approx(5.0)
+
+    def test_sigmoid_range_and_midpoint(self):
+        out = Sigmoid().forward(np.array([-100.0, 0.0, 100.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_sigmoid_is_numerically_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-3, 3, 7)
+        assert np.allclose(Tanh().forward(x), np.tanh(x))
+
+    def test_softmax_sums_to_one(self):
+        x = np.array([[1.0, 2.0, 3.0], [10.0, 10.0, 10.0]])
+        out = Softmax().forward(x)
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out1 = Softmax().forward(x)
+        out2 = Softmax().forward(x + 1000.0)
+        assert np.allclose(out1, out2)
+
+
+class TestBackward:
+    @pytest.mark.parametrize("activation", [Linear(), ReLU(), LeakyReLU(),
+                                            Sigmoid(), Tanh()])
+    def test_backward_matches_numerical_gradient(self, activation):
+        x = np.array([-0.7, -0.1, 0.2, 1.3])
+        eps = 1e-6
+        out = activation.forward(x)
+        analytic = activation.backward(out, np.ones_like(x))
+        numeric = (activation.forward(x + eps) - activation.forward(x - eps)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_softmax_backward_matches_numerical_gradient(self):
+        x = np.array([0.3, -0.2, 0.8])
+        softmax = Softmax()
+        upstream = np.array([0.5, -1.0, 2.0])
+        out = softmax.forward(x)
+        analytic = softmax.backward(out, upstream)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(len(x)):
+            shifted = x.copy()
+            shifted[i] += eps
+            plus = np.sum(softmax.forward(shifted) * upstream)
+            shifted[i] -= 2 * eps
+            minus = np.sum(softmax.forward(shifted) * upstream)
+            numeric[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_activation("relu"), ReLU)
+        assert isinstance(get_activation("tanh"), Tanh)
+
+    def test_none_maps_to_linear(self):
+        assert isinstance(get_activation(None), Linear)
+
+    def test_instance_passthrough(self):
+        act = LeakyReLU(alpha=0.05)
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="Unknown activation"):
+            get_activation("swish-9000")

@@ -1,0 +1,67 @@
+"""Tests for repro.nn.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_uniform,
+    ones,
+    orthogonal,
+    zeros,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestShapesAndRanges:
+    def test_glorot_uniform_shape_and_bounds(self, rng):
+        weights = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert weights.shape == (100, 50)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_glorot_normal_std_is_reasonable(self, rng):
+        weights = glorot_normal((500, 500), rng)
+        expected = np.sqrt(2.0 / 1000)
+        assert np.std(weights) == pytest.approx(expected, rel=0.1)
+
+    def test_he_uniform_bounds(self, rng):
+        weights = he_uniform((64, 32), rng)
+        assert np.all(np.abs(weights) <= np.sqrt(6.0 / 64))
+
+    def test_orthogonal_columns_are_orthonormal(self, rng):
+        weights = orthogonal((40, 20), rng)
+        gram = weights.T @ weights
+        assert np.allclose(gram, np.eye(20), atol=1e-8)
+
+    def test_orthogonal_one_dimensional_fallback(self, rng):
+        weights = orthogonal((7,), rng)
+        assert weights.shape == (7,)
+
+    def test_zeros_and_ones(self):
+        assert np.all(zeros((3, 3)) == 0)
+        assert np.all(ones((2, 4)) == 1)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert get_initializer("glorot_uniform") is glorot_uniform
+
+    def test_callable_passthrough(self):
+        custom = lambda shape, rng: np.zeros(shape)  # noqa: E731
+        assert get_initializer(custom) is custom
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown initializer"):
+            get_initializer("lecun-magic")
+
+    def test_deterministic_given_seed(self):
+        first = glorot_uniform((5, 5), np.random.default_rng(3))
+        second = glorot_uniform((5, 5), np.random.default_rng(3))
+        assert np.array_equal(first, second)

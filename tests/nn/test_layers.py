@@ -1,0 +1,231 @@
+"""Tests for repro.nn.layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    LSTM,
+    Dense,
+    Dropout,
+    Flatten,
+    RepeatVector,
+    Reshape,
+    TimeDistributed,
+)
+
+
+def _numerical_param_grad(layer, param_name, x, upstream, eps=1e-5):
+    """Central-difference gradient of sum(forward * upstream) w.r.t. a parameter."""
+    param = layer.params[param_name]
+    numeric = np.zeros_like(param)
+    for index in np.ndindex(param.shape):
+        original = param[index]
+        param[index] = original + eps
+        plus = np.sum(layer.forward(x) * upstream)
+        param[index] = original - eps
+        minus = np.sum(layer.forward(x) * upstream)
+        param[index] = original
+        numeric[index] = (plus - minus) / (2 * eps)
+    return numeric
+
+
+class TestDense:
+    def test_output_shape_2d(self, rng):
+        layer = Dense(4)
+        layer.build((3,), rng)
+        out = layer.forward(np.ones((5, 3)))
+        assert out.shape == (5, 4)
+
+    def test_output_shape_3d(self, rng):
+        layer = Dense(2)
+        layer.build((7, 3), rng)
+        out = layer.forward(np.ones((5, 7, 3)))
+        assert out.shape == (5, 7, 2)
+
+    def test_param_count(self, rng):
+        layer = Dense(4)
+        layer.build((3,), rng)
+        assert layer.parameter_count == 3 * 4 + 4
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Dense(3, activation="tanh")
+        layer.build((4,), rng)
+        x = rng.normal(size=(6, 4))
+        upstream = rng.normal(size=(6, 3))
+
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(upstream)
+        for name in ("W", "b"):
+            numeric = _numerical_param_grad(layer, name, x, upstream)
+            assert np.allclose(layer.grads[name], numeric, atol=1e-5), name
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(3, activation="sigmoid")
+        layer.build((4,), rng)
+        x = rng.normal(size=(2, 4))
+        upstream = rng.normal(size=(2, 3))
+        layer.zero_grads()
+        layer.forward(x)
+        analytic = layer.backward(upstream)
+
+        eps = 1e-5
+        numeric = np.zeros_like(x)
+        for i in np.ndindex(x.shape):
+            shifted = x.copy()
+            shifted[i] += eps
+            plus = np.sum(layer.forward(shifted) * upstream)
+            shifted[i] -= 2 * eps
+            minus = np.sum(layer.forward(shifted) * upstream)
+            numeric[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_invalid_units_rejected(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+    def test_set_weights_roundtrip(self, rng):
+        layer = Dense(2)
+        layer.build((3,), rng)
+        weights = layer.get_weights()
+        weights["W"] = weights["W"] * 2
+        layer.set_weights(weights)
+        assert np.array_equal(layer.params["W"], weights["W"])
+
+    def test_set_weights_shape_mismatch_raises(self, rng):
+        layer = Dense(2)
+        layer.build((3,), rng)
+        with pytest.raises(ValueError):
+            layer.set_weights({"W": np.zeros((5, 5))})
+
+
+class TestLSTM:
+    def test_output_shapes(self, rng):
+        seq = LSTM(6, return_sequences=True)
+        seq.build((10, 3), rng)
+        last = LSTM(6, return_sequences=False)
+        last.build((10, 3), rng)
+        x = rng.normal(size=(4, 10, 3))
+        assert seq.forward(x).shape == (4, 10, 6)
+        assert last.forward(x).shape == (4, 6)
+
+    def test_requires_time_major_input_shape(self, rng):
+        layer = LSTM(4)
+        with pytest.raises(ValueError):
+            layer.build((5,), rng)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        layer = LSTM(4)
+        layer.build((5, 2), rng)
+        assert np.all(layer.params["b"][4:8] == 1.0)
+
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_gradients_match_numerical(self, rng, return_sequences):
+        layer = LSTM(3, return_sequences=return_sequences)
+        layer.build((4, 2), rng)
+        x = rng.normal(size=(2, 4, 2)) * 0.5
+        out = layer.forward(x)
+        upstream = rng.normal(size=out.shape)
+
+        layer.zero_grads()
+        layer.forward(x)
+        layer.backward(upstream)
+        for name in ("W", "U", "b"):
+            numeric = _numerical_param_grad(layer, name, x, upstream, eps=1e-5)
+            assert np.allclose(layer.grads[name], numeric, atol=1e-4), name
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = LSTM(3, return_sequences=False)
+        layer.build((3, 2), rng)
+        x = rng.normal(size=(2, 3, 2)) * 0.5
+        out = layer.forward(x)
+        upstream = rng.normal(size=out.shape)
+        layer.zero_grads()
+        layer.forward(x)
+        analytic = layer.backward(upstream)
+
+        eps = 1e-5
+        numeric = np.zeros_like(x)
+        for i in np.ndindex(x.shape):
+            shifted = x.copy()
+            shifted[i] += eps
+            plus = np.sum(layer.forward(shifted) * upstream)
+            shifted[i] -= 2 * eps
+            minus = np.sum(layer.forward(shifted) * upstream)
+            numeric[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+
+class TestShapeLayers:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        layer.build((4, 3), rng)
+        x = rng.normal(size=(2, 4, 3))
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == x.shape
+
+    def test_reshape_checks_element_count(self, rng):
+        with pytest.raises(ValueError):
+            Reshape((5, 5)).build((4, 3), rng)
+
+    def test_reshape_forward_backward(self, rng):
+        layer = Reshape((3, 4))
+        layer.build((12,), rng)
+        x = rng.normal(size=(2, 12))
+        out = layer.forward(x)
+        assert out.shape == (2, 3, 4)
+        assert np.array_equal(layer.backward(out), x)
+
+    def test_repeat_vector_forward_and_backward_sum(self, rng):
+        layer = RepeatVector(5)
+        layer.build((3,), rng)
+        x = rng.normal(size=(2, 3))
+        out = layer.forward(x)
+        assert out.shape == (2, 5, 3)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad, 5.0)
+
+    def test_repeat_vector_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            RepeatVector(0)
+
+    def test_time_distributed_dense(self, rng):
+        layer = TimeDistributed(Dense(2))
+        layer.build((6, 3), rng)
+        x = rng.normal(size=(4, 6, 3))
+        out = layer.forward(x)
+        assert out.shape == (4, 6, 2)
+        assert layer.parameter_count == 3 * 2 + 2
+
+
+class TestDropout:
+    def test_inactive_at_inference(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.build((10,), rng)
+        x = np.ones((4, 10))
+        assert np.array_equal(layer.forward(x, training=False), x)
+
+    def test_active_during_training(self, rng):
+        layer = Dropout(0.5, seed=0)
+        layer.build((1000,), rng)
+        out = layer.forward(np.ones((1, 1000)), training=True)
+        dropped = np.sum(out == 0)
+        assert 350 < dropped < 650
+
+    def test_scaling_preserves_expectation(self, rng):
+        layer = Dropout(0.25, seed=1)
+        layer.build((10000,), rng)
+        out = layer.forward(np.ones((1, 10000)), training=True)
+        assert np.mean(out) == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, seed=2)
+        layer.build((100,), rng)
+        out = layer.forward(np.ones((1, 100)), training=True)
+        grad = layer.backward(np.ones((1, 100)))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

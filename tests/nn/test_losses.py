@@ -1,0 +1,86 @@
+"""Tests for repro.nn.losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import (
+    BinaryCrossentropy,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    Wasserstein,
+    get_loss,
+)
+
+
+class TestValues:
+    def test_mse_known_value(self):
+        loss = MeanSquaredError()
+        assert loss.loss(np.array([1.0, 2.0]), np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_mae_known_value(self):
+        loss = MeanAbsoluteError()
+        assert loss.loss(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == pytest.approx(1.5)
+
+    def test_mse_zero_for_perfect_prediction(self):
+        y = np.random.default_rng(0).normal(size=10)
+        assert MeanSquaredError().loss(y, y) == 0.0
+
+    def test_bce_is_low_for_confident_correct(self):
+        loss = BinaryCrossentropy()
+        y_true = np.array([1.0, 0.0])
+        confident = np.array([0.99, 0.01])
+        uncertain = np.array([0.6, 0.4])
+        assert loss.loss(y_true, confident) < loss.loss(y_true, uncertain)
+
+    def test_bce_handles_extreme_probabilities(self):
+        loss = BinaryCrossentropy()
+        value = loss.loss(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(value)
+
+    def test_wasserstein_sign_convention(self):
+        loss = Wasserstein()
+        y_true = np.array([1.0, -1.0])
+        y_pred = np.array([2.0, 3.0])
+        assert loss.loss(y_true, y_pred) == pytest.approx((2.0 - 3.0) / 2)
+
+
+class TestGradients:
+    @pytest.mark.parametrize("loss_cls", [MeanSquaredError, MeanAbsoluteError,
+                                          BinaryCrossentropy])
+    def test_gradient_matches_numerical(self, loss_cls):
+        rng = np.random.default_rng(1)
+        y_true = (rng.random(6) > 0.5).astype(float)
+        y_pred = rng.uniform(0.2, 0.8, 6)
+        loss = loss_cls()
+        analytic = loss.gradient(y_true, y_pred)
+
+        eps = 1e-6
+        numeric = np.zeros_like(y_pred)
+        for i in range(len(y_pred)):
+            shifted = y_pred.copy()
+            shifted[i] += eps
+            plus = loss.loss(y_true, shifted)
+            shifted[i] -= 2 * eps
+            minus = loss.loss(y_true, shifted)
+            numeric[i] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_gradient_shape_matches_prediction(self):
+        y_true = np.zeros((4, 3))
+        y_pred = np.ones((4, 3))
+        grad = MeanSquaredError().gradient(y_true, y_pred)
+        assert grad.shape == y_pred.shape
+
+
+class TestRegistry:
+    def test_get_by_name_and_alias(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(get_loss("mean_absolute_error"), MeanAbsoluteError)
+
+    def test_instance_passthrough(self):
+        loss = Wasserstein()
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown loss"):
+            get_loss("hinge-of-doom")

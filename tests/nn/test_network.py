@@ -1,0 +1,168 @@
+"""Tests for repro.nn.network.Sequential and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    Dense,
+    EarlyStopping,
+    History,
+    RepeatVector,
+    Sequential,
+    TimeDistributed,
+)
+
+
+def _linear_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = x @ np.array([[1.5], [-2.0], [0.5]]) + 0.3
+    return x, y
+
+
+class TestTraining:
+    def test_learns_linear_function(self):
+        x, y = _linear_data()
+        model = Sequential([Dense(1)], random_state=0)
+        model.compile(optimizer="adam", loss="mse", learning_rate=0.05)
+        history = model.fit(x, y, epochs=60, batch_size=32)
+        assert history.history["loss"][-1] < 0.01
+
+    def test_loss_decreases_over_epochs(self):
+        x, y = _linear_data()
+        model = Sequential([Dense(8, activation="relu"), Dense(1)], random_state=0)
+        model.compile(optimizer="adam", loss="mse", learning_rate=0.01)
+        history = model.fit(x, y, epochs=20, batch_size=32)
+        losses = history.history["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_validation_split_reports_val_loss(self):
+        x, y = _linear_data()
+        model = Sequential([Dense(1)], random_state=0)
+        model.compile()
+        history = model.fit(x, y, epochs=3, validation_split=0.25)
+        assert "val_loss" in history.history
+        assert len(history.history["val_loss"]) == 3
+
+    def test_predict_shape(self):
+        x, y = _linear_data(50)
+        model = Sequential([Dense(4, activation="relu"), Dense(1)], random_state=0)
+        model.compile()
+        model.fit(x, y, epochs=1)
+        assert model.predict(x).shape == (50, 1)
+
+    def test_predict_empty_input(self):
+        x, y = _linear_data(20)
+        model = Sequential([Dense(1)], random_state=0)
+        model.compile()
+        model.fit(x, y, epochs=1)
+        assert model.predict(np.zeros((0, 3))).shape == (0, 1)
+
+    def test_lstm_sequence_model_trains(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 8, 1))
+        y = x.mean(axis=1)
+        model = Sequential([LSTM(8), Dense(1)], random_state=0)
+        model.compile(optimizer="adam", loss="mse", learning_rate=0.01)
+        history = model.fit(x, y, epochs=10, batch_size=16)
+        assert history.history["loss"][-1] < history.history["loss"][0]
+
+    def test_encoder_decoder_shapes(self):
+        model = Sequential([
+            LSTM(6),
+            Dense(3, activation="tanh"),
+            RepeatVector(8),
+            LSTM(6, return_sequences=True),
+            TimeDistributed(Dense(1)),
+        ], random_state=0)
+        model.compile()
+        x = np.random.default_rng(0).normal(size=(10, 8, 1))
+        model.fit(x, x, epochs=1, batch_size=5)
+        assert model.predict(x).shape == (10, 8, 1)
+
+
+class TestValidationAndErrors:
+    def test_mismatched_lengths_rejected(self):
+        model = Sequential([Dense(1)])
+        model.compile()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.zeros((5, 1)), epochs=1)
+
+    def test_fit_without_layers_rejected(self):
+        model = Sequential()
+        model.compile()
+        with pytest.raises(RuntimeError):
+            model.fit(np.zeros((10, 2)), np.zeros((10, 1)), epochs=1)
+
+    def test_add_after_build_rejected(self):
+        model = Sequential([Dense(1)])
+        model.compile()
+        model.build((3,))
+        with pytest.raises(RuntimeError):
+            model.add(Dense(2))
+
+    def test_invalid_validation_split_rejected(self):
+        model = Sequential([Dense(1)])
+        model.compile()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.zeros((10, 1)), epochs=1,
+                      validation_split=1.5)
+
+    def test_set_weights_wrong_length_rejected(self):
+        model = Sequential([Dense(1)])
+        model.compile()
+        model.build((3,))
+        with pytest.raises(ValueError):
+            model.set_weights([])
+
+    def test_summary_mentions_total_params(self):
+        model = Sequential([Dense(2)])
+        model.compile()
+        model.build((3,))
+        assert "Total params: 8" in model.summary()
+
+
+class TestCallbacks:
+    def test_early_stopping_halts_training(self):
+        x, y = _linear_data(100)
+        model = Sequential([Dense(1)], random_state=0)
+        # A vanishingly small learning rate means the loss never improves by
+        # more than min_delta, so early stopping must kick in.
+        model.compile(optimizer="sgd", loss="mse", learning_rate=1e-12)
+        stopper = EarlyStopping(monitor="loss", patience=2, min_delta=1e-6)
+        history = model.fit(x, y, epochs=50, callbacks=[stopper])
+        assert len(history.history["loss"]) < 50
+        assert model.stop_training
+
+    def test_early_stopping_restores_best_weights(self):
+        x, y = _linear_data(100)
+        model = Sequential([Dense(1)], random_state=0)
+        model.compile(optimizer="adam", loss="mse", learning_rate=0.05)
+        stopper = EarlyStopping(monitor="loss", patience=1, restore_best_weights=True)
+        model.fit(x, y, epochs=30, callbacks=[stopper])
+        if stopper.stopped_epoch is not None:
+            final_loss = model.loss.loss(y, model.predict(x))
+            assert final_loss <= stopper.best * 1.5
+
+    def test_history_records_every_epoch(self):
+        x, y = _linear_data(50)
+        model = Sequential([Dense(1)], random_state=0)
+        model.compile()
+        history = model.fit(x, y, epochs=4)
+        assert isinstance(history, History)
+        assert len(history.history["loss"]) == 4
+
+    def test_weight_roundtrip_preserves_predictions(self):
+        x, y = _linear_data(50)
+        model = Sequential([Dense(4, activation="relu"), Dense(1)], random_state=0)
+        model.compile()
+        model.fit(x, y, epochs=2)
+        weights = model.get_weights()
+        before = model.predict(x)
+
+        other = Sequential([Dense(4, activation="relu"), Dense(1)], random_state=5)
+        other.compile()
+        other.build((3,))
+        other.set_weights(weights)
+        assert np.allclose(other.predict(x), before)

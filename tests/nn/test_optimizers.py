@@ -1,0 +1,77 @@
+"""Tests for repro.nn.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, RMSprop, get_optimizer
+
+
+def _minimize_quadratic(optimizer, steps=200):
+    """Minimize f(x) = (x - 3)^2 with the given optimizer."""
+    x = np.array([0.0])
+    for _ in range(steps):
+        grad = 2 * (x - 3.0)
+        x = optimizer.update("x", x, grad)
+        optimizer.step()
+    return x[0]
+
+
+class TestConvergence:
+    def test_sgd_converges_on_quadratic(self):
+        assert _minimize_quadratic(SGD(learning_rate=0.1)) == pytest.approx(3.0, abs=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        optimizer = SGD(learning_rate=0.05, momentum=0.9)
+        assert _minimize_quadratic(optimizer) == pytest.approx(3.0, abs=1e-2)
+
+    def test_adam_converges_on_quadratic(self):
+        optimizer = Adam(learning_rate=0.2)
+        assert _minimize_quadratic(optimizer, steps=400) == pytest.approx(3.0, abs=1e-2)
+
+    def test_rmsprop_converges_on_quadratic(self):
+        optimizer = RMSprop(learning_rate=0.05)
+        assert _minimize_quadratic(optimizer, steps=500) == pytest.approx(3.0, abs=5e-2)
+
+
+class TestBehaviour:
+    def test_adam_keeps_separate_state_per_key(self):
+        optimizer = Adam(learning_rate=0.01)
+        a = optimizer.update("a", np.zeros(2), np.ones(2))
+        b = optimizer.update("b", np.zeros(3), np.full(3, -1.0))
+        assert a.shape == (2,)
+        assert b.shape == (3,)
+        assert np.all(a < 0)
+        assert np.all(b > 0)
+
+    def test_clipnorm_limits_update_magnitude(self):
+        huge_grad = np.array([1e6, 1e6])
+        clipped = SGD(learning_rate=1.0, clipnorm=1.0).update("x", np.zeros(2), huge_grad)
+        unclipped = SGD(learning_rate=1.0).update("x", np.zeros(2), huge_grad)
+        assert np.linalg.norm(clipped) <= 1.0 + 1e-9
+        assert np.linalg.norm(unclipped) > 1.0
+
+    def test_step_increments_iterations(self):
+        optimizer = Adam()
+        assert optimizer.iterations == 0
+        optimizer.step()
+        optimizer.step()
+        assert optimizer.iterations == 2
+
+    def test_negative_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=-0.1)
+
+
+class TestRegistry:
+    def test_get_by_name_with_kwargs(self):
+        optimizer = get_optimizer("adam", learning_rate=0.42)
+        assert isinstance(optimizer, Adam)
+        assert optimizer.learning_rate == pytest.approx(0.42)
+
+    def test_instance_passthrough(self):
+        optimizer = RMSprop()
+        assert get_optimizer(optimizer) is optimizer
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="Unknown optimizer"):
+            get_optimizer("lion-9b")

@@ -1,0 +1,107 @@
+"""Tests for the pipeline hub and the built-in specs."""
+
+import pytest
+
+from repro.core.pipeline import Pipeline, Template
+from repro.exceptions import PipelineError
+from repro.pipelines import (
+    BENCHMARK_PIPELINES,
+    get_pipeline_spec,
+    list_pipelines,
+    load_pipeline,
+    load_template,
+    register_pipeline,
+)
+from repro.pipelines.hub import PIPELINE_REGISTRY
+
+
+class TestRegistry:
+    def test_all_paper_pipelines_present(self):
+        names = list_pipelines()
+        for expected in ("lstm_dynamic_threshold", "arima", "lstm_autoencoder",
+                         "dense_autoencoder", "tadgan", "azure"):
+            assert expected in names
+
+    def test_benchmark_pipelines_subset_of_registry(self):
+        assert set(BENCHMARK_PIPELINES) <= set(list_pipelines())
+        assert len(BENCHMARK_PIPELINES) == 6
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(PipelineError, match="Unknown pipeline"):
+            get_pipeline_spec("quantum_forest")
+
+    def test_register_custom_pipeline(self):
+        def factory():
+            return {
+                "name": "custom-test-pipeline",
+                "steps": [
+                    {"primitive": "time_segments_aggregate"},
+                    {"primitive": "SimpleImputer"},
+                    {"primitive": "SpectralResidual"},
+                    {"primitive": "fixed_threshold"},
+                ],
+            }
+
+        register_pipeline("custom-test-pipeline", factory)
+        try:
+            assert "custom-test-pipeline" in list_pipelines()
+            pipeline = load_pipeline("custom-test-pipeline")
+            assert isinstance(pipeline, Pipeline)
+        finally:
+            PIPELINE_REGISTRY.pop("custom-test-pipeline", None)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PipelineError, match="already registered"):
+            register_pipeline("arima", lambda: {})
+
+    def test_load_template_returns_template(self):
+        template = load_template("arima")
+        assert isinstance(template, Template)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("name", sorted(set(BENCHMARK_PIPELINES) | {"lstm_classifier"}))
+    def test_every_spec_builds_a_valid_pipeline(self, name):
+        pipeline = load_pipeline(name)
+        assert isinstance(pipeline, Pipeline)
+        assert len(pipeline.steps) >= 3
+
+    def test_spec_options_propagate(self):
+        spec = get_pipeline_spec("lstm_dynamic_threshold", window_size=42, epochs=7)
+        window_steps = [s for s in spec["steps"]
+                        if s["primitive"] == "rolling_window_sequences"]
+        model_steps = [s for s in spec["steps"]
+                       if s["primitive"] == "LSTMTimeSeriesRegressor"]
+        assert window_steps[0]["hyperparameters"]["window_size"] == 42
+        assert model_steps[0]["hyperparameters"]["epochs"] == 7
+
+    def test_engines_follow_paper_structure(self):
+        for name in BENCHMARK_PIPELINES:
+            template = load_template(name)
+            engines = template.engines
+            assert engines[0] == "preprocessing"
+            assert engines[-1] == "postprocessing"
+            assert "modeling" in engines
+
+    def test_reconstruction_pipelines_use_reconstruction_errors(self):
+        for name in ("lstm_autoencoder", "dense_autoencoder", "tadgan"):
+            spec = get_pipeline_spec(name)
+            primitives = [step["primitive"] for step in spec["steps"]]
+            assert "reconstruction_errors" in primitives
+
+    def test_prediction_pipelines_use_regression_errors(self):
+        for name in ("lstm_dynamic_threshold", "arima"):
+            spec = get_pipeline_spec(name)
+            primitives = [step["primitive"] for step in spec["steps"]]
+            assert "regression_errors" in primitives
+
+    def test_azure_uses_spectral_residual(self):
+        spec = get_pipeline_spec("azure")
+        primitives = [step["primitive"] for step in spec["steps"]]
+        assert "SpectralResidual" in primitives
+
+    def test_supervised_pipeline_has_classifier(self):
+        spec = get_pipeline_spec("lstm_classifier")
+        primitives = [step["primitive"] for step in spec["steps"]]
+        assert "LSTMTimeSeriesClassifier" in primitives
+        assert "labels_from_events" in primitives

@@ -1,0 +1,214 @@
+"""Tests for postprocessing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrimitiveError
+from repro.primitives.postprocessing import (
+    FindAnomalies,
+    FixedThreshold,
+    ProbabilitiesToIntervals,
+    ReconstructionErrors,
+    RegressionErrors,
+    smooth_errors,
+)
+
+
+class TestSmoothErrors:
+    def test_no_smoothing_for_window_one(self):
+        errors = np.array([1.0, 5.0, 1.0])
+        assert np.array_equal(smooth_errors(errors, 1), errors)
+
+    def test_smoothing_reduces_spikes(self):
+        errors = np.zeros(50)
+        errors[25] = 10.0
+        smoothed = smooth_errors(errors, 10)
+        assert smoothed[25] < 10.0
+        assert smoothed[26] > 0.0
+
+    def test_empty_input(self):
+        assert len(smooth_errors(np.array([]), 5)) == 0
+
+
+class TestRegressionErrors:
+    def test_absolute_difference(self):
+        y = np.array([[1.0], [2.0], [3.0]])
+        y_hat = np.array([[1.0], [0.0], [6.0]])
+        out = RegressionErrors(smooth=False).produce(y=y, y_hat=y_hat)
+        assert np.allclose(out["errors"], [0.0, 2.0, 3.0])
+
+    def test_smoothing_enabled_by_default(self):
+        y = np.zeros((50, 1))
+        y_hat = np.zeros((50, 1))
+        y_hat[25] = 10.0
+        smoothed = RegressionErrors().produce(y=y, y_hat=y_hat)["errors"]
+        raw = RegressionErrors(smooth=False).produce(y=y, y_hat=y_hat)["errors"]
+        assert smoothed[25] < raw[25]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PrimitiveError):
+            RegressionErrors().produce(y=np.zeros((5, 1)), y_hat=np.zeros((4, 1)))
+
+
+class TestReconstructionErrors:
+    def test_perfect_reconstruction_zero_errors(self):
+        windows = np.random.default_rng(0).normal(size=(10, 5, 1))
+        out = ReconstructionErrors(smooth=False).produce(
+            y=windows, y_hat=windows, index=np.arange(10)
+        )
+        assert np.allclose(out["errors"], 0.0)
+        assert len(out["errors"]) == 14  # (10 - 1) * 1 + 5
+
+    def test_error_localized_to_bad_point(self):
+        windows = np.zeros((10, 5, 1))
+        reconstruction = windows.copy()
+        # Corrupt reconstruction of the point at absolute position 7 everywhere.
+        for w in range(10):
+            offset = 7 - w
+            if 0 <= offset < 5:
+                reconstruction[w, offset, 0] = 5.0
+        out = ReconstructionErrors(smooth=False).produce(
+            y=windows, y_hat=reconstruction, index=np.arange(10)
+        )
+        assert np.argmax(out["errors"]) == 7
+
+    def test_index_spacing_preserved(self):
+        windows = np.zeros((5, 4, 1))
+        out = ReconstructionErrors(smooth=False).produce(
+            y=windows, y_hat=windows, index=np.arange(0, 50, 10)
+        )
+        assert out["index"][1] - out["index"][0] == 10
+
+    def test_2d_windows_accepted(self):
+        windows = np.zeros((6, 4))
+        out = ReconstructionErrors(smooth=False).produce(
+            y=windows, y_hat=windows, index=np.arange(6)
+        )
+        assert np.allclose(out["errors"], 0.0)
+
+    def test_window_index_mismatch_rejected(self):
+        with pytest.raises(PrimitiveError):
+            ReconstructionErrors().produce(
+                y=np.zeros((5, 4, 1)), y_hat=np.zeros((5, 4, 1)), index=np.arange(3)
+            )
+
+
+def _errors_with_bump(length=300, start=100, end=110, magnitude=8.0):
+    rng = np.random.default_rng(0)
+    errors = np.abs(rng.normal(0, 0.1, length))
+    errors[start:end] += magnitude
+    return errors
+
+
+class TestFindAnomalies:
+    def test_detects_obvious_bump(self):
+        errors = _errors_with_bump()
+        out = FindAnomalies().produce(errors=errors, index=np.arange(300))
+        anomalies = out["anomalies"]
+        assert len(anomalies) >= 1
+        start, end = anomalies[0][0], anomalies[0][1]
+        assert start <= 100
+        assert end >= 105
+
+    def test_no_anomalies_in_flat_errors(self):
+        errors = np.full(200, 0.1)
+        out = FindAnomalies().produce(errors=errors, index=np.arange(200))
+        assert len(out["anomalies"]) == 0
+
+    def test_severity_column_present(self):
+        errors = _errors_with_bump()
+        anomalies = FindAnomalies().produce(errors=errors, index=np.arange(300))[
+            "anomalies"
+        ]
+        assert anomalies.shape[1] == 3
+        assert anomalies[0, 2] > 0
+
+    def test_padding_extends_interval(self):
+        errors = _errors_with_bump()
+        narrow = FindAnomalies(anomaly_padding=0).produce(
+            errors=errors, index=np.arange(300)
+        )["anomalies"]
+        wide = FindAnomalies(anomaly_padding=20).produce(
+            errors=errors, index=np.arange(300)
+        )["anomalies"]
+        assert (wide[0, 1] - wide[0, 0]) > (narrow[0, 1] - narrow[0, 0])
+
+    def test_index_values_used_for_output(self):
+        errors = _errors_with_bump()
+        index = np.arange(300) * 60 + 1000
+        anomalies = FindAnomalies().produce(errors=errors, index=index)["anomalies"]
+        assert anomalies[0, 0] >= 1000
+        assert (anomalies[0, 0] - 1000) % 60 == 0
+
+    def test_fixed_threshold_mode(self):
+        errors = _errors_with_bump()
+        anomalies = FindAnomalies(fixed_threshold=True).produce(
+            errors=errors, index=np.arange(300)
+        )["anomalies"]
+        assert len(anomalies) >= 1
+
+    def test_empty_errors(self):
+        out = FindAnomalies().produce(errors=np.array([]), index=np.array([]))
+        assert out["anomalies"].shape == (0, 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PrimitiveError):
+            FindAnomalies().produce(errors=np.zeros(5), index=np.arange(4))
+
+    def test_two_separated_bumps_found(self):
+        errors = _errors_with_bump(400, 50, 60)
+        errors[300:310] += 8.0
+        anomalies = FindAnomalies().produce(errors=errors, index=np.arange(400))[
+            "anomalies"
+        ]
+        assert len(anomalies) >= 2
+
+
+class TestFixedThreshold:
+    def test_detects_bump(self):
+        errors = _errors_with_bump()
+        anomalies = FixedThreshold(k=3.0).produce(
+            errors=errors, index=np.arange(300)
+        )["anomalies"]
+        assert len(anomalies) == 1
+
+    def test_lower_k_detects_more(self):
+        errors = _errors_with_bump()
+        strict = FixedThreshold(k=6.0).produce(errors=errors, index=np.arange(300))
+        lenient = FixedThreshold(k=1.0).produce(errors=errors, index=np.arange(300))
+        assert len(lenient["anomalies"]) >= len(strict["anomalies"])
+
+    def test_empty_errors(self):
+        out = FixedThreshold().produce(errors=np.array([]), index=np.array([]))
+        assert out["anomalies"].shape == (0, 3)
+
+
+class TestProbabilitiesToIntervals:
+    def test_contiguous_high_probabilities_grouped(self):
+        probabilities = np.zeros(50)
+        probabilities[10:15] = 0.9
+        out = ProbabilitiesToIntervals(threshold=0.5, anomaly_padding=0).produce(
+            y_hat=probabilities, index=np.arange(50)
+        )
+        anomalies = out["anomalies"]
+        assert len(anomalies) == 1
+        assert anomalies[0, 0] == 10
+        assert anomalies[0, 1] == 14
+
+    def test_nothing_above_threshold(self):
+        out = ProbabilitiesToIntervals(threshold=0.9).produce(
+            y_hat=np.full(20, 0.1), index=np.arange(20)
+        )
+        assert len(out["anomalies"]) == 0
+
+    def test_severity_is_mean_probability(self):
+        probabilities = np.zeros(30)
+        probabilities[5:10] = 0.8
+        anomalies = ProbabilitiesToIntervals(threshold=0.5).produce(
+            y_hat=probabilities, index=np.arange(30)
+        )["anomalies"]
+        assert anomalies[0, 2] == pytest.approx(0.8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PrimitiveError):
+            ProbabilitiesToIntervals().produce(y_hat=np.zeros(5), index=np.arange(3))

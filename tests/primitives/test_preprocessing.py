@@ -1,0 +1,226 @@
+"""Tests for preprocessing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, PrimitiveError
+from repro.primitives.preprocessing import (
+    CutoffWindowSequences,
+    LabelsFromEvents,
+    MinMaxScaler,
+    RollingWindowSequences,
+    SimpleImputer,
+    StandardScaler,
+    TimeSegmentsAggregate,
+)
+
+
+class TestTimeSegmentsAggregate:
+    def test_regular_signal_unchanged(self):
+        data = np.column_stack([np.arange(10), np.arange(10.0)])
+        out = TimeSegmentsAggregate(interval=1).produce(data=data)
+        assert np.allclose(out["X"].ravel(), np.arange(10.0))
+        assert np.array_equal(out["index"], np.arange(10))
+
+    def test_aggregation_over_larger_interval(self):
+        data = np.column_stack([np.arange(10), np.arange(10.0)])
+        out = TimeSegmentsAggregate(interval=2, method="mean").produce(data=data)
+        assert np.allclose(out["X"].ravel(), [0.5, 2.5, 4.5, 6.5, 8.5])
+
+    def test_missing_segment_becomes_nan(self):
+        timestamps = np.array([0, 1, 2, 5, 6])
+        data = np.column_stack([timestamps, np.ones(5)])
+        out = TimeSegmentsAggregate(interval=1).produce(data=data)
+        assert np.isnan(out["X"][3, 0])
+        assert np.isnan(out["X"][4, 0])
+
+    def test_interval_inferred_from_median_spacing(self):
+        timestamps = np.arange(0, 100, 5)
+        data = np.column_stack([timestamps, np.arange(20.0)])
+        out = TimeSegmentsAggregate().produce(data=data)
+        assert len(out["index"]) == 20
+
+    def test_unsorted_input_is_sorted(self):
+        data = np.array([[2.0, 20.0], [0.0, 0.0], [1.0, 10.0]])
+        out = TimeSegmentsAggregate(interval=1).produce(data=data)
+        assert np.allclose(out["X"].ravel(), [0.0, 10.0, 20.0])
+
+    def test_bad_method_rejected(self):
+        data = np.column_stack([np.arange(5), np.arange(5.0)])
+        with pytest.raises(PrimitiveError):
+            TimeSegmentsAggregate(method="mode").produce(data=data)
+
+    def test_one_dimensional_input_rejected(self):
+        with pytest.raises(PrimitiveError):
+            TimeSegmentsAggregate().produce(data=np.arange(5.0))
+
+
+class TestSimpleImputer:
+    def test_mean_imputation(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        imputer = SimpleImputer()
+        imputer.fit(X=X)
+        out = imputer.produce(X=X)["X"]
+        assert out[1, 0] == pytest.approx(2.0)
+
+    def test_median_strategy(self):
+        X = np.array([[1.0], [np.nan], [100.0], [3.0]])
+        imputer = SimpleImputer(strategy="median")
+        imputer.fit(X=X)
+        assert imputer.produce(X=X)["X"][1, 0] == pytest.approx(3.0)
+
+    def test_constant_strategy(self):
+        X = np.array([[np.nan], [np.nan]])
+        imputer = SimpleImputer(strategy="constant", fill_value=-7.0)
+        imputer.fit(X=X)
+        assert np.all(imputer.produce(X=X)["X"] == -7.0)
+
+    def test_all_nan_channel_falls_back_to_fill_value(self):
+        X = np.full((4, 1), np.nan)
+        imputer = SimpleImputer()
+        imputer.fit(X=X)
+        assert np.all(np.isfinite(imputer.produce(X=X)["X"]))
+
+    def test_produce_before_fit_rejected(self):
+        with pytest.raises(NotFittedError):
+            SimpleImputer().produce(X=np.zeros((3, 1)))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PrimitiveError):
+            SimpleImputer(strategy="mode")
+
+    def test_does_not_modify_input(self):
+        X = np.array([[1.0], [np.nan]])
+        original = X.copy()
+        imputer = SimpleImputer()
+        imputer.fit(X=X)
+        imputer.produce(X=X)
+        assert np.array_equal(np.isnan(X), np.isnan(original))
+
+
+class TestScalers:
+    def test_minmax_range(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        scaler = MinMaxScaler()
+        scaler.fit(X=X)
+        out = scaler.produce(X=X)["X"]
+        assert out.min() == pytest.approx(-1.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_minmax_custom_range_and_inverse(self):
+        X = np.random.default_rng(0).normal(size=(50, 2))
+        scaler = MinMaxScaler(feature_range=(0.0, 1.0))
+        scaler.fit(X=X)
+        scaled = scaler.produce(X=X)["X"]
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+        assert np.allclose(scaler.inverse(scaled), X)
+
+    def test_minmax_constant_channel(self):
+        X = np.full((10, 1), 3.0)
+        scaler = MinMaxScaler()
+        scaler.fit(X=X)
+        assert np.all(np.isfinite(scaler.produce(X=X)["X"]))
+
+    def test_minmax_invalid_range_rejected(self):
+        with pytest.raises(PrimitiveError):
+            MinMaxScaler(feature_range=(1.0, -1.0))
+
+    def test_standard_scaler_zero_mean_unit_std(self):
+        X = np.random.default_rng(1).normal(5.0, 3.0, size=(200, 1))
+        scaler = StandardScaler()
+        scaler.fit(X=X)
+        out = scaler.produce(X=X)["X"]
+        assert np.mean(out) == pytest.approx(0.0, abs=1e-9)
+        assert np.std(out) == pytest.approx(1.0, abs=1e-9)
+
+    def test_standard_scaler_inverse(self):
+        X = np.random.default_rng(2).normal(size=(30, 3))
+        scaler = StandardScaler()
+        scaler.fit(X=X)
+        assert np.allclose(scaler.inverse(scaler.produce(X=X)["X"]), X)
+
+    def test_scalers_require_fit(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().produce(X=np.zeros((3, 1)))
+        with pytest.raises(NotFittedError):
+            StandardScaler().produce(X=np.zeros((3, 1)))
+
+
+class TestRollingWindowSequences:
+    def test_window_and_target_shapes(self):
+        X = np.arange(50.0).reshape(-1, 1)
+        index = np.arange(50)
+        out = RollingWindowSequences(window_size=10, target_size=1).produce(
+            X=X, index=index
+        )
+        assert out["X"].shape == (40, 10, 1)
+        assert out["y"].shape == (40, 1)
+        assert out["index"].shape == (40,)
+        assert out["target_index"].shape == (40,)
+
+    def test_targets_follow_windows(self):
+        X = np.arange(30.0).reshape(-1, 1)
+        out = RollingWindowSequences(window_size=5).produce(X=X, index=np.arange(30))
+        assert out["y"][0, 0] == 5.0
+        assert out["target_index"][0] == 5
+
+    def test_step_size_reduces_windows(self):
+        X = np.arange(40.0).reshape(-1, 1)
+        dense = RollingWindowSequences(window_size=5, step_size=1).produce(
+            X=X, index=np.arange(40)
+        )
+        sparse = RollingWindowSequences(window_size=5, step_size=5).produce(
+            X=X, index=np.arange(40)
+        )
+        assert len(sparse["X"]) < len(dense["X"])
+
+    def test_window_shrinks_for_short_signals(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        out = RollingWindowSequences(window_size=100).produce(X=X, index=np.arange(20))
+        assert out["X"].shape[1] < 20
+        assert len(out["X"]) >= 1
+
+    def test_too_short_signal_rejected(self):
+        X = np.arange(2.0).reshape(-1, 1)
+        with pytest.raises(PrimitiveError):
+            RollingWindowSequences(window_size=10, target_size=5).produce(
+                X=X, index=np.arange(2)
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PrimitiveError):
+            RollingWindowSequences().produce(X=np.zeros((5, 1)), index=np.arange(4))
+
+
+class TestCutoffWindowSequences:
+    def test_shapes_and_index(self):
+        X = np.arange(60.0).reshape(-1, 1)
+        out = CutoffWindowSequences(window_size=10).produce(X=X, index=np.arange(60))
+        assert out["X"].shape == (50, 10, 1)
+        assert out["index"][0] == 10
+
+    def test_windows_do_not_look_ahead(self):
+        X = np.arange(30.0).reshape(-1, 1)
+        out = CutoffWindowSequences(window_size=5).produce(X=X, index=np.arange(30))
+        # The window ending at index 5 must contain values 0..4 only.
+        assert out["X"][0].max() == 4.0
+
+    def test_short_signal_shrinks_window(self):
+        X = np.arange(8.0).reshape(-1, 1)
+        out = CutoffWindowSequences(window_size=100).produce(X=X, index=np.arange(8))
+        assert len(out["X"]) >= 1
+
+
+class TestLabelsFromEvents:
+    def test_labels_inside_events(self):
+        index = np.arange(10)
+        out = LabelsFromEvents().produce(index=index, events=[(3, 5)])
+        assert list(out["y"]) == [0, 0, 0, 1, 1, 1, 0, 0, 0, 0]
+
+    def test_none_events_all_zero(self):
+        out = LabelsFromEvents().produce(index=np.arange(5), events=None)
+        assert out["y"].sum() == 0
+
+    def test_malformed_event_rejected(self):
+        with pytest.raises(PrimitiveError):
+            LabelsFromEvents().produce(index=np.arange(5), events=[(3,)])

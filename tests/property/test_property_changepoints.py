@@ -1,0 +1,69 @@
+"""Property-based tests for decomposition and change-point detection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.primitives.preprocessing.changepoints import detect_change_points
+from repro.primitives.preprocessing.decomposition import decompose
+
+
+class TestDecomposeProperties:
+    @given(
+        length=st.integers(40, 200),
+        period=st.integers(2, 30),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_components_always_sum_back(self, length, period, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1.0, length) + np.sin(
+            2 * np.pi * np.arange(length) / period
+        )
+        parts = decompose(values, period=period)
+        reconstruction = parts["trend"] + parts["seasonal"] + parts["residual"]
+        assert np.allclose(reconstruction, values, atol=1e-8)
+
+    @given(
+        length=st.integers(40, 200),
+        period=st.integers(2, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_seasonal_component_is_zero_mean(self, length, period):
+        values = np.sin(2 * np.pi * np.arange(length) / period)
+        parts = decompose(values, period=period)
+        phase_means = parts["seasonal"][:period]
+        assert abs(np.mean(phase_means)) < 1e-8
+
+
+class TestChangePointProperties:
+    @given(
+        n_segments=st.integers(1, 4),
+        segment_length=st.integers(40, 80),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_detected_points_bounded_by_true_segments(self, n_segments,
+                                                      segment_length, seed):
+        rng = np.random.default_rng(seed)
+        levels = np.arange(n_segments) * 8.0
+        values = np.concatenate([
+            rng.normal(level, 0.3, segment_length) for level in levels
+        ])
+        change_points = detect_change_points(values, min_size=15,
+                                             max_changes=n_segments + 2)
+        # Never more change points than segment boundaries exist.
+        assert len(change_points) <= max(0, n_segments - 1) + 1
+        # Every change point is a valid split index.
+        for point in change_points:
+            assert 0 < point < len(values)
+        assert change_points == sorted(change_points)
+
+    @given(
+        constant=st.floats(-100, 100, allow_nan=False),
+        length=st.integers(30, 150),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_constant_series_has_no_change_points(self, constant, length):
+        values = np.full(length, constant)
+        assert detect_change_points(values, min_size=10) == []

@@ -1,0 +1,95 @@
+"""Property-based tests for the contextual evaluation metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    overlapping_segment_confusion_matrix,
+    overlapping_segment_scores,
+    weighted_segment_confusion_matrix,
+    weighted_segment_scores,
+)
+
+
+@st.composite
+def intervals(draw, max_intervals=6, horizon=1000):
+    """A list of disjoint (start, end) intervals within [0, horizon]."""
+    count = draw(st.integers(min_value=0, max_value=max_intervals))
+    edges = draw(st.lists(
+        st.integers(min_value=0, max_value=horizon),
+        min_size=2 * count, max_size=2 * count, unique=True,
+    ))
+    edges.sort()
+    return [(edges[2 * i], edges[2 * i + 1]) for i in range(count)]
+
+
+class TestOverlappingSegmentProperties:
+    @given(truth=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_detection_has_no_errors(self, truth):
+        tp, fp, fn = overlapping_segment_confusion_matrix(truth, truth)
+        assert tp == len(truth)
+        assert fp == 0
+        assert fn == 0
+
+    @given(truth=intervals(), predicted=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_bounded_by_input_sizes(self, truth, predicted):
+        tp, fp, fn = overlapping_segment_confusion_matrix(truth, predicted)
+        assert 0 <= tp <= len(truth)
+        assert 0 <= fn <= len(truth)
+        assert tp + fn == len(truth)
+        assert 0 <= fp <= len(predicted)
+
+    @given(truth=intervals(), predicted=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_scores_are_valid_fractions(self, truth, predicted):
+        scores = overlapping_segment_scores(truth, predicted)
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0
+
+    @given(truth=intervals(max_intervals=4), predicted=intervals(max_intervals=4))
+    @settings(max_examples=60, deadline=None)
+    def test_empty_predictions_give_zero_recall(self, truth, predicted):
+        if truth:
+            scores = overlapping_segment_scores(truth, [])
+            assert scores["recall"] == 0.0
+            assert scores["f1"] == 0.0
+
+
+class TestWeightedSegmentProperties:
+    @given(truth=intervals(), predicted=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_durations_are_non_negative_and_consistent(self, truth, predicted):
+        tp, fp, fn, tn = weighted_segment_confusion_matrix(
+            truth, predicted, data_range=(0, 1000)
+        )
+        assert min(tp, fp, fn, tn) >= -1e-9
+        total = tp + fp + fn + tn
+        assert total <= 1000 + 1e-6
+
+    @given(truth=intervals(), predicted=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_scores_are_valid_fractions(self, truth, predicted):
+        scores = weighted_segment_scores(truth, predicted, data_range=(0, 1000))
+        for value in scores.values():
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(truth=intervals())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry_of_perfect_match(self, truth):
+        scores = weighted_segment_scores(truth, truth, data_range=(0, 1000))
+        if truth:
+            assert scores["precision"] == 1.0
+            assert scores["recall"] == 1.0
+
+    @given(truth=intervals(max_intervals=3), predicted=intervals(max_intervals=3),
+           extra=intervals(max_intervals=2))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_predictions_never_increases_precision_denominator_free_recall(
+            self, truth, predicted, extra):
+        """Adding more predicted intervals can only keep or improve recall."""
+        base = weighted_segment_scores(truth, predicted, data_range=(0, 1000))
+        larger = weighted_segment_scores(truth, predicted + extra,
+                                         data_range=(0, 1000))
+        assert larger["recall"] >= base["recall"] - 1e-9

@@ -1,0 +1,123 @@
+"""Property-based tests for preprocessing and postprocessing primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.primitives.postprocessing import FindAnomalies, FixedThreshold
+from repro.primitives.preprocessing import (
+    MinMaxScaler,
+    RollingWindowSequences,
+    SimpleImputer,
+    StandardScaler,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                          allow_infinity=False)
+
+
+def columns(min_rows=5, max_rows=60, max_cols=3):
+    return hnp.arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(min_rows, max_rows), st.integers(1, max_cols)),
+        elements=finite_floats,
+    )
+
+
+class TestScalerProperties:
+    @given(X=columns())
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_output_within_range(self, X):
+        scaler = MinMaxScaler(feature_range=(-1.0, 1.0))
+        scaler.fit(X=X)
+        out = scaler.produce(X=X)["X"]
+        assert np.all(out >= -1.0 - 1e-9)
+        assert np.all(out <= 1.0 + 1e-9)
+
+    @given(X=columns())
+    @settings(max_examples=60, deadline=None)
+    def test_minmax_inverse_roundtrip(self, X):
+        scaler = MinMaxScaler()
+        scaler.fit(X=X)
+        out = scaler.produce(X=X)["X"]
+        restored = scaler.inverse(out)
+        # Constant channels cannot be inverted exactly; skip those columns.
+        varying = np.ptp(X, axis=0) > 0
+        assert np.allclose(restored[:, varying], X[:, varying],
+                           rtol=1e-6, atol=1e-6 * np.max(np.abs(X) + 1))
+
+    @given(X=columns(min_rows=10))
+    @settings(max_examples=60, deadline=None)
+    def test_standard_scaler_output_stats(self, X):
+        scaler = StandardScaler()
+        scaler.fit(X=X)
+        out = scaler.produce(X=X)["X"]
+        means = np.mean(out, axis=0)
+        # Tolerance is relative to the cancellation error of subtracting a
+        # large mean from nearly-identical large values.
+        stds = np.nanstd(X, axis=0)
+        stds[stds == 0] = 1.0
+        atol = 1e-9 * (1.0 + np.max(np.abs(X), initial=0.0) / stds)
+        assert np.all(np.abs(means) < np.maximum(atol, 1e-7))
+
+    @given(X=columns(), nan_fraction=st.floats(0.0, 0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_imputer_removes_all_nans(self, X, nan_fraction):
+        rng = np.random.default_rng(0)
+        X = X.copy()
+        mask = rng.random(X.shape) < nan_fraction
+        X[mask] = np.nan
+        imputer = SimpleImputer()
+        imputer.fit(X=X)
+        out = imputer.produce(X=X)["X"]
+        assert not np.any(np.isnan(out))
+        # Values that were present are untouched.
+        assert np.allclose(out[~mask], X[~mask])
+
+
+class TestWindowProperties:
+    @given(
+        length=st.integers(20, 120),
+        window=st.integers(2, 30),
+        step=st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rolling_windows_are_contiguous_slices(self, length, window, step):
+        X = np.arange(float(length)).reshape(-1, 1)
+        out = RollingWindowSequences(window_size=window, step_size=step).produce(
+            X=X, index=np.arange(length)
+        )
+        windows, targets = out["X"], out["y"]
+        assert windows.shape[0] == targets.shape[0] == len(out["index"])
+        for i in range(len(windows)):
+            start = int(out["index"][i])
+            expected = np.arange(start, start + windows.shape[1], dtype=float)
+            assert np.array_equal(windows[i, :, 0], expected)
+            assert targets[i, 0] == float(start + windows.shape[1])
+
+
+class TestAnomalyExtractionProperties:
+    @given(errors=hnp.arrays(dtype=float, shape=st.integers(30, 200),
+                             elements=st.floats(0, 100, allow_nan=False)))
+    @settings(max_examples=60, deadline=None)
+    def test_find_anomalies_output_within_index_range(self, errors):
+        index = np.arange(len(errors)) * 5 + 100
+        anomalies = FindAnomalies().produce(errors=errors, index=index)["anomalies"]
+        for start, end, _ in anomalies:
+            assert index[0] <= start <= end <= index[-1]
+
+    @given(errors=hnp.arrays(dtype=float, shape=st.integers(30, 200),
+                             elements=st.floats(0, 100, allow_nan=False)),
+           k=st.floats(1.0, 6.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_threshold_intervals_sorted_and_disjoint(self, errors, k):
+        index = np.arange(len(errors))
+        anomalies = FixedThreshold(k=k, anomaly_padding=0).produce(
+            errors=errors, index=index
+        )["anomalies"]
+        previous_end = -np.inf
+        for start, end, _ in anomalies:
+            assert start <= end
+            assert start > previous_end
+            previous_end = end

@@ -1,0 +1,76 @@
+"""Property-based tests for the document store."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.store import DocumentStore
+
+field_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+field_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(alphabet=string.ascii_letters, max_size=10),
+    st.booleans(),
+)
+documents = st.dictionaries(field_names, field_values, min_size=1, max_size=5)
+
+
+class TestStoreProperties:
+    @given(docs=st.lists(documents, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_then_count(self, docs):
+        store = DocumentStore()
+        for doc in docs:
+            store["items"].insert(dict(doc))
+        assert store["items"].count() == len(docs)
+
+    @given(docs=st.lists(documents, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_ids_are_unique_and_retrievable(self, docs):
+        store = DocumentStore()
+        ids = [store["items"].insert(dict(doc)) for doc in docs]
+        assert len(set(ids)) == len(ids)
+        for doc_id, original in zip(ids, docs):
+            fetched = store["items"].get(doc_id)
+            for key, value in original.items():
+                assert fetched[key] == value
+
+    @given(docs=st.lists(documents, min_size=1, max_size=20),
+           field=field_names, bound=st.integers(-1000, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_range_queries_partition_numeric_documents(self, docs, field, bound):
+        store = DocumentStore()
+        for doc in docs:
+            store["items"].insert(dict(doc))
+        # Booleans compare as integers, matching the store's behaviour;
+        # strings and missing fields never match an order comparison.
+        comparable = [doc for doc in docs if isinstance(doc.get(field), (int, bool))]
+        greater = store["items"].count({field: {"$gt": bound}})
+        lower_or_equal = store["items"].count({field: {"$lte": bound}})
+        expected_greater = sum(1 for doc in comparable if doc[field] > bound)
+        expected_lower_or_equal = sum(1 for doc in comparable if doc[field] <= bound)
+        assert greater == expected_greater
+        assert lower_or_equal == expected_lower_or_equal
+        assert greater + lower_or_equal == len(comparable)
+
+    @given(docs=st.lists(documents, min_size=1, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_delete_everything_empties_collection(self, docs):
+        store = DocumentStore()
+        for doc in docs:
+            store["items"].insert(dict(doc))
+        deleted = store["items"].delete({})
+        assert deleted == len(docs)
+        assert store["items"].count() == 0
+
+    @given(docs=st.lists(documents, min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_save_load_roundtrip(self, docs, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "db.json"
+        store = DocumentStore(path=str(path))
+        for doc in docs:
+            store["items"].insert(dict(doc))
+        store.save()
+        reloaded = DocumentStore(path=str(path))
+        assert reloaded["items"].count() == len(docs)

@@ -1,0 +1,101 @@
+"""Tests for the concept-drift detectors (repro.streaming)."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import DistributionDriftDetector, DriftMonitor, PageHinkley
+
+
+def _stream_with_shift(n_before=300, n_after=300, shift=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.concatenate([
+        rng.normal(0.0, 0.5, n_before),
+        rng.normal(shift, 0.5, n_after),
+    ])
+
+
+class TestPageHinkley:
+    def test_detects_mean_increase(self):
+        detector = PageHinkley(threshold=20.0)
+        stream = _stream_with_shift()
+        detections = [i for i, value in enumerate(stream) if detector.update(value)]
+        assert detections
+        assert detections[0] >= 300
+
+    def test_detects_mean_decrease(self):
+        detector = PageHinkley(threshold=20.0)
+        stream = _stream_with_shift(shift=-3.0, seed=1)
+        assert any(detector.update(value) for value in stream)
+
+    def test_no_detection_on_stationary_stream(self):
+        detector = PageHinkley(threshold=50.0)
+        rng = np.random.default_rng(2)
+        assert not any(detector.update(v) for v in rng.normal(0, 1.0, 1000))
+
+    def test_reset_clears_state(self):
+        detector = PageHinkley(threshold=20.0)
+        for value in _stream_with_shift():
+            detector.update(value)
+        detector.reset()
+        assert not detector.drift_detected
+        assert not detector.update(0.0)
+
+    def test_min_samples_respected(self):
+        detector = PageHinkley(threshold=0.001, min_samples=50)
+        assert not any(detector.update(v) for v in np.linspace(0, 100, 49))
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+
+
+class TestDistributionDriftDetector:
+    def test_detects_distribution_shift(self):
+        detector = DistributionDriftDetector(window_size=100, alpha=0.01)
+        stream = _stream_with_shift()
+        assert any(detector.update(value) for value in stream)
+        assert detector.last_p_value is not None
+
+    def test_no_detection_on_stationary_stream(self):
+        detector = DistributionDriftDetector(window_size=100, alpha=0.001)
+        rng = np.random.default_rng(3)
+        detections = [detector.update(v) for v in rng.normal(0, 1.0, 600)]
+        assert sum(detections) / len(detections) < 0.1
+
+    def test_needs_two_full_windows(self):
+        detector = DistributionDriftDetector(window_size=50)
+        assert not any(detector.update(v) for v in np.ones(99))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionDriftDetector(window_size=5)
+        with pytest.raises(ValueError):
+            DistributionDriftDetector(alpha=1.5)
+
+
+class TestDriftMonitor:
+    def test_callback_invoked_on_drift(self):
+        refresh_requests = []
+        monitor = DriftMonitor(
+            PageHinkley(threshold=20.0),
+            on_drift=refresh_requests.append,
+            cooldown=100,
+        )
+        found = monitor.consume(_stream_with_shift())
+        assert found
+        assert refresh_requests == found
+        assert monitor.drift_points == found
+
+    def test_cooldown_limits_repeated_detections(self):
+        stream = _stream_with_shift(n_before=200, n_after=800, shift=5.0)
+        eager = DriftMonitor(PageHinkley(threshold=10.0), cooldown=0)
+        patient = DriftMonitor(PageHinkley(threshold=10.0), cooldown=500)
+        assert len(eager.consume(stream)) >= len(patient.consume(stream))
+
+    def test_indices_are_global_across_batches(self):
+        monitor = DriftMonitor(PageHinkley(threshold=20.0), cooldown=100)
+        stream = _stream_with_shift()
+        first_half, second_half = stream[:400], stream[400:]
+        monitor.consume(first_half)
+        monitor.consume(second_half)
+        assert all(0 <= point < len(stream) for point in monitor.drift_points)

@@ -1,0 +1,102 @@
+"""Tests for the tunable hyperparameter space."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TuningError
+from repro.tuning import TunableSpace
+
+
+SPACE = {
+    "model": {
+        "units": {"type": "int", "default": 32, "range": [8, 128]},
+        "dropout": {"type": "float", "default": 0.3, "range": [0.0, 0.6]},
+        "activation": {"type": "categorical", "default": "relu",
+                       "values": ["relu", "tanh", "sigmoid"]},
+        "shuffle": {"type": "bool", "default": True},
+    },
+    "post": {
+        "threshold": {"type": "float", "default": 0.5, "range": [0.1, 0.9]},
+    },
+}
+
+
+class TestConstruction:
+    def test_dimensions_and_keys(self):
+        space = TunableSpace(SPACE)
+        assert space.dimensions == 5
+        assert ("model", "units") in space.keys
+        assert ("post", "threshold") in space.keys
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(TuningError):
+            TunableSpace({})
+
+    def test_numeric_without_range_rejected(self):
+        with pytest.raises(TuningError):
+            TunableSpace({"m": {"x": {"type": "int", "default": 1}}})
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(TuningError):
+            TunableSpace({"m": {"x": {"type": "float", "range": [1.0, 0.0]}}})
+
+    def test_categorical_without_values_rejected(self):
+        with pytest.raises(TuningError):
+            TunableSpace({"m": {"x": {"type": "categorical", "values": []}}})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TuningError):
+            TunableSpace({"m": {"x": {"type": "matrix", "default": 1}}})
+
+
+class TestEncodingRoundtrip:
+    def test_defaults_match_specs(self):
+        defaults = TunableSpace(SPACE).defaults()
+        assert defaults[("model", "units")] == 32
+        assert defaults[("model", "activation")] == "relu"
+        assert defaults[("model", "shuffle")] is True
+
+    def test_vector_roundtrip_preserves_values(self):
+        space = TunableSpace(SPACE)
+        candidate = space.defaults()
+        vector = space.to_vector(candidate)
+        decoded = space.from_vector(vector)
+        assert decoded[("model", "units")] == 32
+        assert decoded[("model", "activation")] == "relu"
+        assert decoded[("post", "threshold")] == pytest.approx(0.5)
+
+    def test_vector_values_in_unit_cube(self):
+        space = TunableSpace(SPACE)
+        for _ in range(20):
+            vector = space.to_vector(space.sample())
+            assert np.all(vector >= 0.0) and np.all(vector <= 1.0)
+
+    def test_samples_respect_ranges(self):
+        space = TunableSpace(SPACE, random_state=1)
+        for _ in range(50):
+            candidate = space.sample()
+            assert 8 <= candidate[("model", "units")] <= 128
+            assert 0.0 <= candidate[("model", "dropout")] <= 0.6
+            assert candidate[("model", "activation")] in ("relu", "tanh", "sigmoid")
+            assert candidate[("model", "shuffle")] in (False, True)
+
+    def test_from_vector_clips_out_of_range(self):
+        space = TunableSpace(SPACE)
+        candidate = space.from_vector(np.full(space.dimensions, 2.0))
+        assert candidate[("model", "units")] == 128
+
+    def test_wrong_vector_shape_rejected(self):
+        space = TunableSpace(SPACE)
+        with pytest.raises(TuningError):
+            space.from_vector(np.zeros(2))
+
+    def test_missing_key_rejected(self):
+        space = TunableSpace(SPACE)
+        with pytest.raises(TuningError):
+            space.to_vector({("model", "units"): 32})
+
+    def test_to_nested(self):
+        space = TunableSpace(SPACE)
+        nested = space.to_nested(space.defaults())
+        assert nested["model"]["units"] == 32
+        assert nested["post"]["threshold"] == 0.5

@@ -1,0 +1,104 @@
+"""Tests for the GP and uniform tuners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TuningError
+from repro.tuning import GaussianProcess, GPEITuner, GPTuner, UniformTuner, get_tuner
+
+
+SPACE = {
+    "step": {
+        "x": {"type": "float", "default": 0.0, "range": [-5.0, 5.0]},
+        "y": {"type": "float", "default": 0.0, "range": [-5.0, 5.0]},
+    }
+}
+
+
+def _objective(candidate):
+    """A smooth function maximized at x=2, y=-1."""
+    x = candidate[("step", "x")]
+    y = candidate[("step", "y")]
+    return -((x - 2.0) ** 2) - ((y + 1.0) ** 2)
+
+
+def _run(tuner, iterations=25):
+    for _ in range(iterations):
+        candidate = tuner.propose()
+        tuner.record(candidate, _objective(candidate))
+    return tuner
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(15, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        gp = GaussianProcess().fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=0.05)
+        assert np.all(std < 0.2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.5, 0.5]])
+        gp = GaussianProcess().fit(x, np.array([1.0]))
+        _, std_near = gp.predict(np.array([[0.5, 0.5]]))
+        _, std_far = gp.predict(np.array([[0.0, 0.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_invalid_kernel_params_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(length_scale=-1.0)
+
+
+class TestTuners:
+    def test_first_proposal_is_default(self):
+        tuner = GPTuner(SPACE, random_state=0)
+        first = tuner.propose()
+        assert first[("step", "x")] == pytest.approx(0.0)
+
+    def test_best_tracking(self):
+        tuner = UniformTuner(SPACE, random_state=0)
+        tuner.record({("step", "x"): 0.0, ("step", "y"): 0.0}, 0.5)
+        tuner.record({("step", "x"): 1.0, ("step", "y"): 1.0}, 0.9)
+        assert tuner.best_score == 0.9
+        assert tuner.best_proposal[("step", "x")] == 1.0
+        assert len(tuner) == 2
+
+    def test_empty_tuner_has_no_best(self):
+        tuner = UniformTuner(SPACE)
+        assert tuner.best_score is None
+        assert tuner.best_proposal is None
+
+    def test_non_finite_score_rejected(self):
+        tuner = UniformTuner(SPACE)
+        with pytest.raises(TuningError):
+            tuner.record(tuner.propose(), float("nan"))
+
+    @pytest.mark.parametrize("tuner_cls", [GPTuner, GPEITuner])
+    def test_gp_tuners_approach_optimum(self, tuner_cls):
+        tuner = _run(tuner_cls(SPACE, random_state=0), iterations=30)
+        assert tuner.best_score > -1.5  # optimum is 0; random default scores ~-5
+
+    def test_gp_outperforms_or_matches_uniform_on_average(self):
+        gp_best = _run(GPEITuner(SPACE, random_state=1), iterations=25).best_score
+        uniform_best = _run(UniformTuner(SPACE, random_state=1),
+                            iterations=25).best_score
+        assert gp_best >= uniform_best - 1.0
+
+    def test_get_tuner_by_name(self):
+        assert isinstance(get_tuner("uniform", SPACE), UniformTuner)
+        assert isinstance(get_tuner("gp", SPACE), GPTuner)
+        assert isinstance(get_tuner("gpei", SPACE), GPEITuner)
+
+    def test_unknown_tuner_rejected(self):
+        with pytest.raises(TuningError):
+            get_tuner("simulated-annealing", SPACE)

@@ -1,0 +1,103 @@
+"""Tests for the multi-aggregation views (repro.viz.aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Signal, generate_signal
+from repro.viz import (
+    aggregate_signal,
+    event_overlay,
+    multi_aggregation_view,
+    signal_summary,
+)
+
+
+@pytest.fixture
+def signal():
+    return Signal("viz", np.arange(100), np.arange(100.0), anomalies=[(20, 29)])
+
+
+class TestAggregateSignal:
+    def test_native_interval_is_identity(self, signal):
+        view = aggregate_signal(signal, interval=1)
+        assert np.allclose(view["values"], np.arange(100.0))
+
+    def test_mean_aggregation(self, signal):
+        view = aggregate_signal(signal, interval=10, method="mean")
+        assert len(view["values"]) == 10
+        assert view["values"][0] == pytest.approx(4.5)
+        assert view["timestamps"][1] == 10
+
+    def test_max_aggregation(self, signal):
+        view = aggregate_signal(signal, interval=10, method="max")
+        assert view["values"][0] == 9.0
+
+    def test_unknown_method_rejected(self, signal):
+        with pytest.raises(ValueError):
+            aggregate_signal(signal, interval=10, method="mode")
+
+    def test_invalid_interval_rejected(self, signal):
+        with pytest.raises(ValueError):
+            aggregate_signal(signal, interval=0)
+
+    def test_invalid_channel_rejected(self, signal):
+        with pytest.raises(ValueError):
+            aggregate_signal(signal, interval=10, channel=3)
+
+
+class TestMultiAggregationView:
+    def test_default_levels(self, signal):
+        views = multi_aggregation_view(signal)
+        assert len(views) == 3
+        assert 1 in views
+
+    def test_custom_levels(self, signal):
+        views = multi_aggregation_view(signal, levels=[2, 20])
+        assert set(views) == {2, 20}
+        assert len(views[2]["values"]) > len(views[20]["values"])
+
+    def test_coarser_levels_have_fewer_points(self):
+        signal = generate_signal("multi", length=500, n_anomalies=1, random_state=0)
+        views = multi_aggregation_view(signal, levels=[1, 10, 50])
+        lengths = [len(views[level]["values"]) for level in (1, 10, 50)]
+        assert lengths[0] > lengths[1] > lengths[2]
+
+
+class TestEventOverlay:
+    def test_overlay_statistics(self, signal):
+        overlays = event_overlay(signal, [(20, 29)])
+        assert len(overlays) == 1
+        overlay = overlays[0]
+        assert overlay["n_samples"] == 10
+        assert overlay["min"] == 20.0
+        assert overlay["max"] == 29.0
+
+    def test_deviation_sign(self):
+        values = np.zeros(100)
+        values[50:60] = 10.0
+        signal = Signal("dev", np.arange(100), values)
+        overlay = event_overlay(signal, [(50, 59)])[0]
+        assert overlay["deviation_sigma"] > 1.0
+
+    def test_event_outside_signal_skipped(self, signal):
+        assert event_overlay(signal, [(1000, 1100)]) == []
+
+    def test_empty_events(self, signal):
+        assert event_overlay(signal, []) == []
+
+
+class TestSignalSummary:
+    def test_summary_fields(self, signal):
+        summary = signal_summary(signal)
+        assert summary["length"] == 100
+        assert summary["channels"] == 1
+        assert summary["known_anomalies"] == 1
+        assert summary["missing"] == 0
+        assert summary["min"] == 0.0
+        assert summary["max"] == 99.0
+
+    def test_missing_values_counted(self):
+        values = np.arange(50.0)
+        values[5] = np.nan
+        signal = Signal("gaps", np.arange(50), values)
+        assert signal_summary(signal)["missing"] == 1

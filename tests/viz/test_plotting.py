@@ -1,0 +1,66 @@
+"""Tests for the terminal rendering helpers (repro.viz.plotting)."""
+
+import numpy as np
+
+from repro.data import Signal
+from repro.viz import render_events, render_signal, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(np.arange(1000), width=60)) == 60
+
+    def test_short_series_keeps_length(self):
+        assert len(sparkline(np.arange(10), width=80)) == 10
+
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline(np.arange(8), width=8)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series_renders(self):
+        line = sparkline(np.ones(20), width=20)
+        assert len(line) == 20
+        assert len(set(line)) == 1
+
+    def test_empty_and_nan_input(self):
+        assert sparkline(np.array([])) == ""
+        assert sparkline(np.array([np.nan, np.nan])) == ""
+
+
+class TestRenderSignal:
+    def _signal(self):
+        values = np.zeros(100)
+        values[40:50] = 5.0
+        return Signal("render", np.arange(100), values)
+
+    def test_without_events_single_line(self):
+        out = render_signal(self._signal(), width=50)
+        assert "\n" not in out
+
+    def test_with_events_adds_marker_line(self):
+        out = render_signal(self._signal(), events=[(40, 49)], width=100)
+        lines = out.split("\n")
+        assert len(lines) == 2
+        assert "^" in lines[1]
+        # Markers align with the anomalous region, not the flat part.
+        assert lines[1][:30].strip() == ""
+
+    def test_downsampled_markers_still_present(self):
+        out = render_signal(self._signal(), events=[(40, 49)], width=20)
+        assert "^" in out.split("\n")[1]
+
+
+class TestRenderEvents:
+    def test_no_events_placeholder(self):
+        signal = Signal("empty", np.arange(10), np.zeros(10))
+        assert render_events(signal, []) == "(no events)"
+
+    def test_table_contains_event_rows(self):
+        values = np.zeros(100)
+        values[40:50] = 5.0
+        signal = Signal("tbl", np.arange(100), values)
+        out = render_events(signal, [(40, 49), (70, 75)])
+        lines = out.split("\n")
+        assert len(lines) == 2 + 2  # header + separator + two events
+        assert "sigma" in lines[0]
