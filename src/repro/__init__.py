@@ -11,7 +11,17 @@ The top-level package exposes the most common entry points:
   (also available as :func:`repro.benchmark.benchmark`).
 """
 
-from repro.core import Pipeline, Sintel, Template, list_primitives
+from repro.core import (
+    CachingExecutor,
+    Pipeline,
+    SerialExecutor,
+    Sintel,
+    Template,
+    ThreadedExecutor,
+    get_executor,
+    list_executors,
+    list_primitives,
+)
 from repro.data import Dataset, Signal, load_benchmark_datasets, load_dataset
 from repro.pipelines import list_pipelines, load_pipeline, load_template
 
@@ -25,6 +35,11 @@ __all__ = [
     "Signal",
     "Dataset",
     "list_primitives",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "CachingExecutor",
+    "get_executor",
+    "list_executors",
     "list_pipelines",
     "load_pipeline",
     "load_template",

@@ -1,5 +1,6 @@
 """``repro.api``: REST-style API over the knowledge base."""
 
+from repro.api.jobs import Job, JobManager
 from repro.api.rest import Response, SintelAPI
 
-__all__ = ["SintelAPI", "Response"]
+__all__ = ["SintelAPI", "Response", "Job", "JobManager"]

@@ -1,0 +1,149 @@
+"""Background job management for the REST API.
+
+Long-running operations (fitting and detecting over a full signal, or an
+entire benchmark sweep) must not block the request path. ``POST /jobs``
+submits the work to a :class:`JobManager`, which runs it on a worker pool
+and tracks its lifecycle; ``GET /jobs/<id>`` polls status and, once the job
+has finished, its result.
+
+Job lifecycle: ``pending`` → ``running`` → ``succeeded`` | ``failed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import NotFoundError
+
+__all__ = ["Job", "JobManager"]
+
+
+class Job:
+    """One unit of background work and its observable state."""
+
+    def __init__(self, job_id: str, kind: str):
+        self.job_id = job_id
+        self.kind = kind
+        self.status = "pending"
+        self.result = None
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self._done = threading.Event()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of the job."""
+        payload = {
+            "id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.status == "succeeded":
+            payload["result"] = self.result
+        if self.status == "failed":
+            payload["error"] = self.error
+        return payload
+
+
+class JobManager:
+    """Submit, track and join background jobs.
+
+    Finished jobs (and their results) are retained for polling, but the
+    registry is bounded: once it exceeds ``max_jobs``, the oldest finished
+    jobs are pruned. Pending and running jobs are never pruned.
+
+    Args:
+        max_workers: size of the shared worker thread pool.
+        max_jobs: retention bound on the job registry.
+    """
+
+    def __init__(self, max_workers: int = 2, max_jobs: int = 1000):
+        if max_jobs < 1:
+            raise ValueError("max_jobs must be at least 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sintel-job"
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+        self.max_jobs = max_jobs
+
+    def _prune(self) -> None:
+        # Called with the lock held. Dict preserves insertion order, so the
+        # first finished entries are the oldest.
+        excess = len(self._jobs) - self.max_jobs
+        if excess <= 0:
+            return
+        for job_id in [job.job_id for job in self._jobs.values()
+                       if job.status in ("succeeded", "failed")][:excess]:
+            del self._jobs[job_id]
+
+    def submit(self, kind: str, function: Callable[[], object]) -> Job:
+        """Queue ``function`` for execution and return its :class:`Job`."""
+        with self._lock:
+            job = Job(f"job-{next(self._counter)}", kind)
+            self._jobs[job.job_id] = job
+            self._prune()
+
+        def run() -> None:
+            job.status = "running"
+            job.started_at = time.time()
+            try:
+                job.result = function()
+                job.status = "succeeded"
+            except Exception as error:  # noqa: BLE001 - reported via the job
+                job.error = str(error)
+                job.status = "failed"
+            finally:
+                job.finished_at = time.time()
+                job._done.set()
+
+        try:
+            self._pool.submit(run)
+        except RuntimeError as error:
+            # The pool was shut down: withdraw the registered job and report
+            # a client-level error instead of leaking the RuntimeError.
+            with self._lock:
+                del self._jobs[job.job_id]
+            raise ValueError("The job manager is shut down; "
+                             "no new jobs are accepted") from error
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Return the job with ``job_id`` or raise :class:`NotFoundError`."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise NotFoundError(f"Unknown job {job_id!r}")
+            return self._jobs[job_id]
+
+    def list(self) -> List[Job]:
+        """All known jobs in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def delete(self, job_id: str) -> None:
+        """Forget a finished job. Running jobs cannot be deleted."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise NotFoundError(f"Unknown job {job_id!r}")
+            if self._jobs[job_id].status in ("pending", "running"):
+                raise ValueError(f"Job {job_id!r} is still active")
+            del self._jobs[job_id]
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job finishes (or ``timeout`` elapses)."""
+        job = self.get(job_id)
+        job._done.wait(timeout)
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool."""
+        self._pool.shutdown(wait=wait)

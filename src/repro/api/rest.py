@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import json
 import re
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from repro.api.jobs import JobManager
 from repro.db.explorer import SintelExplorer
 from repro.exceptions import DatabaseError, NotFoundError
 
@@ -57,10 +58,26 @@ class SintelAPI:
     * ``POST /events/<id>/comments``     — comment on an event
     * ``GET  /events/<id>/comments``     — list an event's comments
     * ``GET  /pipelines``                — list registered pipelines
+    * ``POST /jobs``                     — submit a background job
+    * ``GET  /jobs``                     — list jobs
+    * ``GET  /jobs/<id>``                — poll one job's status / result
+    * ``DELETE /jobs/<id>``              — forget a finished job
+
+    Long-running work (detection, benchmarks) goes through the ``/jobs``
+    resource: ``POST /jobs`` returns ``202 Accepted`` immediately with a job
+    id, and clients poll ``GET /jobs/<id>`` until the status is
+    ``succeeded`` or ``failed``. ``self.jobs.wait(job_id)`` joins a job
+    deterministically from in-process callers.
+
+    Args:
+        explorer: knowledge-base facade (a fresh in-memory one by default).
+        job_workers: worker threads for background jobs.
     """
 
-    def __init__(self, explorer: Optional[SintelExplorer] = None):
+    def __init__(self, explorer: Optional[SintelExplorer] = None,
+                 job_workers: int = 2):
         self.explorer = explorer or SintelExplorer()
+        self.jobs = JobManager(max_workers=job_workers)
         self._routes: List[Tuple[str, re.Pattern, Callable]] = []
         self._register_routes()
 
@@ -86,6 +103,10 @@ class SintelAPI:
             ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)/comments$"),
              self._list_comments),
             ("GET", re.compile(r"^/pipelines$"), self._list_pipelines),
+            ("POST", re.compile(r"^/jobs$"), self._create_job),
+            ("GET", re.compile(r"^/jobs$"), self._list_jobs),
+            ("GET", re.compile(r"^/jobs/(?P<job_id>[^/]+)$"), self._get_job),
+            ("DELETE", re.compile(r"^/jobs/(?P<job_id>[^/]+)$"), self._delete_job),
         ]
 
     def handle(self, method: str, path: str, body: Optional[dict] = None,
@@ -109,6 +130,18 @@ class SintelAPI:
         if matched_path:
             return Response(405, {"error": f"Method {method} not allowed for {path}"})
         return Response(404, {"error": f"Unknown route {path}"})
+
+    # Lifecycle ----------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop the background job workers. Routes keep responding, but
+        ``POST /jobs`` returns ``400`` after this."""
+        self.jobs.shutdown(wait=wait)
+
+    def __enter__(self) -> "SintelAPI":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # Convenience verb helpers -------------------------------------------------
     def get(self, path: str, query: Optional[dict] = None) -> Response:
@@ -199,3 +232,73 @@ class SintelAPI:
         from repro.pipelines import list_pipelines
 
         return Response(200, {"pipelines": list_pipelines()})
+
+    # ------------------------------------------------------------------ #
+    # background jobs
+    # ------------------------------------------------------------------ #
+    def _create_job(self, body, query) -> Response:
+        task = body.get("task")
+        if task == "detect":
+            runner = self._make_detect_job(body)
+        elif task == "benchmark":
+            runner = self._make_benchmark_job(body)
+        else:
+            raise ValueError(
+                f"Unknown job task {task!r}; expected 'detect' or 'benchmark'"
+            )
+        job = self.jobs.submit(task, runner)
+        return Response(202, job.to_dict())
+
+    @staticmethod
+    def _make_detect_job(body) -> Callable:
+        pipeline = body["pipeline"]
+        data = body["data"]
+        hyperparameters = body.get("hyperparameters")
+        options = body.get("pipeline_options", {})
+        executor = body.get("executor")
+
+        def run() -> dict:
+            # Imported lazily to keep the API importable without the core.
+            from repro.core.sintel import Sintel
+
+            sintel = Sintel(pipeline, hyperparameters=hyperparameters,
+                            executor=executor, **options)
+            anomalies = sintel.fit_detect(data)
+            return {
+                "pipeline": pipeline,
+                "anomalies": [list(anomaly) for anomaly in anomalies],
+            }
+
+        return run
+
+    @staticmethod
+    def _make_benchmark_job(body) -> Callable:
+        options = {
+            key: body[key]
+            for key in ("pipelines", "datasets", "method", "scale",
+                        "max_signals", "pipeline_options", "workers",
+                        "executor", "pipeline_executor")
+            if key in body
+        }
+        options.setdefault("profile_memory", False)
+
+        def run() -> dict:
+            from repro.benchmark.runner import benchmark
+
+            result = benchmark(**options)
+            return {"records": result.records}
+
+        return run
+
+    def _list_jobs(self, body, query) -> Response:
+        jobs = [job.to_dict() for job in self.jobs.list()]
+        if query.get("status"):
+            jobs = [job for job in jobs if job["status"] == query["status"]]
+        return Response(200, {"jobs": jobs})
+
+    def _get_job(self, body, query, job_id: str) -> Response:
+        return Response(200, self.jobs.get(job_id).to_dict())
+
+    def _delete_job(self, body, query, job_id: str) -> Response:
+        self.jobs.delete(job_id)
+        return Response(204, {})

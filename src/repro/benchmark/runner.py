@@ -9,9 +9,14 @@ requested dataset under identical conditions, recording both *quality*
 from __future__ import annotations
 
 import time
-import tracemalloc
 from typing import Dict, Optional, Sequence, Union
 
+from repro.core.executor import (
+    SerialExecutor,
+    ThreadedExecutor,
+    get_executor,
+    trace_memory,
+)
 from repro.core.sintel import Sintel
 from repro.data.datasets import load_benchmark_datasets
 from repro.data.signal import Dataset, Signal
@@ -36,11 +41,17 @@ DEFAULT_PIPELINE_OPTIONS: Dict[str, dict] = {
 def run_pipeline_on_signal(pipeline_name: str, signal: Signal,
                            pipeline_options: Optional[dict] = None,
                            method: str = "overlapping",
-                           profile_memory: bool = True) -> dict:
+                           profile_memory: bool = True,
+                           executor=None) -> dict:
     """Fit and detect one pipeline on one signal and score the result.
 
     Returns a benchmark record dictionary (see
     :class:`repro.benchmark.results.BenchmarkResult`).
+
+    Memory profiling is nested-safe: when an outer ``tracemalloc`` trace is
+    already active (e.g. several benchmark jobs sharing a process) the peak
+    is measured as a delta against the current snapshot and the outer trace
+    is left running.
     """
     options = dict(DEFAULT_PIPELINE_OPTIONS.get(pipeline_name, {}))
     options.update(pipeline_options or {})
@@ -53,23 +64,17 @@ def run_pipeline_on_signal(pipeline_name: str, signal: Signal,
     data = signal.to_array()
 
     try:
-        sintel = Sintel(pipeline_name, **options)
+        sintel = Sintel(pipeline_name, executor=executor, **options)
 
-        if profile_memory:
-            tracemalloc.start()
-        started = time.perf_counter()
-        sintel.fit(data)
-        record["fit_time"] = time.perf_counter() - started
+        with trace_memory(profile_memory) as probe:
+            started = time.perf_counter()
+            sintel.fit(data)
+            record["fit_time"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        detected = sintel.detect(data)
-        record["detect_time"] = time.perf_counter() - started
-        if profile_memory:
-            _, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-            record["memory"] = peak
-        else:
-            record["memory"] = 0
+            started = time.perf_counter()
+            detected = sintel.detect(data)
+            record["detect_time"] = time.perf_counter() - started
+        record["memory"] = probe.memory if profile_memory else 0
 
         if method == "weighted":
             data_range = (float(data[0, 0]), float(data[-1, 0]))
@@ -84,8 +89,6 @@ def run_pipeline_on_signal(pipeline_name: str, signal: Signal,
             "n_truth": len(signal.anomalies),
         })
     except Exception as error:  # noqa: BLE001 - a failing pipeline is a result
-        if profile_memory and tracemalloc.is_tracing():
-            tracemalloc.stop()
         record.update({
             "status": "error",
             "error": str(error),
@@ -107,7 +110,10 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
               pipeline_options: Optional[Dict[str, dict]] = None,
               random_state: int = 0,
               profile_memory: bool = True,
-              verbose: bool = False) -> BenchmarkResult:
+              verbose: bool = False,
+              workers: int = 1,
+              executor=None,
+              pipeline_executor=None) -> BenchmarkResult:
     """Run the full quality + computational benchmark (Table 3 / Figure 7a).
 
     Args:
@@ -121,14 +127,27 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
         max_signals: optional cap on signals per dataset (keeps runs short).
         pipeline_options: per-pipeline spec-factory overrides.
         random_state: seed for dataset construction.
-        profile_memory: record peak memory with ``tracemalloc``.
+        profile_memory: record peak memory with ``tracemalloc``. With
+            concurrent workers the trace is shared across jobs, so per-job
+            peaks become upper-bound estimates.
         verbose: print one line per (pipeline, signal).
+        workers: number of concurrent (pipeline, signal) jobs. ``1`` keeps
+            the original serial behaviour; ``N > 1`` fans jobs out over a
+            :class:`~repro.core.executor.ThreadedExecutor`.
+        executor: explicit :class:`~repro.core.executor.Executor` for the
+            job fan-out (overrides ``workers``).
+        pipeline_executor: optional executor forwarded to each pipeline for
+            its internal step scheduling.
 
     Returns:
-        A :class:`BenchmarkResult` with one record per (pipeline, signal).
+        A :class:`BenchmarkResult` with one record per (pipeline, signal),
+        in deterministic (dataset, pipeline, signal) submission order
+        regardless of worker count.
     """
     if method not in ("overlapping", "weighted"):
         raise BenchmarkError(f"Unknown evaluation method {method!r}")
+    if workers < 1:
+        raise BenchmarkError("workers must be at least 1")
 
     pipelines = list(pipelines) if pipelines else list(BENCHMARK_PIPELINES)
     unknown = set(pipelines) - set(list_pipelines())
@@ -148,24 +167,52 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
     pipeline_options = pipeline_options or {}
     result = BenchmarkResult(method=method)
 
+    # Deterministic job list: dataset -> pipeline -> signal, exactly the
+    # order the serial loops used. ``Executor.map`` preserves item order,
+    # so the records come back identically ordered for any worker count.
+    jobs = []
     for dataset_name, dataset in datasets.items():
         signals = list(dataset)
         if max_signals is not None:
             signals = signals[:max_signals]
         for pipeline_name in pipelines:
             for signal in signals:
-                record = run_pipeline_on_signal(
-                    pipeline_name, signal,
-                    pipeline_options=pipeline_options.get(pipeline_name),
-                    method=method,
-                    profile_memory=profile_memory,
-                )
-                record["dataset"] = dataset_name
-                result.add(record)
-                if verbose:  # pragma: no cover - console output
-                    print(
-                        f"{pipeline_name:<24} {dataset_name:<8} {signal.name:<28} "
-                        f"f1={record['f1']:.3f} fit={record['fit_time']:.1f}s "
-                        f"status={record['status']}"
-                    )
+                jobs.append((dataset_name, pipeline_name, signal))
+
+    if executor is not None:
+        job_executor = get_executor(executor)
+    elif workers > 1:
+        job_executor = ThreadedExecutor(max_workers=workers)
+    else:
+        job_executor = get_executor(None)
+
+    def run_job(job):
+        dataset_name, pipeline_name, signal = job
+        record = run_pipeline_on_signal(
+            pipeline_name, signal,
+            pipeline_options=pipeline_options.get(pipeline_name),
+            method=method,
+            profile_memory=profile_memory,
+            executor=pipeline_executor,
+        )
+        record["dataset"] = dataset_name
+        if verbose:  # pragma: no cover - console output
+            # Printed on completion so long sweeps show live progress
+            # (lines may arrive out of submission order with workers > 1).
+            print(
+                f"{pipeline_name:<24} {dataset_name:<8} {signal.name:<28} "
+                f"f1={record['f1']:.3f} fit={record['fit_time']:.1f}s "
+                f"status={record['status']}"
+            )
+        return record
+
+    # With a concurrent job executor, hold one tracemalloc trace across the
+    # whole fan-out: individual jobs then measure snapshot deltas instead of
+    # racing to stop a trace their siblings are still reading.
+    hold_trace = profile_memory and not isinstance(job_executor, SerialExecutor)
+    with trace_memory(hold_trace):
+        records = job_executor.map(run_job, jobs)
+
+    for record in records:
+        result.add(record)
     return result

@@ -1,6 +1,16 @@
 """``repro.core``: primitives, pipelines, templates, and the Sintel API."""
 
 from repro.core.analysis import AnalysisReport, analyze
+from repro.core.executor import (
+    CachingExecutor,
+    ExecutionPlan,
+    Executor,
+    SerialExecutor,
+    StepNode,
+    ThreadedExecutor,
+    get_executor,
+    list_executors,
+)
 from repro.core.pipeline import Pipeline, Template
 from repro.core.primitive import (
     Primitive,
@@ -22,4 +32,12 @@ __all__ = [
     "Sintel",
     "analyze",
     "AnalysisReport",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "CachingExecutor",
+    "ExecutionPlan",
+    "StepNode",
+    "get_executor",
+    "list_executors",
 ]

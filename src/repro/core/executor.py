@@ -1,0 +1,485 @@
+"""Pluggable execution engine for pipelines and benchmarks.
+
+The paper models a pipeline as a DAG of primitives (§3.2) and the benchmark
+runs every pipeline × signal combination under identical conditions (§3.4).
+This module separates *what* to run from *how* to run it:
+
+* :class:`SerialExecutor` — runs steps in declaration order (the default,
+  preserving the original semantics exactly);
+* :class:`ThreadedExecutor` — schedules independent DAG branches concurrently
+  with a topological ready-queue, and fans generic job lists (benchmark
+  pipeline × signal jobs) out over a thread pool;
+* :class:`CachingExecutor` — wraps another executor and memoizes per-step
+  outputs keyed by (step spec, hyperparameters, input digests) so repeated
+  tuning or benchmark runs skip unchanged pipeline prefixes.
+
+An executor consumes an :class:`ExecutionPlan` — a list of :class:`StepNode`
+entries carrying the variables each step reads and writes — and returns the
+final context plus per-step timings, keeping ``Pipeline.step_timings`` intact
+for the Figure 7 computational benchmarks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import pickle
+import threading
+import time
+import tracemalloc
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ExecutorError
+
+__all__ = [
+    "StepNode",
+    "ExecutionPlan",
+    "Executor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "CachingExecutor",
+    "get_executor",
+    "list_executors",
+    "trace_memory",
+]
+
+
+# --------------------------------------------------------------------------- #
+# execution plans
+# --------------------------------------------------------------------------- #
+@dataclass
+class StepNode:
+    """One schedulable unit of work inside an :class:`ExecutionPlan`.
+
+    Args:
+        name: unique step name within the plan.
+        engine: engine category of the underlying primitive.
+        reads: context variable names the step consumes (fit and produce).
+        writes: context variable names the step produces, in output order.
+        execute: ``execute(context, fit)`` callable returning a dictionary of
+            context updates. It must not mutate ``context`` itself — the
+            executor applies updates so it can serialize writes.
+        fingerprint: stable identity of the step configuration (spec +
+            hyperparameters, plus a per-build token for stateful steps) used
+            as the cache key prefix.
+        cacheable: ``cacheable(fit)`` predicate deciding whether the step's
+            outputs may be served from a cache in the given mode.
+    """
+
+    name: str
+    engine: str
+    reads: Tuple[str, ...]
+    writes: Tuple[str, ...]
+    execute: Callable[[dict, bool], dict]
+    fingerprint: str = ""
+    cacheable: Callable[[bool], bool] = field(default=lambda fit: False)
+
+
+class ExecutionPlan:
+    """An ordered list of step nodes plus their dependency structure.
+
+    The dependency graph is derived from the read/write sets in serial
+    declaration order and covers all three hazard classes, so any schedule
+    that respects it is equivalent to the serial one:
+
+    * read-after-write — a consumer waits for the last producer of each
+      variable it reads;
+    * write-after-write — a re-producer waits for the previous producer;
+    * write-after-read — a re-producer waits for every earlier reader of
+      the variable it overwrites.
+    """
+
+    def __init__(self, nodes: Sequence[StepNode]):
+        self.nodes = list(nodes)
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ExecutorError(f"Duplicate step names in plan: {names}")
+        self.dependencies = self._build_dependencies(self.nodes)
+
+    @staticmethod
+    def _build_dependencies(nodes: Sequence[StepNode]) -> Dict[str, set]:
+        dependencies: Dict[str, set] = {node.name: set() for node in nodes}
+        last_writer: Dict[str, str] = {}
+        readers: Dict[str, set] = {}
+        for node in nodes:
+            for variable in node.reads:
+                if variable in last_writer:
+                    dependencies[node.name].add(last_writer[variable])
+                readers.setdefault(variable, set()).add(node.name)
+            for variable in node.writes:
+                if variable in last_writer:
+                    dependencies[node.name].add(last_writer[variable])
+                for reader in readers.get(variable, ()):
+                    if reader != node.name:
+                        dependencies[node.name].add(reader)
+                last_writer[variable] = node.name
+                readers[variable] = set()
+        return dependencies
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+# --------------------------------------------------------------------------- #
+# profiling helpers
+# --------------------------------------------------------------------------- #
+class _MemoryProbe:
+    """Result holder for :func:`trace_memory`."""
+
+    def __init__(self):
+        self.memory = 0
+
+
+@contextlib.contextmanager
+def trace_memory(enabled: bool = True):
+    """Measure peak traced memory of the ``with`` body, nested-safe.
+
+    Yields a probe whose ``memory`` attribute holds the peak delta in bytes
+    once the block exits. When an outer ``tracemalloc`` trace is already
+    active (e.g. the benchmark runner profiling a whole pipeline run) the
+    body is measured against a fresh peak (``tracemalloc.reset_peak``) so
+    earlier high-water marks do not bleed into this block, and the outer
+    trace is left running; otherwise the trace is owned and stopped here.
+    An enclosing probe consequently reports the peak since its *last* inner
+    probe, not its true lifetime peak — hold an outer probe only as a trace
+    anchor, not for its number.
+
+    Concurrent measurements must share one outer trace: whoever runs
+    measured work on several threads should hold ``trace_memory`` open
+    around the fan-out so no single task stops the trace while siblings
+    are still measuring (their deltas then become rough estimates, since
+    the peak reset and reads race across threads).
+    """
+    probe = _MemoryProbe()
+    owns_trace = False
+    baseline = 0
+    if enabled:
+        if tracemalloc.is_tracing():
+            baseline = tracemalloc.get_traced_memory()[0]
+            tracemalloc.reset_peak()
+        else:
+            tracemalloc.start()
+            owns_trace = True
+    try:
+        yield probe
+    finally:
+        if enabled:
+            if tracemalloc.is_tracing():
+                peak = tracemalloc.get_traced_memory()[1]
+                probe.memory = max(peak - baseline, 0)
+            if owns_trace:
+                tracemalloc.stop()
+
+
+def _run_measured(action: Callable[[], dict], profile: bool) -> Tuple[dict, float, int]:
+    """Run ``action`` and return ``(result, elapsed_seconds, memory_bytes)``."""
+    started = time.perf_counter()
+    with trace_memory(profile) as probe:
+        result = action()
+    return result, time.perf_counter() - started, probe.memory
+
+
+# --------------------------------------------------------------------------- #
+# executors
+# --------------------------------------------------------------------------- #
+class Executor:
+    """Scheduling strategy for pipeline steps and generic job lists.
+
+    Subclasses implement :meth:`run_plan` (pipeline step scheduling) and
+    :meth:`map` (benchmark fan-out). Both must preserve serial semantics:
+    ``run_plan`` may only reorder steps the dependency graph allows, and
+    ``map`` returns results in the order of ``items`` regardless of the
+    order in which they complete.
+    """
+
+    name = "executor"
+
+    def run_plan(self, plan: ExecutionPlan, context: dict, fit: bool = False,
+                 profile: bool = False) -> Tuple[dict, Dict[str, dict]]:
+        """Execute every node of ``plan`` over ``context``.
+
+        Returns the final context and a ``{step: timing}`` mapping with keys
+        ``elapsed``, ``engine`` and ``memory`` (plus ``cached`` when a
+        caching layer served the step).
+        """
+        raise NotImplementedError
+
+    def map(self, function: Callable, items: Iterable) -> List:
+        """Apply ``function`` to every item, returning results in order."""
+        raise NotImplementedError
+
+    def _run_node(self, node: StepNode, context: dict, fit: bool,
+                  profile: bool) -> Tuple[dict, dict]:
+        """Execute one node and return ``(updates, timing)``."""
+        updates, elapsed, memory = _run_measured(
+            lambda: node.execute(context, fit), profile
+        )
+        timing = {"elapsed": elapsed, "engine": node.engine, "memory": memory}
+        if isinstance(updates, dict) and updates.pop("__cached__", False):
+            timing["cached"] = True
+        return updates, timing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run steps strictly in declaration order — the original semantics."""
+
+    name = "serial"
+
+    def run_plan(self, plan, context, fit=False, profile=False):
+        timings: Dict[str, dict] = {}
+        for node in plan:
+            updates, timing = self._run_node(node, context, fit, profile)
+            context.update(updates)
+            timings[node.name] = timing
+        return context, timings
+
+    def map(self, function, items):
+        return [function(item) for item in items]
+
+
+class ThreadedExecutor(Executor):
+    """Schedule independent DAG branches concurrently.
+
+    A topological ready-queue submits every step whose dependencies have
+    completed to a thread pool, so parallel template branches (e.g. two
+    independent feature extractors) overlap while the dependency graph —
+    including write hazards — keeps results identical to the serial run.
+
+    Args:
+        max_workers: thread pool size (default: ``min(8, n_steps)``).
+    """
+
+    name = "threaded"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ExecutorError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def _pool_size(self, n_items: int) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, min(8, n_items))
+
+    def run_plan(self, plan, context, fit=False, profile=False):
+        remaining = {name: set(deps) for name, deps in plan.dependencies.items()}
+        dependents: Dict[str, set] = {node.name: set() for node in plan}
+        for name, deps in plan.dependencies.items():
+            for dep in deps:
+                dependents[dep].add(name)
+        by_name = {node.name: node for node in plan}
+
+        timings: Dict[str, dict] = {}
+        lock = threading.Lock()
+        ready = [node.name for node in plan if not remaining[node.name]]
+        failure: List[BaseException] = []
+
+        def run_one(name: str) -> str:
+            node = by_name[name]
+            updates, timing = self._run_node(node, context, fit, profile)
+            with lock:
+                context.update(updates)
+                timings[name] = timing
+            return name
+
+        # Hold one trace across the whole schedule: concurrent steps must
+        # not own (and stop) the global tracemalloc trace while siblings
+        # are still measuring.
+        with trace_memory(profile):
+            with ThreadPoolExecutor(max_workers=self._pool_size(len(plan))) as pool:
+                pending = {pool.submit(run_one, name) for name in ready}
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        error = future.exception()
+                        if error is not None:
+                            failure.append(error)
+                            continue
+                        finished = future.result()
+                        for name in dependents[finished]:
+                            remaining[name].discard(finished)
+                            if not remaining[name] and not failure:
+                                pending.add(pool.submit(run_one, name))
+                    if failure:
+                        # Drain in-flight work, then surface the first error.
+                        wait(pending)
+                        pending = set()
+        if failure:
+            raise failure[0]
+
+        # Report timings in plan order, matching the serial executor.
+        ordered = {node.name: timings[node.name] for node in plan}
+        return context, ordered
+
+    def map(self, function, items):
+        items = list(items)
+        if not items:
+            return []
+        with ThreadPoolExecutor(max_workers=self._pool_size(len(items))) as pool:
+            return list(pool.map(function, items))
+
+
+class CachingExecutor(Executor):
+    """Memoize per-step outputs on top of another executor.
+
+    Cache keys combine the step fingerprint (spec + hyperparameters, plus a
+    per-build token for fitted stateful steps), the execution mode, and a
+    content digest of every input variable, so a hyperparameter change or
+    different input data invalidates the entry. Steps whose inputs cannot be
+    digested deterministically bypass the cache.
+
+    Args:
+        inner: the executor that actually schedules steps (default serial).
+        maxsize: LRU capacity in cached step outputs.
+    """
+
+    name = "caching"
+
+    def __init__(self, inner: Optional[Union[str, "Executor"]] = None,
+                 maxsize: int = 256):
+        if maxsize < 1:
+            raise ExecutorError("maxsize must be at least 1")
+        self.inner = get_executor(inner or "serial")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- pickling: locks are not picklable and a cache is never worth
+    # -- shipping with a saved model, so drop both.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def clear(self) -> None:
+        """Drop every cached entry and reset the hit/miss counters."""
+        with self._lock:
+            self._cache.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @staticmethod
+    def _digest(value) -> Optional[str]:
+        hasher = hashlib.sha256()
+        if value is None:
+            hasher.update(b"\x00none")
+        elif isinstance(value, np.ndarray):
+            hasher.update(str(value.dtype).encode())
+            hasher.update(str(value.shape).encode())
+            hasher.update(np.ascontiguousarray(value).tobytes())
+        elif isinstance(value, (bool, int, float, str, bytes)):
+            hasher.update(type(value).__name__.encode())
+            hasher.update(repr(value).encode())
+        else:
+            try:
+                hasher.update(pickle.dumps(value))
+            except Exception:  # noqa: BLE001 - undigestable input: skip cache
+                return None
+        return hasher.hexdigest()
+
+    def _key(self, node: StepNode, context: dict) -> Optional[tuple]:
+        # The execution mode is deliberately NOT part of the key: a step is
+        # only cacheable in fit mode when fitting is a no-op for it, so a
+        # cacheable step produces identical outputs in both modes and a fit
+        # run can warm the cache for subsequent detect runs.
+        parts = []
+        for variable in sorted(node.reads):
+            digest = self._digest(context.get(variable))
+            if digest is None:
+                return None
+            parts.append((variable, digest))
+        return (node.fingerprint, tuple(parts))
+
+    def _wrap(self, node: StepNode) -> StepNode:
+        def execute(context: dict, fit: bool) -> dict:
+            if not node.cacheable(fit) or not node.fingerprint:
+                return node.execute(context, fit)
+            key = self._key(node, context)
+            if key is None:
+                return node.execute(context, fit)
+            with self._lock:
+                if key in self._cache:
+                    self.hits += 1
+                    self._cache.move_to_end(key)
+                    cached = dict(self._cache[key])
+                    cached["__cached__"] = True
+                    return cached
+            updates = node.execute(context, fit)
+            with self._lock:
+                self.misses += 1
+                self._cache[key] = dict(updates)
+                while len(self._cache) > self.maxsize:
+                    self._cache.popitem(last=False)
+            return updates
+
+        return StepNode(
+            name=node.name, engine=node.engine, reads=node.reads,
+            writes=node.writes, execute=execute,
+            fingerprint=node.fingerprint, cacheable=node.cacheable,
+        )
+
+    def run_plan(self, plan, context, fit=False, profile=False):
+        wrapped = ExecutionPlan([self._wrap(node) for node in plan])
+        return self.inner.run_plan(wrapped, context, fit=fit, profile=profile)
+
+    def map(self, function, items):
+        return self.inner.map(function, items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"CachingExecutor(inner={self.inner!r}, "
+                f"hits={self.hits}, misses={self.misses})")
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+EXECUTORS: Dict[str, type] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadedExecutor.name: ThreadedExecutor,
+    CachingExecutor.name: CachingExecutor,
+}
+
+
+def list_executors() -> List[str]:
+    """Names of the registered executor strategies."""
+    return sorted(EXECUTORS)
+
+
+def get_executor(executor: Optional[Union[str, Executor, type]] = None,
+                 **options) -> Executor:
+    """Resolve an executor specification to an :class:`Executor` instance.
+
+    Accepts ``None`` (serial default), a registered name, an ``Executor``
+    subclass, or an already-built instance (returned unchanged).
+    """
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, type) and issubclass(executor, Executor):
+        return executor(**options)
+    if isinstance(executor, str):
+        if executor not in EXECUTORS:
+            raise ExecutorError(
+                f"Unknown executor {executor!r}. Registered: {list_executors()}"
+            )
+        return EXECUTORS[executor](**options)
+    raise ExecutorError(f"Cannot build an executor from {type(executor).__name__}")

@@ -10,13 +10,14 @@ hyperparameter assignment ``λ ∈ Λ``.
 from __future__ import annotations
 
 import copy
-import time
-import tracemalloc
+import json
+import uuid
 from typing import Dict, List, Optional
 
 import networkx as nx
 import numpy as np
 
+from repro.core.executor import ExecutionPlan, Executor, StepNode, get_executor
 from repro.core.primitive import get_primitive, get_primitive_class
 from repro.exceptions import NotFittedError, PipelineError
 
@@ -125,13 +126,22 @@ class Template:
 class Pipeline:
     """An executable anomaly detection pipeline.
 
-    The pipeline runs its steps sequentially over a shared *context* — a
-    dictionary of named variables. ``fit`` calls every step's ``fit`` and
-    ``produce``; ``detect`` only calls ``produce``. Per-step execution time
-    and memory are recorded for the computational benchmark (Figure 7).
+    The pipeline runs its steps over a shared *context* — a dictionary of
+    named variables. ``fit`` calls every step's ``fit`` and ``produce``;
+    ``detect`` only calls ``produce``. Step scheduling, per-step timing and
+    memory profiling are delegated to a pluggable
+    :class:`~repro.core.executor.Executor` (serial by default), and the
+    resulting ``step_timings`` feed the computational benchmark (Figure 7).
+
+    Args:
+        spec: template specification dictionary.
+        hyperparameters: optional hyperparameter overrides.
+        executor: executor name, class or instance that schedules the steps
+            (``None`` selects the serial executor).
     """
 
-    def __init__(self, spec: dict, hyperparameters: Optional[dict] = None):
+    def __init__(self, spec: dict, hyperparameters: Optional[dict] = None,
+                 executor=None):
         self.template = Template(spec)
         self.spec = self.template.spec
         self.name = self.template.name
@@ -140,8 +150,30 @@ class Pipeline:
         if hyperparameters:
             self.set_hyperparameters(hyperparameters)
         self._primitives = None
+        self._build_token = ""
+        self._plan = None
+        self._executor = get_executor(executor)
         self.fitted = False
         self.step_timings: Dict[str, dict] = {}
+
+    def __getstate__(self) -> dict:
+        # The cached plan holds step closures, which cannot be pickled;
+        # it is rebuilt lazily on the next run.
+        state = self.__dict__.copy()
+        state["_plan"] = None
+        return state
+
+    # ------------------------------------------------------------------ #
+    # executor selection
+    # ------------------------------------------------------------------ #
+    @property
+    def executor(self) -> Executor:
+        """The executor that schedules this pipeline's steps."""
+        return self._executor
+
+    def set_executor(self, executor) -> None:
+        """Select the executor (name, class or instance) used by ``_run``."""
+        self._executor = get_executor(executor)
 
     # ------------------------------------------------------------------ #
     # hyperparameters
@@ -174,6 +206,7 @@ class Pipeline:
                 raise PipelineError(f"Unknown pipeline step {step!r}")
             self._hyperparameters.setdefault(step, {}).update(values)
         self._primitives = None
+        self._plan = None
         self.fitted = False
 
     def get_tunable_hyperparameters(self) -> dict:
@@ -191,44 +224,80 @@ class Pipeline:
             known = cls.get_default_hyperparameters()
             usable = {key: value for key, value in values.items() if key in known}
             primitives.append((step, get_primitive(step["primitive"], usable)))
+        # Stateful steps carry this token in their cache fingerprint so a
+        # rebuild (refit or hyperparameter change) invalidates their entries.
+        self._build_token = uuid.uuid4().hex
         return primitives
 
-    def _run(self, context: dict, fit: bool, profile: bool = False) -> dict:
-        if fit or self._primitives is None:
-            self._primitives = self._build_primitives()
-        self.step_timings = {}
+    def _step_fingerprint(self, step: dict, primitive) -> str:
+        identity = {
+            "primitive": step["primitive"],
+            "inputs": step.get("inputs", {}),
+            "outputs": step.get("outputs", {}),
+            "hyperparameters": primitive.hyperparameters,
+        }
+        if primitive.fit_args:
+            identity["build"] = self._build_token
+        return json.dumps(identity, sort_keys=True, default=repr)
 
+    def _build_plan(self) -> ExecutionPlan:
+        nodes = []
         for step, primitive in self._primitives:
             inputs = step.get("inputs", {})
             outputs = step.get("outputs", {})
-            started = time.perf_counter()
-            if profile:
-                tracemalloc.start()
+            reads = tuple(sorted({
+                inputs.get(arg, arg)
+                for arg in set(primitive.produce_args) | set(primitive.fit_args)
+            }))
+            writes = tuple(outputs.get(out, out) for out in primitive.produce_output)
+            nodes.append(StepNode(
+                name=step["name"],
+                engine=primitive.engine,
+                reads=reads,
+                writes=writes,
+                execute=self._make_step_runner(step, primitive),
+                fingerprint=self._step_fingerprint(step, primitive),
+                # A step with no fit state is deterministic given its inputs
+                # and hyperparameters; a fitted stateful step is only safe to
+                # cache in produce mode (the fingerprint pins its build).
+                cacheable=(lambda fit, stateful=bool(primitive.fit_args):
+                           not (fit and stateful)),
+            ))
+        return ExecutionPlan(nodes)
 
+    def _make_step_runner(self, step: dict, primitive):
+        inputs = step.get("inputs", {})
+        outputs = step.get("outputs", {})
+
+        def execute(context: dict, fit: bool) -> dict:
             if fit and primitive.fit_args:
                 kwargs = self._collect(context, primitive.fit_args, inputs, step)
                 primitive.fit(**kwargs)
-
             kwargs = self._collect(context, primitive.produce_args, inputs, step)
             produced = primitive.produce(**kwargs)
             if not isinstance(produced, dict):
                 raise PipelineError(
                     f"Primitive {primitive.name!r} must return a dict of outputs"
                 )
-            for out_name, value in produced.items():
-                context[outputs.get(out_name, out_name)] = value
+            return {outputs.get(out, out): value for out, value in produced.items()}
 
-            elapsed = time.perf_counter() - started
-            memory = 0
-            if profile:
-                _, memory = tracemalloc.get_traced_memory()
-                tracemalloc.stop()
-            self.step_timings[step["name"]] = {
-                "elapsed": elapsed,
-                "engine": primitive.engine,
-                "memory": memory,
-            }
+        return execute
 
+    def _run(self, context: dict, fit: bool, profile: bool = False) -> dict:
+        if fit:
+            self._primitives = self._build_primitives()
+            self._plan = None
+        elif self._primitives is None:
+            raise NotFittedError(
+                f"Pipeline {self.name!r} has no fitted primitives; call fit() "
+                "before detect()"
+            )
+        if self._plan is None:
+            self._plan = self._build_plan()
+        self.step_timings = {}
+        context, self.step_timings = self._executor.run_plan(
+            self._plan, context, fit=fit, profile=profile
+        )
         return context
 
     @staticmethod

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 __all__ = [
     "weighted_segment_confusion_matrix",
     "overlapping_segment_confusion_matrix",

@@ -12,6 +12,7 @@ __all__ = [
     "DuplicateKeyError",
     "TuningError",
     "BenchmarkError",
+    "ExecutorError",
 ]
 
 
@@ -49,3 +50,7 @@ class TuningError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised when a benchmark configuration is invalid."""
+
+
+class ExecutorError(ReproError):
+    """Raised for invalid executor configurations or execution plans."""

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.core.sintel import Sintel
 from repro.data.signal import Signal
 from repro.evaluation import overlapping_segment_confusion_matrix

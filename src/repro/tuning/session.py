@@ -17,6 +17,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.core.executor import get_executor
 from repro.core.pipeline import Pipeline
 from repro.evaluation import REGRESSION_METRICS, contextual_f1_score
 from repro.exceptions import TuningError
@@ -55,6 +56,11 @@ class TuningSession:
         tuner: tuner name (``"gp"``, ``"gpei"``, ``"uniform"``).
         engines: restrict tuning to hyperparameters of these engines
             (e.g. ``["postprocessing"]``); ``None`` tunes everything.
+        executor: optional executor (name, class or instance) used by every
+            candidate pipeline. A shared
+            :class:`~repro.core.executor.CachingExecutor` lets candidates
+            that only change late-stage hyperparameters skip the unchanged
+            pipeline prefix entirely.
     """
 
     def __init__(self, pipeline, data, ground_truth=None,
@@ -62,7 +68,8 @@ class TuningSession:
                  tuner: str = "gp", engines: Optional[list] = None,
                  random_state: int = 0,
                  scorer: Optional[Callable[[Pipeline], float]] = None,
-                 pipeline_options: Optional[dict] = None):
+                 pipeline_options: Optional[dict] = None,
+                 executor=None):
         if setting not in ("supervised", "unsupervised"):
             raise TuningError(f"Unknown tuning setting {setting!r}")
         if setting == "supervised" and ground_truth is None and scorer is None:
@@ -74,6 +81,9 @@ class TuningSession:
 
         self._pipeline_source = pipeline
         self._pipeline_options = pipeline_options or {}
+        # Resolve once so every candidate pipeline shares the same executor
+        # instance (and therefore the same step cache, when caching is on).
+        self._executor = get_executor(executor) if executor is not None else None
         self.data = np.asarray(data, dtype=float)
         self.ground_truth = ground_truth
         self.setting = setting
@@ -94,8 +104,12 @@ class TuningSession:
     # ------------------------------------------------------------------ #
     def _make_pipeline(self) -> Pipeline:
         if isinstance(self._pipeline_source, Pipeline):
-            return Pipeline(copy.deepcopy(self._pipeline_source.spec))
-        return load_pipeline(self._pipeline_source, **self._pipeline_options)
+            pipeline = Pipeline(copy.deepcopy(self._pipeline_source.spec))
+        else:
+            pipeline = load_pipeline(self._pipeline_source, **self._pipeline_options)
+        if self._executor is not None:
+            pipeline.set_executor(self._executor)
+        return pipeline
 
     def _restrict_space(self, pipeline: Pipeline) -> dict:
         space = pipeline.get_tunable_hyperparameters()

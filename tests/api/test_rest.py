@@ -10,7 +10,9 @@ from repro.db import SintelExplorer
 
 @pytest.fixture
 def api():
-    return SintelAPI(SintelExplorer())
+    api = SintelAPI(SintelExplorer())
+    yield api
+    api.close()
 
 
 @pytest.fixture
@@ -137,3 +139,111 @@ class TestAnnotationsAndComments:
         response = Response(204, {})
         assert response.ok
         assert not Response(500, {}).ok
+
+
+class TestJobs:
+    def _detect_body(self):
+        from repro.data import generate_signal
+
+        signal = generate_signal("job-sig", length=120, n_anomalies=1,
+                                 random_state=3)
+        return {"task": "detect", "pipeline": "azure",
+                "data": signal.to_array().tolist()}
+
+    def test_detect_job_lifecycle(self, api):
+        accepted = api.post("/jobs", self._detect_body())
+        assert accepted.status == 202
+        job_id = accepted.body["id"]
+        assert accepted.body["status"] in ("pending", "running")
+
+        api.jobs.wait(job_id, timeout=60)
+        fetched = api.get(f"/jobs/{job_id}")
+        assert fetched.ok
+        assert fetched.body["status"] == "succeeded"
+        assert isinstance(fetched.body["result"]["anomalies"], list)
+        # The whole job payload must be JSON-serializable.
+        json.dumps(fetched.body)
+
+    def test_benchmark_job(self, api):
+        accepted = api.post("/jobs", {
+            "task": "benchmark", "pipelines": ["azure"], "datasets": ["NAB"],
+            "max_signals": 1, "scale": 0.02, "workers": 2,
+            "executor": "threaded",
+        })
+        assert accepted.status == 202
+        job = api.jobs.wait(accepted.body["id"], timeout=120)
+        assert job.status == "succeeded"
+        assert len(job.result["records"]) == 1
+
+    def test_context_manager_closes_job_pool(self):
+        with SintelAPI(SintelExplorer()) as scoped:
+            accepted = scoped.post("/jobs", self._detect_body())
+            job = scoped.jobs.wait(accepted.body["id"], timeout=60)
+            assert job.status == "succeeded"
+
+    def test_post_after_close_returns_400(self):
+        api = SintelAPI(SintelExplorer())
+        api.close()
+        response = api.post("/jobs", self._detect_body())
+        assert response.status == 400
+        assert "shut down" in response.body["error"]
+        assert api.get("/jobs").body["jobs"] == []
+
+    def test_failed_job_reports_error(self, api):
+        accepted = api.post("/jobs", {
+            "task": "detect", "pipeline": "no-such-pipeline",
+            "data": [[0, 1], [1, 2]],
+        })
+        job = api.jobs.wait(accepted.body["id"], timeout=60)
+        assert job.status == "failed"
+        body = api.get(f"/jobs/{accepted.body['id']}").body
+        assert "error" in body
+
+    def test_unknown_task_400(self, api):
+        assert api.post("/jobs", {"task": "teleport"}).status == 400
+
+    def test_missing_payload_400(self, api):
+        assert api.post("/jobs", {"task": "detect"}).status == 400
+
+    def test_unknown_job_404(self, api):
+        assert api.get("/jobs/job-999").status == 404
+
+    def test_list_jobs_with_status_filter(self, api):
+        accepted = api.post("/jobs", self._detect_body())
+        api.jobs.wait(accepted.body["id"], timeout=60)
+        listed = api.get("/jobs")
+        assert len(listed.body["jobs"]) == 1
+        succeeded = api.get("/jobs", query={"status": "succeeded"})
+        assert len(succeeded.body["jobs"]) == 1
+        failed = api.get("/jobs", query={"status": "failed"})
+        assert failed.body["jobs"] == []
+
+    def test_delete_finished_job(self, api):
+        accepted = api.post("/jobs", self._detect_body())
+        job_id = accepted.body["id"]
+        api.jobs.wait(job_id, timeout=60)
+        assert api.delete(f"/jobs/{job_id}").status == 204
+        assert api.get(f"/jobs/{job_id}").status == 404
+
+    def test_delete_unknown_job_404(self, api):
+        assert api.delete("/jobs/job-999").status == 404
+
+    def test_finished_jobs_pruned_at_capacity(self):
+        from repro.api.jobs import JobManager
+
+        manager = JobManager(max_workers=1, max_jobs=2)
+        try:
+            for _ in range(4):
+                job = manager.submit("noop", lambda: None)
+                job._done.wait(10)
+            assert len(manager.list()) == 2
+        finally:
+            manager.shutdown()
+
+    def test_detect_does_not_block_request_path(self, api):
+        # Submitting returns immediately; other routes stay responsive
+        # while the job runs in the background.
+        accepted = api.post("/jobs", self._detect_body())
+        assert api.get("/pipelines").ok
+        job = api.jobs.wait(accepted.body["id"], timeout=60)
+        assert job.status == "succeeded"

@@ -50,6 +50,27 @@ class TestRunPipelineOnSignal:
         record = run_pipeline_on_signal("azure", small_signal, profile_memory=False)
         assert record["memory"] == 0
 
+    def test_memory_profiling_preserves_outer_trace(self, small_signal):
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            record = run_pipeline_on_signal("azure", small_signal,
+                                            profile_memory=True)
+            assert tracemalloc.is_tracing()
+            assert record["memory"] >= 0
+        finally:
+            tracemalloc.stop()
+
+    def test_pipeline_executor_forwarded(self, small_signal):
+        from repro.core.executor import ThreadedExecutor
+
+        record = run_pipeline_on_signal(
+            "arima", small_signal, pipeline_options={"window_size": 30},
+            executor=ThreadedExecutor(max_workers=2), profile_memory=False,
+        )
+        assert record["status"] == "ok"
+
 
 class TestBenchmark:
     def test_benchmark_on_provided_datasets(self, tiny_datasets):
@@ -91,3 +112,40 @@ class TestBenchmark:
         from repro.pipelines import BENCHMARK_PIPELINES
 
         assert set(DEFAULT_PIPELINE_OPTIONS) == set(BENCHMARK_PIPELINES)
+
+
+class TestBenchmarkFanOut:
+    TIMING_FIELDS = ("fit_time", "detect_time", "memory")
+
+    def _strip_timings(self, records):
+        return [{key: value for key, value in record.items()
+                 if key not in self.TIMING_FIELDS}
+                for record in records]
+
+    def test_workers_match_serial_records(self, tiny_datasets):
+        # Acceptance criterion: workers=4 returns records equal to the
+        # serial run up to timing fields, in the same deterministic order.
+        serial = benchmark(pipelines=FAST, datasets=tiny_datasets,
+                           profile_memory=False)
+        parallel = benchmark(pipelines=FAST, datasets=tiny_datasets,
+                             profile_memory=False, workers=4)
+        assert self._strip_timings(parallel.records) == \
+            self._strip_timings(serial.records)
+
+    def test_workers_with_memory_profiling(self, tiny_datasets):
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=True, workers=2)
+        assert len(result) == 2
+        assert all(record["memory"] >= 0 for record in result.records)
+
+    def test_explicit_executor(self, tiny_datasets):
+        from repro.core.executor import ThreadedExecutor
+
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False,
+                           executor=ThreadedExecutor(max_workers=2))
+        assert len(result) == 2
+
+    def test_invalid_workers_rejected(self, tiny_datasets):
+        with pytest.raises(BenchmarkError):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets, workers=0)

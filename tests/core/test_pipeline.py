@@ -112,6 +112,21 @@ class TestPipelineExecution:
         pipeline.fit(_data(small_signal), profile=True)
         assert any(t["memory"] > 0 for t in pipeline.step_timings.values())
 
+    def test_profile_preserves_outer_tracemalloc(self, small_signal):
+        # Step profiling must not clobber a trace started by an outer
+        # profiler (e.g. the benchmark runner's profile_memory=True).
+        import tracemalloc
+
+        tracemalloc.start()
+        try:
+            pipeline = Pipeline(_simple_spec())
+            pipeline.fit(_data(small_signal), profile=True)
+            assert tracemalloc.is_tracing()
+            assert all(t["memory"] >= 0
+                       for t in pipeline.step_timings.values())
+        finally:
+            tracemalloc.stop()
+
     def test_detection_finds_injected_anomaly(self, small_signal):
         from repro.evaluation import contextual_recall
 
@@ -147,6 +162,16 @@ class TestPipelineHyperparameters:
         assert pipeline.fitted
         pipeline.set_hyperparameters({"ARIMA": {"p": 3}})
         assert not pipeline.fitted
+
+    def test_detect_with_cleared_primitives_raises(self, small_signal):
+        # A stale fitted flag must not let detect() silently rebuild and
+        # run fresh, unfitted primitives.
+        pipeline = Pipeline(_simple_spec())
+        pipeline.fit(_data(small_signal))
+        pipeline.set_hyperparameters({"ARIMA": {"p": 3}})
+        pipeline.fitted = True  # simulate external state desync
+        with pytest.raises(NotFittedError):
+            pipeline.detect(_data(small_signal))
 
     def test_constructor_hyperparameters_applied(self):
         pipeline = Pipeline(_simple_spec(),
