@@ -16,6 +16,8 @@ from repro.core import (
     Pipeline,
     SerialExecutor,
     Sintel,
+    StreamEvent,
+    StreamRunner,
     Template,
     ThreadedExecutor,
     get_executor,
@@ -32,6 +34,8 @@ __all__ = [
     "Sintel",
     "Pipeline",
     "Template",
+    "StreamRunner",
+    "StreamEvent",
     "Signal",
     "Dataset",
     "list_primitives",

@@ -58,16 +58,24 @@ class JobManager:
 
     Finished jobs (and their results) are retained for polling, but the
     registry is bounded: once it exceeds ``max_jobs``, the oldest finished
-    jobs are pruned. Pending and running jobs are never pruned.
+    jobs are pruned. Pending and running jobs are never pruned; instead,
+    ``max_active`` bounds how many jobs may be pending or running at once —
+    submissions beyond it are rejected with :class:`ValueError` so a burst
+    of clients cannot queue unbounded work.
 
     Args:
         max_workers: size of the shared worker thread pool.
         max_jobs: retention bound on the job registry.
+        max_active: capacity bound on concurrently active (pending or
+            running) jobs; ``None`` means unbounded.
     """
 
-    def __init__(self, max_workers: int = 2, max_jobs: int = 1000):
+    def __init__(self, max_workers: int = 2, max_jobs: int = 1000,
+                 max_active: Optional[int] = None):
         if max_jobs < 1:
             raise ValueError("max_jobs must be at least 1")
+        if max_active is not None and max_active < 1:
+            raise ValueError("max_active must be at least 1")
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="sintel-job"
         )
@@ -75,6 +83,7 @@ class JobManager:
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
         self.max_jobs = max_jobs
+        self.max_active = max_active
 
     def _prune(self) -> None:
         # Called with the lock held. Dict preserves insertion order, so the
@@ -87,8 +96,21 @@ class JobManager:
             del self._jobs[job_id]
 
     def submit(self, kind: str, function: Callable[[], object]) -> Job:
-        """Queue ``function`` for execution and return its :class:`Job`."""
+        """Queue ``function`` for execution and return its :class:`Job`.
+
+        Raises:
+            ValueError: when ``max_active`` jobs are already pending or
+                running (capacity rejection), or after :meth:`shutdown`.
+        """
         with self._lock:
+            if self.max_active is not None:
+                active = sum(1 for job in self._jobs.values()
+                             if job.status in ("pending", "running"))
+                if active >= self.max_active:
+                    raise ValueError(
+                        f"Job capacity reached ({self.max_active} active "
+                        "jobs); retry once one finishes"
+                    )
             job = Job(f"job-{next(self._counter)}", kind)
             self._jobs[job.job_id] = job
             self._prune()

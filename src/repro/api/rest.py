@@ -14,8 +14,9 @@ import re
 from typing import Callable, List, Optional, Tuple
 
 from repro.api.jobs import JobManager
+from repro.api.streams import StreamManager
 from repro.db.explorer import SintelExplorer
-from repro.exceptions import DatabaseError, NotFoundError
+from repro.exceptions import NotFoundError, ReproError
 
 __all__ = ["Response", "SintelAPI"]
 
@@ -62,6 +63,11 @@ class SintelAPI:
     * ``GET  /jobs``                     — list jobs
     * ``GET  /jobs/<id>``                — poll one job's status / result
     * ``DELETE /jobs/<id>``              — forget a finished job
+    * ``POST /streams``                  — open a live stream session
+    * ``GET  /streams``                  — list stream sessions
+    * ``POST /streams/<id>/data``        — push a micro-batch (``202``)
+    * ``GET  /streams/<id>``             — poll state + incremental anomalies
+    * ``DELETE /streams/<id>``           — close a stream session
 
     Long-running work (detection, benchmarks) goes through the ``/jobs``
     resource: ``POST /jobs`` returns ``202 Accepted`` immediately with a job
@@ -69,15 +75,30 @@ class SintelAPI:
     ``succeeded`` or ``failed``. ``self.jobs.wait(job_id)`` joins a job
     deterministically from in-process callers.
 
+    Live signals go through the ``/streams`` resource instead: ``POST
+    /streams`` fits the requested pipeline on the supplied training rows
+    and opens a session; micro-batches pushed to ``/streams/<id>/data``
+    are acknowledged with ``202`` and processed strictly in order by a
+    background drainer, and ``GET /streams/<id>`` reports ingest lag,
+    drift status, retrain history and the incremental anomaly events.
+    ``self.streams.wait_idle(stream_id)`` joins the queue deterministically
+    from in-process callers.
+
     Args:
         explorer: knowledge-base facade (a fresh in-memory one by default).
         job_workers: worker threads for background jobs.
+        stream_workers: worker threads shared by the stream drainers.
+        max_streams: capacity bound on concurrently open stream sessions.
     """
 
     def __init__(self, explorer: Optional[SintelExplorer] = None,
-                 job_workers: int = 2):
+                 job_workers: int = 2, stream_workers: int = 2,
+                 max_streams: int = 8):
         self.explorer = explorer or SintelExplorer()
         self.jobs = JobManager(max_workers=job_workers)
+        self.streams = StreamManager(max_workers=stream_workers,
+                                     max_sessions=max_streams,
+                                     explorer=self.explorer)
         self._routes: List[Tuple[str, re.Pattern, Callable]] = []
         self._register_routes()
 
@@ -107,6 +128,14 @@ class SintelAPI:
             ("GET", re.compile(r"^/jobs$"), self._list_jobs),
             ("GET", re.compile(r"^/jobs/(?P<job_id>[^/]+)$"), self._get_job),
             ("DELETE", re.compile(r"^/jobs/(?P<job_id>[^/]+)$"), self._delete_job),
+            ("POST", re.compile(r"^/streams$"), self._create_stream),
+            ("GET", re.compile(r"^/streams$"), self._list_streams),
+            ("POST", re.compile(r"^/streams/(?P<stream_id>[^/]+)/data$"),
+             self._push_stream_data),
+            ("GET", re.compile(r"^/streams/(?P<stream_id>[^/]+)$"),
+             self._get_stream),
+            ("DELETE", re.compile(r"^/streams/(?P<stream_id>[^/]+)$"),
+             self._delete_stream),
         ]
 
     def handle(self, method: str, path: str, body: Optional[dict] = None,
@@ -125,7 +154,7 @@ class SintelAPI:
                 return handler(body or {}, query or {}, **match.groupdict())
             except NotFoundError as error:
                 return Response(404, {"error": str(error)})
-            except (DatabaseError, ValueError, KeyError) as error:
+            except (ReproError, ValueError, KeyError) as error:
                 return Response(400, {"error": str(error)})
         if matched_path:
             return Response(405, {"error": f"Method {method} not allowed for {path}"})
@@ -133,8 +162,10 @@ class SintelAPI:
 
     # Lifecycle ----------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
-        """Stop the background job workers. Routes keep responding, but
-        ``POST /jobs`` returns ``400`` after this."""
+        """Stop the background job and stream workers. Routes keep
+        responding, but ``POST /jobs`` and stream ingestion return ``400``
+        after this."""
+        self.streams.shutdown(wait=wait)
         self.jobs.shutdown(wait=wait)
 
     def __enter__(self) -> "SintelAPI":
@@ -301,4 +332,38 @@ class SintelAPI:
 
     def _delete_job(self, body, query, job_id: str) -> Response:
         self.jobs.delete(job_id)
+        return Response(204, {})
+
+    # ------------------------------------------------------------------ #
+    # live streams
+    # ------------------------------------------------------------------ #
+    def _create_stream(self, body, query) -> Response:
+        session = self.streams.open(
+            body["pipeline"],
+            body["data"],
+            hyperparameters=body.get("hyperparameters"),
+            pipeline_options=body.get("pipeline_options"),
+            executor=body.get("executor"),
+            signal_id=body.get("signal_id"),
+            drift=body.get("drift"),
+            **body.get("stream_options", {}),
+        )
+        return Response(201, session.to_dict(include_events=False))
+
+    def _list_streams(self, body, query) -> Response:
+        sessions = [session.to_dict(include_events=False)
+                    for session in self.streams.list()]
+        if query.get("status"):
+            sessions = [session for session in sessions
+                        if session["status"] == query["status"]]
+        return Response(200, {"streams": sessions})
+
+    def _push_stream_data(self, body, query, stream_id: str) -> Response:
+        return Response(202, self.streams.push(stream_id, body["data"]))
+
+    def _get_stream(self, body, query, stream_id: str) -> Response:
+        return Response(200, self.streams.get(stream_id).to_dict())
+
+    def _delete_stream(self, body, query, stream_id: str) -> Response:
+        self.streams.close(stream_id)
         return Response(204, {})

@@ -1,0 +1,304 @@
+"""Live stream session management for the REST API.
+
+A *stream session* keeps a :class:`~repro.core.stream.StreamRunner` alive
+behind the API, following the :class:`~repro.api.jobs.JobManager` pattern:
+a manager owns a shared worker pool and tracks each session's lifecycle
+(``open`` → ``closed`` | ``error``). Pushed micro-batches are queued per
+session and drained strictly in arrival order by a single active drainer,
+so concurrent pushes can never reorder or drop batches; ``POST`` returns
+immediately with the queue lag and clients poll ``GET /streams/<id>`` for
+incremental anomalies, drift status and retrain history.
+
+When the manager is given a :class:`~repro.db.explorer.SintelExplorer`,
+sessions and the events they emit are persisted through the knowledge
+base: one ``streams`` document per session, one ``events`` document per
+closed stream event.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+from repro.exceptions import DatabaseError, NotFoundError, StreamError
+
+__all__ = ["StreamSession", "StreamManager", "build_drift_detector"]
+
+#: Runner options clients may set through the API; anything else (including
+#: ``drift_detector``/``on_event``, which the manager passes itself) is a
+#: client error, not a TypeError deep inside the constructor.
+ALLOWED_STREAM_OPTIONS = frozenset({
+    "window_size", "warmup", "drift_cooldown", "retrain", "retrain_hysteresis",
+})
+
+
+def build_drift_detector(spec):
+    """Resolve a JSON drift specification into a detector instance.
+
+    ``None``/``True``/``"default"`` select the stock Page–Hinkley detector;
+    ``False`` disables drift monitoring; a dictionary selects a detector by
+    name (``page_hinkley`` or ``distribution``) with the remaining keys
+    forwarded as constructor arguments.
+    """
+    # Imported lazily so the API module loads without the streaming stack.
+    from repro.streaming.drift import DistributionDriftDetector, PageHinkley
+
+    if spec in (None, True, "default"):
+        return "default"
+    if spec is False:
+        return None
+    if not isinstance(spec, dict):
+        raise ValueError(f"Cannot build a drift detector from {spec!r}")
+    kind = spec.get("detector", "page_hinkley")
+    params = {key: value for key, value in spec.items() if key != "detector"}
+    if kind == "page_hinkley":
+        return PageHinkley(**params)
+    if kind in ("distribution", "ks"):
+        return DistributionDriftDetector(**params)
+    raise ValueError(f"Unknown drift detector {kind!r}")
+
+
+class StreamSession:
+    """One live ingestion session and its observable state."""
+
+    def __init__(self, stream_id: str, runner, pipeline_name: str,
+                 db_id: Optional[str] = None):
+        self.stream_id = stream_id
+        self.runner = runner
+        self.pipeline_name = pipeline_name
+        self.db_id = db_id
+        self.status = "open"
+        self.error: Optional[str] = None
+        self.created_at = time.time()
+        self.closed_at: Optional[float] = None
+        self.batches_pushed = 0
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
+        self._draining = False
+        self._idle = threading.Event()
+        self._idle.set()
+
+    @property
+    def lag(self) -> dict:
+        """Batches and samples queued but not yet processed."""
+        with self._lock:
+            batches = len(self._pending)
+            samples = sum(len(batch) for batch in self._pending)
+        return {"batches": batches, "samples": samples}
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the ingest queue is drained (or ``timeout``)."""
+        return self._idle.wait(timeout)
+
+    def to_dict(self, include_events: bool = True) -> dict:
+        """JSON-serializable view of the session."""
+        payload = {
+            "id": self.stream_id,
+            "pipeline": self.pipeline_name,
+            "status": self.status,
+            "created_at": self.created_at,
+            "closed_at": self.closed_at,
+            "batches_pushed": self.batches_pushed,
+            "lag": self.lag,
+        }
+        if self.error:
+            payload["error"] = self.error
+        payload.update(self.runner.state())
+        if include_events:
+            payload["events"] = [event.to_dict() for event in self.runner.events]
+        return payload
+
+
+class StreamManager:
+    """Open, feed, observe and close live stream sessions.
+
+    Args:
+        max_workers: worker threads shared by every session's drainer.
+        max_sessions: capacity bound on concurrently *open* sessions —
+            opening beyond it is rejected (the JobManager pattern applied
+            to long-lived resources).
+        explorer: optional knowledge-base facade; when present, sessions
+            and closed events are persisted through it.
+    """
+
+    def __init__(self, max_workers: int = 2, max_sessions: int = 8,
+                 explorer=None):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="sintel-stream"
+        )
+        self._sessions: Dict[str, StreamSession] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self.max_sessions = max_sessions
+        self.explorer = explorer
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def open(self, pipeline, train_data, hyperparameters: Optional[dict] = None,
+             pipeline_options: Optional[dict] = None, executor=None,
+             signal_id: Optional[str] = None, drift=None,
+             **stream_options) -> StreamSession:
+        """Fit ``pipeline`` on ``train_data`` and open a stream over it."""
+        # Imported lazily to keep the API importable without the core.
+        from repro.core.sintel import Sintel
+
+        unknown = set(stream_options) - ALLOWED_STREAM_OPTIONS
+        if unknown:
+            raise ValueError(
+                f"Unknown stream options {sorted(unknown)}; "
+                f"allowed: {sorted(ALLOWED_STREAM_OPTIONS)}"
+            )
+        with self._lock:
+            open_count = sum(1 for session in self._sessions.values()
+                             if session.status == "open")
+            if open_count >= self.max_sessions:
+                raise ValueError(
+                    f"Stream capacity reached ({self.max_sessions} open "
+                    "sessions); close one before opening another"
+                )
+            self._counter += 1
+            stream_id = f"stream-{self._counter}"
+
+        sintel = Sintel(pipeline, hyperparameters=hyperparameters,
+                        executor=executor, **(pipeline_options or {}))
+        sintel.fit(train_data)
+
+        db_id = None
+        if self.explorer is not None:
+            try:
+                db_id = self.explorer.add_stream(
+                    sintel.pipeline_name, signal_id=signal_id, api_id=stream_id
+                )
+            except DatabaseError:
+                db_id = None
+
+        on_event = None
+        if db_id is not None:
+            explorer = self.explorer
+            captured_db_id = db_id
+
+            def _persist_event(event):
+                try:
+                    explorer.add_stream_event(captured_db_id, event)
+                except DatabaseError:
+                    pass
+
+            on_event = _persist_event
+
+        runner = sintel.stream(
+            drift_detector=build_drift_detector(drift),
+            on_event=on_event,
+            **stream_options,
+        )
+        session = StreamSession(stream_id, runner,
+                                pipeline_name=sintel.pipeline_name, db_id=db_id)
+        with self._lock:
+            self._sessions[stream_id] = session
+        return session
+
+    def get(self, stream_id: str) -> StreamSession:
+        """Return the session with ``stream_id`` or raise NotFoundError."""
+        with self._lock:
+            if stream_id not in self._sessions:
+                raise NotFoundError(f"Unknown stream {stream_id!r}")
+            return self._sessions[stream_id]
+
+    def list(self) -> List[StreamSession]:
+        """All known sessions in creation order."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def close(self, stream_id: str, drain: bool = True,
+              timeout: Optional[float] = 60.0) -> StreamSession:
+        """Close a session: drain pending batches, close the runner."""
+        session = self.get(stream_id)
+        if session.status == "closed":
+            return session
+        if drain and session.status == "open":
+            session.wait_idle(timeout)
+        session.status = "closed"
+        session.closed_at = time.time()
+        session.runner.close()
+        if self.explorer is not None and session.db_id is not None:
+            try:
+                state = session.runner.state()
+                self.explorer.end_stream(
+                    session.db_id,
+                    samples_seen=state["samples_seen"],
+                    events=state["events_closed"],
+                    retrains=state["retrains"],
+                )
+            except DatabaseError:
+                pass
+        return session
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Close every open session and stop the worker pool."""
+        for session in self.list():
+            if session.status == "open":
+                try:
+                    self.close(session.stream_id, drain=wait, timeout=10.0)
+                except StreamError:  # pragma: no cover - defensive
+                    pass
+        self._pool.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def push(self, stream_id: str, batch) -> dict:
+        """Queue one micro-batch; returns the session's current lag."""
+        session = self.get(stream_id)
+        if session.status != "open":
+            raise ValueError(f"Stream {stream_id!r} is {session.status}")
+        with session._lock:
+            session._pending.append(batch)
+            session.batches_pushed += 1
+            session._idle.clear()
+        self._schedule(session)
+        return {"id": stream_id, "status": session.status, "lag": session.lag,
+                "batches_pushed": session.batches_pushed}
+
+    def wait_idle(self, stream_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until a session has processed every queued batch."""
+        return self.get(stream_id).wait_idle(timeout)
+
+    def _schedule(self, session: StreamSession) -> None:
+        with session._lock:
+            if session._draining or not session._pending:
+                return
+            session._draining = True
+        try:
+            self._pool.submit(self._drain, session)
+        except RuntimeError as error:
+            with session._lock:
+                session._draining = False
+                session._idle.set()
+            raise ValueError("The stream manager is shut down; "
+                             "no new batches are accepted") from error
+
+    def _drain(self, session: StreamSession) -> None:
+        # Single active drainer per session: batches are processed strictly
+        # in arrival order even when pushes come from many clients.
+        while True:
+            with session._lock:
+                if not session._pending:
+                    session._draining = False
+                    session._idle.set()
+                    return
+                batch = session._pending.popleft()
+            try:
+                session.runner.send(batch)
+            except Exception as error:  # noqa: BLE001 - reported via session
+                session.error = str(error)
+                session.status = "error"
+                with session._lock:
+                    session._pending.clear()
+                    session._draining = False
+                    session._idle.set()
+                return

@@ -19,12 +19,22 @@ from repro.benchmark.runner import (
     benchmark,
     run_pipeline_on_signal,
 )
+from repro.benchmark.streaming import (
+    benchmark_streaming,
+    default_streaming_signals,
+    intervals_match,
+    run_stream_on_signal,
+)
 
 __all__ = [
     "benchmark",
     "run_pipeline_on_signal",
     "DEFAULT_PIPELINE_OPTIONS",
     "BenchmarkResult",
+    "benchmark_streaming",
+    "run_stream_on_signal",
+    "default_streaming_signals",
+    "intervals_match",
     "profile_pipeline_steps",
     "run_primitives_standalone",
     "primitive_overhead",

@@ -1,0 +1,236 @@
+"""Streaming benchmark: latency, throughput and batch/stream parity.
+
+``benchmark_streaming`` measures the streaming execution path against the
+equivalent batch detection under identical conditions: for every
+(pipeline, signal) combination it fits the pipeline once, runs a full
+batch ``detect``, then replays the same signal through a
+:class:`~repro.core.stream.StreamRunner` micro-batch by micro-batch,
+recording per-batch latency percentiles, sustained sample throughput, and
+whether the stream's final anomaly events match the batch intervals within
+an edge tolerance. Stream sessions and their emitted anomalies can be
+persisted through :mod:`repro.db` by passing an explorer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sintel import Sintel
+from repro.core.stream import StreamRunner
+from repro.data.signal import Signal
+from repro.data.synthetic import generate_signal
+from repro.exceptions import BenchmarkError
+
+__all__ = [
+    "benchmark_streaming",
+    "default_streaming_signals",
+    "intervals_match",
+]
+
+
+def intervals_match(reference: Sequence[Tuple], candidate: Sequence[Tuple],
+                    tolerance: float) -> bool:
+    """Whether two interval lists agree within an edge tolerance.
+
+    Every reference interval must be matched 1:1 by a candidate interval
+    whose start and end each differ by at most ``tolerance`` timestamp
+    units, and no candidate may remain unmatched.
+    """
+    reference = [tuple(map(float, interval[:2])) for interval in reference]
+    candidate = [tuple(map(float, interval[:2])) for interval in candidate]
+    if len(reference) != len(candidate):
+        return False
+    remaining = list(candidate)
+    for start, end in reference:
+        matched = None
+        for i, (c_start, c_end) in enumerate(remaining):
+            if abs(c_start - start) <= tolerance and abs(c_end - end) <= tolerance:
+                matched = i
+                break
+        if matched is None:
+            return False
+        remaining.pop(matched)
+    return True
+
+
+def default_streaming_signals(length: int = 600, n_anomalies: int = 3,
+                              random_state: int = 0) -> List[Signal]:
+    """Three signals mirroring the benchmark dataset flavours.
+
+    One periodic (NASA-telemetry-like), one trend+seasonal
+    (Yahoo-synthetic-like) and one traffic-shaped (NAB-like) signal, each
+    with collective anomalies injected, sized for quick streaming sweeps.
+    """
+    flavours = ("periodic", "trend_seasonal", "traffic")
+    return [
+        generate_signal(
+            f"stream-{flavour}", length=length, n_anomalies=n_anomalies,
+            random_state=random_state + offset, flavour=flavour,
+            anomaly_types=("collective",),
+        )
+        for offset, flavour in enumerate(flavours)
+    ]
+
+
+def run_stream_on_signal(pipeline_name: str, signal: Signal,
+                         batch_size: int = 50,
+                         window_size: Optional[int] = None,
+                         warmup: int = 64,
+                         tolerance: Optional[float] = None,
+                         pipeline_options: Optional[dict] = None,
+                         executor=None,
+                         explorer=None) -> dict:
+    """Stream one signal through one pipeline and compare against batch.
+
+    Returns a record with per-batch latency statistics, throughput, the
+    equivalent batch detect time, and a ``parity`` flag. The stream window
+    defaults to the full signal length so the comparison measures pure
+    incremental-execution overhead against an identical detection problem.
+    """
+    data = signal.to_array()
+    if window_size is None:
+        window_size = len(data)
+    if tolerance is None:
+        tolerance = float(batch_size)
+    record = {
+        "pipeline": pipeline_name,
+        "signal": signal.name,
+        "batch_size": batch_size,
+        "window_size": window_size,
+        "status": "ok",
+    }
+    try:
+        sintel = Sintel(pipeline_name, executor=executor,
+                        **(pipeline_options or {}))
+        started = time.perf_counter()
+        sintel.fit(data)
+        record["fit_time"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        batch_anomalies = sintel.detect(data)
+        record["batch_detect_time"] = time.perf_counter() - started
+
+        db_id = None
+        if explorer is not None:
+            db_id = explorer.add_stream(pipeline_name, signal_id=signal.name,
+                                        benchmark=True)
+        on_event = None
+        if db_id is not None:
+            on_event = lambda event: explorer.add_stream_event(db_id, event)
+
+        runner = StreamRunner(
+            sintel.pipeline, window_size=window_size, warmup=warmup,
+            drift_detector=None, retrain=False, on_event=on_event,
+        )
+        latencies = []
+        for start in range(0, len(data), batch_size):
+            chunk = data[start:start + batch_size]
+            chunk_started = time.perf_counter()
+            runner.send(chunk)
+            latencies.append(time.perf_counter() - chunk_started)
+        runner.close()
+        stream_anomalies = runner.anomalies()
+        if explorer is not None and db_id is not None:
+            state = runner.state()
+            explorer.end_stream(db_id, samples_seen=state["samples_seen"],
+                                events=state["events_closed"])
+
+        latencies = np.asarray(latencies)
+        total = float(np.sum(latencies))
+        record.update({
+            "n_batches": len(latencies),
+            "latency_mean": float(np.mean(latencies)),
+            "latency_p95": float(np.percentile(latencies, 95)),
+            "latency_max": float(np.max(latencies)),
+            "stream_total_time": total,
+            "throughput": len(data) / total if total > 0 else float("inf"),
+            "n_batch_anomalies": len(batch_anomalies),
+            "n_stream_events": len(stream_anomalies),
+            "parity": intervals_match(batch_anomalies, stream_anomalies,
+                                      tolerance),
+        })
+    except Exception as error:  # noqa: BLE001 - a failing pipeline is a result
+        record.update({
+            "status": "error",
+            "error": str(error),
+            "parity": False,
+        })
+    return record
+
+
+def benchmark_streaming(pipelines: Optional[Sequence[str]] = None,
+                        signals: Optional[Sequence[Signal]] = None,
+                        batch_size: int = 50,
+                        window_size: Optional[int] = None,
+                        warmup: int = 64,
+                        tolerance: Optional[float] = None,
+                        pipeline_options: Optional[Dict[str, dict]] = None,
+                        executor=None,
+                        explorer=None,
+                        verbose: bool = False) -> dict:
+    """Run the streaming vs. batch benchmark sweep.
+
+    Args:
+        pipelines: pipeline names (default: the spectral-residual service
+            pipeline, the only benchmark pipeline fast enough to stream at
+            interactive latency on a laptop).
+        signals: signals to replay (default:
+            :func:`default_streaming_signals`).
+        batch_size: micro-batch size in rows.
+        window_size: stream window (default: full signal, measuring pure
+            incremental overhead at exact parity).
+        warmup: rows buffered before the first detection.
+        tolerance: parity edge tolerance in timestamp units (default:
+            ``batch_size``).
+        pipeline_options: per-pipeline spec-factory overrides.
+        executor: executor for each pipeline's internal step scheduling.
+        explorer: optional :class:`~repro.db.explorer.SintelExplorer`;
+            sessions and emitted anomalies are persisted through it.
+        verbose: print one line per (pipeline, signal).
+
+    Returns:
+        ``{"records": [...], "summary": {...}}`` where the summary holds
+        fleet-level latency/throughput aggregates and the parity rate.
+    """
+    if batch_size < 1:
+        raise BenchmarkError("batch_size must be at least 1")
+    pipelines = list(pipelines) if pipelines else ["azure"]
+    signals = list(signals) if signals is not None else default_streaming_signals()
+    pipeline_options = pipeline_options or {}
+
+    records = []
+    for pipeline_name in pipelines:
+        for signal in signals:
+            record = run_stream_on_signal(
+                pipeline_name, signal, batch_size=batch_size,
+                window_size=window_size, warmup=warmup, tolerance=tolerance,
+                pipeline_options=pipeline_options.get(pipeline_name),
+                executor=executor, explorer=explorer,
+            )
+            records.append(record)
+            if verbose:  # pragma: no cover - console output
+                print(f"{pipeline_name:<10} {signal.name:<22} "
+                      f"status={record['status']} "
+                      f"parity={record.get('parity')} "
+                      f"p95={record.get('latency_p95', 0) * 1000:.1f}ms")
+
+    ok = [record for record in records if record["status"] == "ok"]
+    summary = {
+        "n_records": len(records),
+        "n_ok": len(ok),
+        "parity_rate": (sum(1 for r in ok if r["parity"]) / len(ok)) if ok else 0.0,
+    }
+    if ok:
+        summary.update({
+            "latency_mean": float(np.mean([r["latency_mean"] for r in ok])),
+            "latency_p95": float(np.max([r["latency_p95"] for r in ok])),
+            "throughput_mean": float(np.mean([r["throughput"] for r in ok])),
+            "stream_vs_batch": float(np.mean([
+                r["stream_total_time"] / r["batch_detect_time"]
+                for r in ok if r["batch_detect_time"] > 0
+            ])),
+        })
+    return {"records": records, "summary": summary}

@@ -20,8 +20,11 @@ from repro.core.primitive import (
     register_primitive,
 )
 from repro.core.sintel import Sintel
+from repro.core.stream import StreamEvent, StreamRunner
 
 __all__ = [
+    "StreamEvent",
+    "StreamRunner",
     "Primitive",
     "register_primitive",
     "get_primitive",

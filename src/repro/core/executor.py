@@ -339,23 +339,49 @@ class CachingExecutor(Executor):
     different input data invalidates the entry. Steps whose inputs cannot be
     digested deterministically bypass the cache.
 
+    The memo store is a bounded LRU: once ``maxsize`` entries accumulate,
+    the least-recently-used entry is evicted, so long tuning sessions and
+    stream sessions cannot grow memory without limit. ``hits`` / ``misses``
+    / ``evictions`` counters (see :meth:`stats`) expose the cache's
+    effectiveness.
+
     Args:
         inner: the executor that actually schedules steps (default serial).
-        maxsize: LRU capacity in cached step outputs.
+        maxsize: LRU capacity in cached step outputs (``max_entries`` is
+            accepted as an alias).
     """
 
     name = "caching"
 
     def __init__(self, inner: Optional[Union[str, "Executor"]] = None,
-                 maxsize: int = 256):
+                 maxsize: int = 256, max_entries: Optional[int] = None):
+        if max_entries is not None:
+            maxsize = max_entries
         if maxsize < 1:
             raise ExecutorError("maxsize must be at least 1")
         self.inner = get_executor(inner or "serial")
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._cache: "OrderedDict[tuple, dict]" = OrderedDict()
         self._lock = threading.Lock()
+
+    @property
+    def max_entries(self) -> int:
+        """The LRU capacity bound (alias of ``maxsize``)."""
+        return self.maxsize
+
+    def stats(self) -> dict:
+        """Current ``hits`` / ``misses`` / ``evictions`` / occupancy."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._cache),
+                "max_entries": self.maxsize,
+            }
 
     # -- pickling: locks are not picklable and a cache is never worth
     # -- shipping with a saved model, so drop both.
@@ -370,11 +396,12 @@ class CachingExecutor(Executor):
         self._lock = threading.Lock()
 
     def clear(self) -> None:
-        """Drop every cached entry and reset the hit/miss counters."""
+        """Drop every cached entry and reset the counters."""
         with self._lock:
             self._cache.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     @staticmethod
     def _digest(value) -> Optional[str]:
@@ -428,6 +455,7 @@ class CachingExecutor(Executor):
                 self._cache[key] = dict(updates)
                 while len(self._cache) > self.maxsize:
                     self._cache.popitem(last=False)
+                    self.evictions += 1
             return updates
 
         return StepNode(

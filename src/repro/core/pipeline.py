@@ -152,15 +152,17 @@ class Pipeline:
         self._primitives = None
         self._build_token = ""
         self._plan = None
+        self._stream_plan = None
         self._executor = get_executor(executor)
         self.fitted = False
         self.step_timings: Dict[str, dict] = {}
 
     def __getstate__(self) -> dict:
-        # The cached plan holds step closures, which cannot be pickled;
-        # it is rebuilt lazily on the next run.
+        # The cached plans hold step closures, which cannot be pickled;
+        # they are rebuilt lazily on the next run.
         state = self.__dict__.copy()
         state["_plan"] = None
+        state["_stream_plan"] = None
         return state
 
     # ------------------------------------------------------------------ #
@@ -207,6 +209,7 @@ class Pipeline:
             self._hyperparameters.setdefault(step, {}).update(values)
         self._primitives = None
         self._plan = None
+        self._stream_plan = None
         self.fitted = False
 
     def get_tunable_hyperparameters(self) -> dict:
@@ -240,7 +243,7 @@ class Pipeline:
             identity["build"] = self._build_token
         return json.dumps(identity, sort_keys=True, default=repr)
 
-    def _build_plan(self) -> ExecutionPlan:
+    def _build_plan(self, stream: bool = False) -> ExecutionPlan:
         nodes = []
         for step, primitive in self._primitives:
             inputs = step.get("inputs", {})
@@ -250,31 +253,41 @@ class Pipeline:
                 for arg in set(primitive.produce_args) | set(primitive.fit_args)
             }))
             writes = tuple(outputs.get(out, out) for out in primitive.produce_output)
+            if stream and primitive.supports_stream:
+                # An incremental step mutates internal state on every call,
+                # so its outputs must never be served from a memo cache.
+                cacheable = lambda fit: False  # noqa: E731
+            else:
+                # A step with no fit state is deterministic given its inputs
+                # and hyperparameters; a fitted stateful step is only safe to
+                # cache in produce mode (the fingerprint pins its build).
+                cacheable = (lambda fit, stateful=bool(primitive.fit_args):
+                             not (fit and stateful))
             nodes.append(StepNode(
                 name=step["name"],
                 engine=primitive.engine,
                 reads=reads,
                 writes=writes,
-                execute=self._make_step_runner(step, primitive),
+                execute=self._make_step_runner(step, primitive, stream=stream),
                 fingerprint=self._step_fingerprint(step, primitive),
-                # A step with no fit state is deterministic given its inputs
-                # and hyperparameters; a fitted stateful step is only safe to
-                # cache in produce mode (the fingerprint pins its build).
-                cacheable=(lambda fit, stateful=bool(primitive.fit_args):
-                           not (fit and stateful)),
+                cacheable=cacheable,
             ))
         return ExecutionPlan(nodes)
 
-    def _make_step_runner(self, step: dict, primitive):
+    def _make_step_runner(self, step: dict, primitive, stream: bool = False):
         inputs = step.get("inputs", {})
         outputs = step.get("outputs", {})
+        incremental = stream and primitive.supports_stream
 
         def execute(context: dict, fit: bool) -> dict:
             if fit and primitive.fit_args:
                 kwargs = self._collect(context, primitive.fit_args, inputs, step)
                 primitive.fit(**kwargs)
             kwargs = self._collect(context, primitive.produce_args, inputs, step)
-            produced = primitive.produce(**kwargs)
+            if incremental:
+                produced = primitive.update(**kwargs)
+            else:
+                produced = primitive.produce(**kwargs)
             if not isinstance(produced, dict):
                 raise PipelineError(
                     f"Primitive {primitive.name!r} must return a dict of outputs"
@@ -283,20 +296,28 @@ class Pipeline:
 
         return execute
 
-    def _run(self, context: dict, fit: bool, profile: bool = False) -> dict:
+    def _run(self, context: dict, fit: bool, profile: bool = False,
+             stream: bool = False) -> dict:
         if fit:
             self._primitives = self._build_primitives()
             self._plan = None
+            self._stream_plan = None
         elif self._primitives is None:
             raise NotFittedError(
                 f"Pipeline {self.name!r} has no fitted primitives; call fit() "
                 "before detect()"
             )
-        if self._plan is None:
-            self._plan = self._build_plan()
+        if stream:
+            if self._stream_plan is None:
+                self._stream_plan = self._build_plan(stream=True)
+            plan = self._stream_plan
+        else:
+            if self._plan is None:
+                self._plan = self._build_plan()
+            plan = self._plan
         self.step_timings = {}
         context, self.step_timings = self._executor.run_plan(
-            self._plan, context, fit=fit, profile=profile
+            plan, context, fit=fit, profile=profile
         )
         return context
 
@@ -338,10 +359,43 @@ class Pipeline:
             return anomalies, context
         return anomalies
 
+    def partial_detect(self, data, **context_variables) -> List[tuple]:
+        """Detect anomalies over one sliding-window micro-batch (streaming).
+
+        ``data`` is the stream's current window — typically the trailing
+        ``window_size`` rows maintained by
+        :class:`~repro.core.stream.StreamRunner`. Steps run through the same
+        executor as :meth:`detect`, but in *stream mode*: primitives that
+        declare ``supports_stream`` consume the window through
+        :meth:`~repro.core.primitive.Primitive.update` (folding the new
+        samples into running state) while every other step re-``produce``s
+        over the window. The pipeline must already be fitted.
+        """
+        if not self.fitted:
+            raise NotFittedError(
+                f"Pipeline {self.name!r} must be fit before partial_detect"
+            )
+        context = {"data": np.asarray(data, dtype=float), "events": None}
+        context.update(context_variables)
+        context = self._run(context, fit=False, stream=True)
+        return self._format_anomalies(context.get("anomalies"))
+
     def fit_detect(self, data, **context_variables):
         """Fit on ``data`` and immediately detect anomalies in it."""
         self.fit(data, **context_variables)
         return self.detect(data, **context_variables)
+
+    def clone(self) -> "Pipeline":
+        """Return an unfitted copy with the same spec, λ and executor.
+
+        Used by the streaming layer to refit a replacement pipeline in the
+        background (drift-triggered retraining) while the current instance
+        keeps serving micro-batches; the replacement is then swapped in
+        atomically.
+        """
+        fresh = Pipeline(self.spec, hyperparameters=self.get_hyperparameters())
+        fresh.set_executor(self._executor)
+        return fresh
 
     @staticmethod
     def _format_anomalies(anomalies) -> List[tuple]:

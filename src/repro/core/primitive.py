@@ -55,6 +55,11 @@ class Primitive:
     produce_output: List[str] = []
     fixed_hyperparameters: Dict[str, object] = {}
     tunable_hyperparameters: Dict[str, dict] = {}
+    #: Whether :meth:`update` maintains genuine incremental state across
+    #: micro-batches (the streaming contract). When ``False`` the default
+    #: :meth:`update` simply re-``produce``s over the sliding window the
+    #: stream runner supplies, which is always correct but never cheaper.
+    supports_stream: bool = False
 
     def __init__(self, **hyperparameters):
         defaults = self.get_default_hyperparameters()
@@ -102,6 +107,7 @@ class Primitive:
             "produce_output": list(cls.produce_output),
             "fixed_hyperparameters": copy.deepcopy(cls.fixed_hyperparameters),
             "tunable_hyperparameters": copy.deepcopy(cls.tunable_hyperparameters),
+            "supports_stream": bool(cls.supports_stream),
         }
 
     # ------------------------------------------------------------------ #
@@ -113,6 +119,20 @@ class Primitive:
     def produce(self, **kwargs):
         """Produce outputs. Must return a dict keyed by ``produce_output``."""
         raise NotImplementedError
+
+    def update(self, **kwargs):
+        """Consume one micro-batch in streaming mode (incremental contract).
+
+        ``update`` receives the same keyword arguments as :meth:`produce`
+        — the stream runner hands it the current sliding window — and must
+        return the same output dictionary. The default implementation
+        re-``produce``s over the window, so every fitted primitive works in
+        a stream out of the box. Primitives that declare
+        ``supports_stream = True`` override this to fold the new samples
+        into internal running state (rolling extrema, running error
+        moments, trailing buffers) instead of recomputing from scratch.
+        """
+        return self.produce(**kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{self.__class__.__name__}({self.hyperparameters})"

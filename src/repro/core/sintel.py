@@ -122,6 +122,22 @@ class Sintel:
         self.fit(data, **context_variables)
         return self.detect(data, **context_variables)
 
+    def stream(self, **stream_options):
+        """Open a live stream over the fitted pipeline.
+
+        Returns a :class:`~repro.core.stream.StreamRunner` that consumes
+        ``(timestamp, values...)`` micro-batches via ``send`` and emits
+        stable-id anomaly events incrementally; keyword options (window
+        size, drift detector, retrain policy...) are forwarded to the
+        runner. The pipeline must be fitted first.
+        """
+        if not self.fitted:
+            raise NotFittedError("Sintel.stream called before Sintel.fit")
+        # Imported lazily to avoid a circular import at module load time.
+        from repro.core.stream import StreamRunner
+
+        return StreamRunner(self._pipeline, **stream_options)
+
     def evaluate(self, data, ground_truth, fit: bool = False,
                  method: str = "overlapping") -> dict:
         """Detect anomalies and score them against ``ground_truth``.

@@ -206,6 +206,51 @@ class SintelExplorer:
         self.store["comments"].delete({"event_id": event_id})
 
     # ------------------------------------------------------------------ #
+    # streaming sessions
+    # ------------------------------------------------------------------ #
+    def add_stream(self, pipeline: str, signal_id: Optional[str] = None,
+                   **metadata) -> str:
+        """Register a live stream session over ``pipeline``."""
+        document = new_document(
+            "streams",
+            pipeline=pipeline,
+            signal_id=signal_id,
+            status="open",
+            start_time=time.time(),
+            metadata=metadata,
+        )
+        return self.store["streams"].insert(document)
+
+    def end_stream(self, stream_id: str, status: str = "closed",
+                   **stats) -> None:
+        """Mark a stream session as finished and attach final statistics."""
+        self.store["streams"].get(stream_id)
+        self.store["streams"].update(
+            {"_id": stream_id},
+            {"status": status, "stop_time": time.time(), "stats": stats},
+        )
+
+    def add_stream_event(self, stream_id: str, event) -> str:
+        """Persist one closed :class:`~repro.core.stream.StreamEvent`.
+
+        The stream document stands in for the signalrun (Figure 6): the
+        event keeps its stable stream id in the record so pollers can
+        correlate live and stored views.
+        """
+        stream = self.store["streams"].get(stream_id)
+        document = new_document(
+            "events",
+            signalrun_id=stream_id,
+            signal_id=stream.get("signal_id") or stream_id,
+            start_time=float(event.start),
+            stop_time=float(event.end),
+            severity=float(event.severity),
+            source="machine",
+            stream_event_id=event.event_id,
+        )
+        return self.store["events"].insert(document)
+
+    # ------------------------------------------------------------------ #
     # human feedback
     # ------------------------------------------------------------------ #
     def add_annotation(self, event_id: str, user: str, tag: str,

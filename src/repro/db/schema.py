@@ -38,6 +38,10 @@ COLLECTIONS: Dict[str, List[str]] = {
     "annotations": ["event_id", "user", "tag"],
     "interactions": ["event_id", "user", "action"],
     "comments": ["event_id", "user", "text"],
+    # Streaming sessions (live ingestion API): one document per opened
+    # stream; its emitted anomalies are stored as events whose
+    # ``signalrun_id`` is the stream document id.
+    "streams": ["pipeline", "status"],
 }
 
 #: Allowed values of the ``source`` field on events (Figure 6 legend).

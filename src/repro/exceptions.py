@@ -13,6 +13,7 @@ __all__ = [
     "TuningError",
     "BenchmarkError",
     "ExecutorError",
+    "StreamError",
 ]
 
 
@@ -54,3 +55,7 @@ class BenchmarkError(ReproError):
 
 class ExecutorError(ReproError):
     """Raised for invalid executor configurations or execution plans."""
+
+
+class StreamError(ReproError):
+    """Raised for invalid streaming configurations or ingestion errors."""

@@ -193,6 +193,15 @@ class FixedThreshold(Primitive):
 
     A deliberately simple baseline post-processor, useful for the spectral
     residual pipeline and for ablations against the dynamic threshold.
+
+    In streaming mode :meth:`update` is incremental: the threshold applied
+    to the current window is ``mean + k * std`` over *all errors seen so
+    far* — the current window's errors combined with running moments of
+    every sample that has already slid out of the window (folded exactly
+    once, at eviction, with its last observed error value). While the
+    window still covers the whole stream this reproduces batch
+    :meth:`produce` exactly; once the window slides, evicted samples keep
+    contributing through the running moments instead of being recomputed.
     """
 
     name = "fixed_threshold"
@@ -205,18 +214,25 @@ class FixedThreshold(Primitive):
         "k": {"type": "float", "default": 3.0, "range": [1.0, 8.0]},
         "anomaly_padding": {"type": "int", "default": 2, "range": [0, 50]},
     }
+    supports_stream = True
 
-    def produce(self, errors, index):
+    def __init__(self, **hyperparameters):
+        super().__init__(**hyperparameters)
+        # Welford moments of the samples evicted from the sliding window.
+        self._evicted = (0, 0.0, 0.0)
+        self._prev_errors = None
+        self._prev_index = None
+
+    @staticmethod
+    def _validate(errors, index):
         errors = np.asarray(errors, dtype=float).ravel()
         index = np.asarray(index)
         if len(errors) != len(index):
             raise PrimitiveError("errors and index must have the same length")
-        if len(errors) == 0:
-            return {"anomalies": np.zeros((0, 3))}
+        return errors, index
 
-        threshold = float(np.mean(errors) + float(self.k) * np.std(errors))
+    def _extract(self, errors, index, threshold: float) -> dict:
         sequences = _find_sequences(errors > threshold)
-
         padding = int(self.anomaly_padding)
         anomalies = []
         for start, end in sequences:
@@ -228,6 +244,56 @@ class FixedThreshold(Primitive):
             )
         anomalies = _merge_overlapping(anomalies)
         return {"anomalies": np.asarray(anomalies).reshape(-1, 3)}
+
+    def produce(self, errors, index):
+        errors, index = self._validate(errors, index)
+        if len(errors) == 0:
+            return {"anomalies": np.zeros((0, 3))}
+        threshold = float(np.mean(errors) + float(self.k) * np.std(errors))
+        return self._extract(errors, index, threshold)
+
+    @staticmethod
+    def _combine(a, b):
+        """Combine two (count, mean, M2) Welford aggregates."""
+        n_a, mean_a, m2_a = a
+        n_b, mean_b, m2_b = b
+        if n_a == 0:
+            return b
+        if n_b == 0:
+            return a
+        total = n_a + n_b
+        delta = mean_b - mean_a
+        mean = mean_a + delta * n_b / total
+        m2 = m2_a + m2_b + delta ** 2 * n_a * n_b / total
+        return (total, mean, m2)
+
+    def update(self, errors, index):
+        """Threshold the window with running global error statistics."""
+        errors, index = self._validate(errors, index)
+        if len(errors) == 0:
+            return {"anomalies": np.zeros((0, 3))}
+
+        # Fold samples that slid out of the window since the last call,
+        # with the (settled) error values last observed for them.
+        if self._prev_index is not None:
+            gone = self._prev_index < np.min(index)
+            evicted = self._prev_errors[gone]
+            if evicted.size:
+                mean = float(np.mean(evicted))
+                m2 = float(np.sum((evicted - mean) ** 2))
+                self._evicted = self._combine(
+                    self._evicted, (evicted.size, mean, m2)
+                )
+        self._prev_errors = errors.copy()
+        self._prev_index = np.asarray(index).copy()
+
+        window_mean = float(np.mean(errors))
+        window_m2 = float(np.sum((errors - window_mean) ** 2))
+        count, mean, m2 = self._combine(
+            self._evicted, (len(errors), window_mean, window_m2)
+        )
+        threshold = mean + float(self.k) * float(np.sqrt(m2 / count))
+        return self._extract(errors, index, threshold)
 
 
 def _merge_overlapping(anomalies: List[Tuple[float, float, float]]):

@@ -34,6 +34,12 @@ class PageHinkley:
             accumulate.
         threshold: cumulative deviation at which drift is signalled.
         min_samples: observations required before drift can be signalled.
+
+    Cold start: during the first ``min_samples`` observations the running
+    mean and the cumulative deviations are updated but :meth:`update`
+    always returns ``False`` — drift can fire at the ``min_samples``-th
+    observation at the earliest, never before. Call :meth:`reset` after a
+    confirmed retrain so the warm-up restarts against the new regime.
     """
 
     def __init__(self, delta: float = 0.005, threshold: float = 50.0,
@@ -83,6 +89,13 @@ class DistributionDriftDetector:
     a further ``window_size`` observations accumulate, the two windows are
     compared with a KS test and drift is signalled when the p-value drops
     below ``alpha``.
+
+    Cold start: no test runs — and therefore no drift can fire — until the
+    reference window is full *and* the current window holds another full
+    ``window_size`` observations, i.e. the earliest possible drift signal
+    is at observation ``2 * window_size``. Call :meth:`reset` after a
+    confirmed retrain so a fresh reference window is collected from the
+    post-retrain regime.
     """
 
     def __init__(self, window_size: int = 100, alpha: float = 0.01):
@@ -135,6 +148,17 @@ class DriftMonitor:
         self.cooldown = int(cooldown)
         self.drift_points: List[int] = []
         self._samples_seen = 0
+        self._since_last = None
+
+    def reset(self) -> None:
+        """Restart detection after a confirmed retrain.
+
+        Resets the underlying detector (restarting its cold-start warm-up
+        against the post-retrain regime) and clears the cooldown, while the
+        global sample counter and the ``drift_points`` history are kept so
+        past drifts remain addressable.
+        """
+        self.detector.reset()
         self._since_last = None
 
     def consume(self, values) -> List[int]:

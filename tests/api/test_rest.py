@@ -240,6 +240,54 @@ class TestJobs:
         finally:
             manager.shutdown()
 
+    def test_delete_running_job_400(self, api):
+        import threading
+
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocked():
+            started.set()
+            release.wait(30)
+
+        job = api.jobs.submit("blocked", blocked)
+        try:
+            assert started.wait(10)
+            response = api.delete(f"/jobs/{job.job_id}")
+            assert response.status == 400
+            assert "active" in response.body["error"]
+            # The job is still tracked and finishes normally afterwards.
+            assert api.get(f"/jobs/{job.job_id}").ok
+        finally:
+            release.set()
+        api.jobs.wait(job.job_id, timeout=30)
+        assert api.delete(f"/jobs/{job.job_id}").status == 204
+
+    def test_capacity_rejection_of_active_jobs(self):
+        import threading
+
+        from repro.api.jobs import JobManager
+
+        release = threading.Event()
+        manager = JobManager(max_workers=1, max_active=2)
+        try:
+            first = manager.submit("blocked", lambda: release.wait(30))
+            manager.submit("blocked", lambda: release.wait(30))
+            with pytest.raises(ValueError, match="capacity"):
+                manager.submit("rejected", lambda: None)
+            assert len(manager.list()) == 2
+            release.set()
+            manager.wait(first.job_id, timeout=30)
+        finally:
+            release.set()
+            manager.shutdown()
+
+    def test_max_active_validation(self):
+        from repro.api.jobs import JobManager
+
+        with pytest.raises(ValueError):
+            JobManager(max_active=0)
+
     def test_detect_does_not_block_request_path(self, api):
         # Submitting returns immediately; other routes stay responsive
         # while the job runs in the background.

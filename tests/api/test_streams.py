@@ -1,0 +1,223 @@
+"""Tests for the live stream ingestion API (/streams)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import SintelAPI
+from repro.api.streams import StreamManager, build_drift_detector
+from repro.data import generate_signal
+from repro.db import SintelExplorer
+from repro.streaming import DistributionDriftDetector, PageHinkley
+
+
+@pytest.fixture
+def api():
+    api = SintelAPI(SintelExplorer())
+    yield api
+    api.close()
+
+
+def _signal_data(length=600, seed=5):
+    signal = generate_signal("live", length=length, n_anomalies=2,
+                             random_state=seed, flavour="periodic",
+                             anomaly_types=("collective",))
+    return signal.to_array()
+
+
+def _open_stream(api, data, **extra):
+    body = {
+        "pipeline": "azure",
+        "data": data[:200].tolist(),
+        "pipeline_options": {"k": 4.0},
+        "stream_options": {"window_size": 400, "warmup": 64},
+        "drift": False,
+    }
+    body.update(extra)
+    return api.post("/streams", body)
+
+
+class TestStreamLifecycle:
+    def test_open_push_poll_close(self, api):
+        data = _signal_data()
+        created = _open_stream(api, data)
+        assert created.status == 201
+        stream_id = created.body["id"]
+        assert created.body["status"] == "open"
+
+        for start in range(200, 600, 50):
+            accepted = api.post(f"/streams/{stream_id}/data",
+                                {"data": data[start:start + 50].tolist()})
+            assert accepted.status == 202
+        api.streams.wait_idle(stream_id, timeout=60)
+
+        state = api.get(f"/streams/{stream_id}")
+        assert state.ok
+        assert state.body["samples_seen"] == 400
+        assert state.body["lag"] == {"batches": 0, "samples": 0}
+        assert state.body["events"]
+        json.dumps(state.body)  # the whole payload is JSON-serializable
+
+        assert api.delete(f"/streams/{stream_id}").status == 204
+        assert api.get(f"/streams/{stream_id}").body["status"] == "closed"
+
+    def test_listing_and_status_filter(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(api, data).body["id"]
+        assert len(api.get("/streams").body["streams"]) == 1
+        api.delete(f"/streams/{stream_id}")
+        assert api.get("/streams",
+                       query={"status": "open"}).body["streams"] == []
+        assert len(api.get("/streams",
+                           query={"status": "closed"}).body["streams"]) == 1
+
+    def test_push_to_closed_stream_400(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(api, data).body["id"]
+        api.delete(f"/streams/{stream_id}")
+        rejected = api.post(f"/streams/{stream_id}/data",
+                            {"data": data[200:250].tolist()})
+        assert rejected.status == 400
+
+    def test_unknown_stream_404(self, api):
+        assert api.get("/streams/stream-99").status == 404
+        assert api.delete("/streams/stream-99").status == 404
+        assert api.post("/streams/stream-99/data", {"data": []}).status == 404
+
+    def test_unknown_pipeline_400(self, api):
+        response = api.post("/streams", {"pipeline": "no-such",
+                                         "data": [[0, 1], [1, 2]]})
+        assert response.status == 400
+
+    def test_bad_batch_marks_session_error(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(api, data).body["id"]
+        # Replaying old timestamps is an ingestion error.
+        api.post(f"/streams/{stream_id}/data", {"data": data[:50].tolist()})
+        api.post(f"/streams/{stream_id}/data", {"data": data[:50].tolist()})
+        api.streams.wait_idle(stream_id, timeout=60)
+        state = api.get(f"/streams/{stream_id}").body
+        assert state["status"] == "error"
+        assert "error" in state
+
+    def test_unknown_stream_option_400(self, api):
+        data = _signal_data()
+        response = _open_stream(
+            api, data, stream_options={"window_size": 400, "bogus": 1}
+        )
+        assert response.status == 400
+        assert "bogus" in response.body["error"]
+        # Reserved runner arguments cannot be smuggled through either.
+        response = _open_stream(
+            api, data, stream_options={"drift_detector": "default"}
+        )
+        assert response.status == 400
+
+    def test_poll_while_ingesting_never_errors(self, api):
+        # GET /streams/<id> from the request thread races the drainer's
+        # event retraction; the registry lock must keep polls at 200.
+        data = _signal_data()
+        stream_id = _open_stream(api, data).body["id"]
+        for start in range(200, 600, 10):
+            api.post(f"/streams/{stream_id}/data",
+                     {"data": data[start:start + 10].tolist()})
+            response = api.get(f"/streams/{stream_id}")
+            assert response.ok, response.body
+        api.streams.wait_idle(stream_id, timeout=60)
+
+    def test_capacity_rejection(self, api):
+        api.streams.max_sessions = 1
+        data = _signal_data()
+        assert _open_stream(api, data).status == 201
+        rejected = _open_stream(api, data)
+        assert rejected.status == 400
+        assert "capacity" in rejected.body["error"]
+
+
+class TestStreamOrderingAndPersistence:
+    def test_batches_processed_in_order(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(api, data).body["id"]
+        # Push every batch at once; the single-drainer rule must keep order
+        # (out-of-order processing would raise on non-monotonic timestamps).
+        for start in range(200, 600, 20):
+            api.post(f"/streams/{stream_id}/data",
+                     {"data": data[start:start + 20].tolist()})
+        api.streams.wait_idle(stream_id, timeout=60)
+        state = api.get(f"/streams/{stream_id}").body
+        assert state["status"] == "open"
+        assert state["samples_seen"] == 400
+
+    def test_sessions_and_events_persisted(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(api, data, signal_id="sig-live").body["id"]
+        for start in range(200, 600, 50):
+            api.post(f"/streams/{stream_id}/data",
+                     {"data": data[start:start + 50].tolist()})
+        api.streams.wait_idle(stream_id, timeout=60)
+        api.delete(f"/streams/{stream_id}")
+
+        streams = api.explorer.store["streams"].find()
+        assert len(streams) == 1
+        assert streams[0]["status"] == "closed"
+        assert streams[0]["signal_id"] == "sig-live"
+        assert streams[0]["stats"]["samples_seen"] == 400
+
+        events = api.explorer.get_events(signal_id="sig-live")
+        closed = api.get(f"/streams/{stream_id}").body["events_closed"]
+        assert len(events) == closed > 0
+        assert all(event["source"] == "machine" for event in events)
+
+    def test_drift_spec_resolution(self):
+        assert build_drift_detector(None) == "default"
+        assert build_drift_detector(True) == "default"
+        assert build_drift_detector(False) is None
+        detector = build_drift_detector({"detector": "page_hinkley",
+                                         "threshold": 9.0})
+        assert isinstance(detector, PageHinkley)
+        assert detector.threshold == 9.0
+        assert isinstance(build_drift_detector({"detector": "distribution"}),
+                          DistributionDriftDetector)
+        with pytest.raises(ValueError):
+            build_drift_detector({"detector": "quantum"})
+        with pytest.raises(ValueError):
+            build_drift_detector("nonsense")
+
+    def test_manager_shutdown_closes_sessions(self):
+        manager = StreamManager(explorer=None)
+        data = _signal_data()
+        session = manager.open("azure", data[:200],
+                               pipeline_options={"k": 4.0},
+                               drift=False, window_size=400, warmup=64)
+        manager.push(session.stream_id, data[200:260])
+        manager.shutdown()
+        assert session.status == "closed"
+        with pytest.raises(ValueError):
+            manager.push(session.stream_id, data[260:300])
+
+    def test_stream_with_drift_and_retrain_via_api(self, api):
+        rng = np.random.default_rng(11)
+        n = 900
+        values = rng.normal(0.0, 0.2, n)
+        values[500:] += 5.0
+        data = np.column_stack([np.arange(n, dtype=float), values])
+        created = api.post("/streams", {
+            "pipeline": "azure",
+            "data": data[:300].tolist(),
+            "pipeline_options": {"k": 4.0},
+            "stream_options": {"window_size": 300, "warmup": 64,
+                               "retrain_hysteresis": 10_000},
+            "drift": {"detector": "page_hinkley", "threshold": 15.0,
+                      "min_samples": 30},
+        })
+        stream_id = created.body["id"]
+        for start in range(300, n, 40):
+            api.post(f"/streams/{stream_id}/data",
+                     {"data": data[start:start + 40].tolist()})
+        api.streams.wait_idle(stream_id, timeout=120)
+        api.streams.get(stream_id).runner.join_retrain(timeout=60)
+        state = api.get(f"/streams/{stream_id}").body
+        assert state["drift"]["points"]
+        assert state["retrains"] == 1
+        assert state["last_retrain_at"] is not None

@@ -1,0 +1,89 @@
+"""Tests for the streaming benchmark harness."""
+
+import pytest
+
+from repro.benchmark import (
+    benchmark_streaming,
+    default_streaming_signals,
+    intervals_match,
+    run_stream_on_signal,
+)
+from repro.db import SintelExplorer
+from repro.exceptions import BenchmarkError
+
+
+class TestIntervalsMatch:
+    def test_exact_match(self):
+        assert intervals_match([(10, 20, 0.5)], [(10, 20, 0.9)], tolerance=0)
+
+    def test_within_tolerance(self):
+        assert intervals_match([(10, 20)], [(12, 18)], tolerance=5)
+        assert not intervals_match([(10, 20)], [(12, 18)], tolerance=1)
+
+    def test_count_mismatch(self):
+        assert not intervals_match([(10, 20)], [], tolerance=100)
+        assert not intervals_match([], [(10, 20)], tolerance=100)
+
+    def test_one_to_one_matching(self):
+        # Two candidates near one reference cannot both match it.
+        assert not intervals_match([(10, 20)], [(10, 20), (11, 21)],
+                                   tolerance=5)
+        assert intervals_match([], [], tolerance=0)
+
+
+class TestBenchmarkStreaming:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return benchmark_streaming(
+            signals=default_streaming_signals(length=400, n_anomalies=2),
+            pipeline_options={"azure": {"k": 4.0}},
+        )
+
+    def test_one_record_per_pipeline_signal(self, result):
+        assert len(result["records"]) == 3
+        assert {record["signal"] for record in result["records"]} == {
+            "stream-periodic", "stream-trend_seasonal", "stream-traffic",
+        }
+
+    def test_records_carry_latency_and_throughput(self, result):
+        for record in result["records"]:
+            assert record["status"] == "ok"
+            assert record["latency_mean"] > 0
+            assert record["latency_p95"] >= record["latency_mean"] * 0.5
+            assert record["throughput"] > 0
+            assert record["n_batches"] == 8  # 400 rows / 50-row batches
+
+    def test_parity_with_batch_detection(self, result):
+        assert result["summary"]["parity_rate"] == 1.0
+        assert all(record["parity"] for record in result["records"])
+
+    def test_summary_aggregates(self, result):
+        summary = result["summary"]
+        assert summary["n_records"] == summary["n_ok"] == 3
+        assert summary["latency_mean"] > 0
+        assert summary["throughput_mean"] > 0
+        assert summary["stream_vs_batch"] > 1.0  # streaming re-runs windows
+
+    def test_persists_through_db(self):
+        explorer = SintelExplorer()
+        benchmark_streaming(
+            signals=default_streaming_signals(length=400, n_anomalies=2)[:1],
+            pipeline_options={"azure": {"k": 4.0}},
+            explorer=explorer,
+        )
+        streams = explorer.store["streams"].find()
+        assert len(streams) == 1
+        assert streams[0]["status"] == "closed"
+        assert explorer.store["events"].find()
+
+    def test_error_pipeline_recorded_not_raised(self):
+        signal = default_streaming_signals(length=400)[0]
+        record = run_stream_on_signal("azure", signal, warmup=4,
+                                      window_size=8, batch_size=4)
+        # SpectralResidual needs 8 samples; the first windows are too small.
+        assert record["status"] == "error"
+        assert record["parity"] is False
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(BenchmarkError):
+            benchmark_streaming(batch_size=0)

@@ -340,6 +340,29 @@ class TestCachingExecutor:
         pipeline.fit(_data(16))  # evicted by the 24-row entry
         assert executor.hits == 0
         assert executor.misses == 3
+        assert executor.evictions == 2
+
+    def test_memo_store_stays_bounded(self):
+        executor = CachingExecutor(max_entries=4)
+        pipeline = Pipeline(_counting_spec(), executor=executor)
+        for size in range(16, 16 + 20):
+            pipeline.fit(_data(size))
+        stats = executor.stats()
+        assert stats["entries"] <= 4
+        assert stats["max_entries"] == 4
+        assert stats["evictions"] == stats["misses"] - stats["entries"]
+        assert executor.max_entries == executor.maxsize == 4
+
+    def test_stats_and_clear_reset_evictions(self):
+        executor = CachingExecutor(maxsize=1)
+        pipeline = Pipeline(_counting_spec(), executor=executor)
+        pipeline.fit(_data(16))
+        pipeline.fit(_data(24))
+        assert executor.stats()["evictions"] == 1
+        executor.clear()
+        stats = executor.stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0,
+                         "entries": 0, "max_entries": 1}
 
     def test_caching_over_threaded_inner(self):
         executor = CachingExecutor(inner="threaded")

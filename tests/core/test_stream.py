@@ -1,0 +1,215 @@
+"""Tests for the streaming execution path (StreamRunner + partial_detect)."""
+
+import numpy as np
+import pytest
+
+from repro import Sintel, StreamRunner
+from repro.data import generate_signal
+from repro.exceptions import NotFittedError, StreamError
+from repro.streaming import PageHinkley
+
+
+def _signal(length=600, seed=1):
+    return generate_signal("s", length=length, n_anomalies=3, random_state=seed,
+                           flavour="periodic", anomaly_types=("collective",))
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = _signal().to_array()
+    sintel = Sintel("azure", k=4.0)
+    sintel.fit(data)
+    return sintel, data
+
+
+class TestPartialDetect:
+    def test_requires_fit(self):
+        sintel = Sintel("azure")
+        with pytest.raises(NotFittedError):
+            sintel.pipeline.partial_detect([[0, 1], [1, 2]])
+
+    def test_matches_detect_on_same_window(self, fitted):
+        sintel, data = fitted
+        # A fresh pipeline so stream-mode state starts cold.
+        pipeline = sintel.pipeline.clone().fit(data)
+        batch = pipeline.detect(data)
+        stream = pipeline.partial_detect(data)
+        assert [tuple(a) for a in stream] == [tuple(a) for a in batch]
+
+    def test_clone_is_unfitted_same_config(self, fitted):
+        sintel, _ = fitted
+        clone = sintel.pipeline.clone()
+        assert not clone.fitted
+        assert clone.get_hyperparameters() == sintel.pipeline.get_hyperparameters()
+        assert clone.executor is sintel.pipeline.executor
+
+
+class TestStreamRunnerValidation:
+    def test_requires_fitted_pipeline(self):
+        sintel = Sintel("azure")
+        with pytest.raises(NotFittedError):
+            StreamRunner(sintel.pipeline)
+
+    def test_sintel_stream_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            Sintel("azure").stream()
+
+    def test_rejects_bad_window(self, fitted):
+        sintel, _ = fitted
+        with pytest.raises(StreamError):
+            StreamRunner(sintel.pipeline, window_size=4)
+        with pytest.raises(StreamError):
+            StreamRunner(sintel.pipeline, window_size=100, warmup=101)
+
+    def test_rejects_non_monotonic_batches(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=200, drift_detector=None)
+        runner.send(data[:50])
+        with pytest.raises(StreamError):
+            runner.send(data[:50])  # timestamps replayed
+        with pytest.raises(StreamError):
+            runner.send(data[60:50:-1])
+
+    def test_rejects_malformed_batches(self, fitted):
+        sintel, _ = fitted
+        runner = sintel.stream(window_size=200, drift_detector=None)
+        with pytest.raises(StreamError):
+            runner.send(np.zeros((2, 2, 2)))
+        assert runner.send(np.zeros((0, 2))) == []
+
+    def test_send_after_close_rejected(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=200, drift_detector=None)
+        runner.close()
+        with pytest.raises(StreamError):
+            runner.send(data[:10])
+
+
+class TestStreamEvents:
+    def test_no_detection_before_warmup(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=600, warmup=64, drift_detector=None)
+        assert runner.send(data[:32]) == []
+        assert runner.state()["window"] == 32
+
+    def test_stable_ids_across_batches(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=600, warmup=64, drift_detector=None)
+        ids_by_interval = {}
+        for start in range(0, len(data), 25):
+            for event in runner.send(data[start:start + 25]):
+                ids_by_interval.setdefault(event.event_id, []).append(
+                    (event.start, event.end)
+                )
+        runner.close()
+        # Every surviving event kept one id while its boundaries refined.
+        final_ids = {event.event_id for event in runner.events}
+        assert final_ids
+        assert final_ids <= set(ids_by_interval)
+
+    def test_events_close_as_window_slides(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=150, warmup=64, drift_detector=None)
+        for start in range(0, len(data), 50):
+            runner.send(data[start:start + 50])
+        window_start = float(runner._buffer[0, 0])
+        for event in runner.events:
+            if event.end < window_start:
+                assert event.status == "closed"
+
+    def test_close_closes_open_events_and_fires_callback(self, fitted):
+        sintel, data = fitted
+        seen = []
+        runner = StreamRunner(sintel.pipeline, window_size=600, warmup=64,
+                              drift_detector=None, on_event=seen.append)
+        for start in range(0, len(data), 50):
+            runner.send(data[start:start + 50])
+        runner.close()
+        assert runner.events
+        assert all(event.status == "closed" for event in runner.events)
+        assert {event.event_id for event in seen} == {
+            event.event_id for event in runner.events
+        }
+        assert runner.close() == []  # idempotent
+
+    def test_event_serialization(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=600, warmup=64, drift_detector=None)
+        for start in range(0, len(data), 50):
+            runner.send(data[start:start + 50])
+        event = runner.events[0]
+        payload = event.to_dict()
+        assert payload["id"] == event.event_id
+        assert payload["start"] == event.to_tuple()[0]
+
+
+class TestDriftRetrain:
+    def _drifting_data(self, n=900, shift_at=500):
+        rng = np.random.default_rng(3)
+        values = rng.normal(0.0, 0.3, n)
+        values[shift_at:] += 6.0
+        return np.column_stack([np.arange(n, dtype=float), values])
+
+    def test_drift_triggers_background_retrain_and_swap(self):
+        data = self._drifting_data()
+        sintel = Sintel("azure", k=4.0)
+        sintel.fit(data[:300])
+        runner = sintel.stream(
+            window_size=300, warmup=64,
+            drift_detector=PageHinkley(threshold=15.0, min_samples=30),
+            retrain=True, retrain_hysteresis=10_000,
+        )
+        before = runner.pipeline
+        for start in range(300, len(data), 40):
+            runner.send(data[start:start + 40])
+        assert runner.join_retrain(timeout=60)
+        runner.close()
+        state = runner.state()
+        assert state["drift"]["points"]
+        assert state["retrains"] == 1  # hysteresis: one retrain only
+        assert state["retrain_error"] is None
+        assert runner.pipeline is not before
+        assert runner.pipeline.fitted
+        # No batch was dropped while the swap happened.
+        assert state["samples_seen"] == len(data) - 300
+
+    def test_monitor_reset_after_retrain(self):
+        data = self._drifting_data()
+        sintel = Sintel("azure", k=4.0)
+        sintel.fit(data[:300])
+        detector = PageHinkley(threshold=15.0, min_samples=30)
+        runner = sintel.stream(window_size=300, warmup=64,
+                               drift_detector=detector, retrain=True,
+                               retrain_hysteresis=10_000)
+        for start in range(300, len(data), 40):
+            runner.send(data[start:start + 40])
+        runner.join_retrain(timeout=60)
+        runner.close()
+        assert runner.retrains == 1
+        # The detector restarted its cold-start warm-up after the swap.
+        assert detector._count < len(data) - 300
+
+    def test_no_retrain_when_disabled(self):
+        data = self._drifting_data()
+        sintel = Sintel("azure", k=4.0)
+        sintel.fit(data[:300])
+        runner = sintel.stream(
+            window_size=300, warmup=64,
+            drift_detector=PageHinkley(threshold=15.0, min_samples=30),
+            retrain=False,
+        )
+        before = runner.pipeline
+        for start in range(300, len(data), 40):
+            runner.send(data[start:start + 40])
+        runner.close()
+        assert runner.retrains == 0
+        assert runner.pipeline is before
+        assert runner.state()["drift"]["points"]
+
+    def test_retrain_failure_is_reported_not_raised(self, fitted):
+        sintel, data = fitted
+        runner = sintel.stream(window_size=200, warmup=8, drift_detector=None)
+        runner.send(data[:100])
+        runner._retrain(data[:0])  # empty snapshot fails inside fit
+        assert runner.retrain_error is not None
+        assert runner.retrains == 0

@@ -1,0 +1,139 @@
+"""Tests for the incremental (streaming) primitive contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.primitive import Primitive, get_primitive
+from repro.exceptions import NotFittedError
+
+
+class TestContract:
+    def test_default_update_reproduces(self):
+        class Doubler(Primitive):
+            name = "doubler-test"
+            produce_args = ["X"]
+            produce_output = ["X"]
+
+            def produce(self, X):
+                return {"X": np.asarray(X) * 2}
+
+        primitive = Doubler()
+        assert not primitive.supports_stream
+        np.testing.assert_array_equal(
+            primitive.update(X=[1, 2])["X"], primitive.produce(X=[1, 2])["X"]
+        )
+
+    def test_metadata_exposes_supports_stream(self):
+        assert get_primitive("MinMaxScaler").metadata()["supports_stream"]
+        assert not get_primitive("SimpleImputer").metadata()["supports_stream"]
+
+    def test_streaming_primitives_flagged(self):
+        for name in ("MinMaxScaler", "StandardScaler", "fixed_threshold"):
+            assert get_primitive(name).supports_stream
+
+
+class TestRollingMinMaxScaler:
+    def test_update_matches_produce_inside_fitted_range(self):
+        scaler = get_primitive("MinMaxScaler")
+        train = np.linspace(-2, 2, 50).reshape(-1, 1)
+        scaler.fit(train)
+        batch = np.linspace(-1, 1, 10).reshape(-1, 1)
+        np.testing.assert_allclose(scaler.update(batch)["X"],
+                                   scaler.produce(batch)["X"])
+
+    def test_update_expands_range_for_outliers(self):
+        scaler = get_primitive("MinMaxScaler")
+        scaler.fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        wild = np.array([[10.0]])
+        scaled = scaler.update(wild)["X"]
+        low, high = scaler.feature_range
+        assert low <= scaled[0, 0] <= high
+        # Subsequent batches are scaled against the widened range.
+        again = scaler.produce(np.array([[10.0]]))["X"]
+        assert again[0, 0] == pytest.approx(high)
+
+    def test_update_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            get_primitive("MinMaxScaler").update(np.ones((3, 1)))
+
+    def test_constant_training_channel_expands_correctly(self):
+        # A channel that is constant during training must not inherit the
+        # zero-range sentinel as a phantom max.
+        scaler = get_primitive("MinMaxScaler")
+        scaler.fit(np.full((20, 1), 5.0))
+        scaled = scaler.update(np.array([[5.5]]))["X"]
+        low, high = scaler.feature_range
+        assert scaled[0, 0] == pytest.approx(high)
+        assert scaler.produce(np.array([[5.0]]))["X"][0, 0] == pytest.approx(low)
+
+
+class TestRunningStandardScaler:
+    def test_update_tracks_running_moments(self):
+        scaler = get_primitive("StandardScaler")
+        rng = np.random.default_rng(0)
+        full = rng.normal(3.0, 2.0, 400).reshape(-1, 1)
+        scaler.fit(full[:100])
+        for start in range(100, 400, 50):
+            scaler.update(full[start:start + 50])
+        # Running moments over all batches match the full-sample moments.
+        reference = get_primitive("StandardScaler")
+        reference.fit(full)
+        np.testing.assert_allclose(scaler._mean, reference._mean, rtol=1e-10)
+        np.testing.assert_allclose(scaler._std, reference._std, rtol=1e-10)
+
+    def test_update_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            get_primitive("StandardScaler").update(np.ones((3, 1)))
+
+    def test_overlapping_windows_not_double_counted(self):
+        # The stream runner hands update() the whole sliding window every
+        # batch; overlapping rows must be folded exactly once.
+        scaler = get_primitive("StandardScaler")
+        rng = np.random.default_rng(5)
+        full = rng.normal(1.0, 3.0, 400).reshape(-1, 1)
+        scaler.fit(full[:100])
+        window = 200
+        for end in range(150, 401, 50):
+            scaler.update(full[100:end][-window:])
+        assert scaler._count == 400
+        reference = get_primitive("StandardScaler")
+        reference.fit(full)
+        np.testing.assert_allclose(scaler._mean, reference._mean, rtol=1e-8)
+        np.testing.assert_allclose(scaler._std, reference._std, rtol=1e-8)
+
+
+class TestIncrementalFixedThreshold:
+    def test_full_window_update_matches_produce(self):
+        rng = np.random.default_rng(1)
+        errors = rng.exponential(0.1, 300)
+        errors[150:155] += 5.0
+        index = np.arange(300)
+        batch = get_primitive("fixed_threshold", {"k": 4.0})
+        streaming = get_primitive("fixed_threshold", {"k": 4.0})
+        expected = batch.produce(errors, index)["anomalies"]
+        # Growing windows that always cover the whole history reproduce the
+        # batch threshold exactly.
+        for end in (100, 200, 300):
+            actual = streaming.update(errors[:end], index[:end])["anomalies"]
+        np.testing.assert_allclose(actual, expected)
+
+    def test_evicted_samples_keep_contributing(self):
+        rng = np.random.default_rng(2)
+        errors = rng.exponential(0.1, 250)
+        errors[200:210] = 10.0
+        index = np.arange(250)
+        streaming = get_primitive("fixed_threshold", {"k": 3.0})
+        # Slide a 100-sample window over the sequence.
+        for end in range(100, 251, 50):
+            window = slice(end - 100, end)
+            result = streaming.update(errors[window], index[window])
+        count, mean, m2 = streaming._evicted
+        assert count == 150  # samples that slid out were folded once each
+        assert mean > 0
+        # The spike is still flagged relative to the global statistics.
+        assert len(result["anomalies"])
+
+    def test_empty_window_is_noop(self):
+        streaming = get_primitive("fixed_threshold")
+        result = streaming.update(np.array([]), np.array([]))
+        assert result["anomalies"].shape == (0, 3)

@@ -44,6 +44,26 @@ class TestPageHinkley:
         detector = PageHinkley(threshold=0.001, min_samples=50)
         assert not any(detector.update(v) for v in np.linspace(0, 100, 49))
 
+    def test_cold_start_never_fires_before_min_samples(self):
+        # Even an extreme shift inside the warm-up must not fire; the
+        # earliest possible signal is the min_samples-th observation.
+        detector = PageHinkley(threshold=0.001, min_samples=30)
+        values = np.concatenate([np.zeros(5), np.full(100, 1e6)])
+        fired_at = None
+        for i, value in enumerate(values):
+            if detector.update(value):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at >= 29  # zero-based: observation number min_samples
+
+    def test_reset_restarts_cold_start(self):
+        detector = PageHinkley(threshold=0.001, min_samples=30)
+        for value in np.linspace(0, 100, 60):
+            detector.update(value)
+        detector.reset()
+        assert not any(detector.update(v) for v in np.linspace(0, 100, 29))
+
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ValueError):
             PageHinkley(threshold=0.0)
@@ -65,6 +85,33 @@ class TestDistributionDriftDetector:
     def test_needs_two_full_windows(self):
         detector = DistributionDriftDetector(window_size=50)
         assert not any(detector.update(v) for v in np.ones(99))
+
+    def test_cold_start_never_fires_before_full_windows(self):
+        # A violent shift right after the reference window still cannot
+        # fire until the current window is itself full: the earliest
+        # possible signal is observation 2 * window_size.
+        detector = DistributionDriftDetector(window_size=50, alpha=0.05)
+        rng = np.random.default_rng(0)
+        values = np.concatenate([
+            rng.normal(0, 0.1, 50), rng.normal(100.0, 0.1, 100),
+        ])
+        fired_at = None
+        for i, value in enumerate(values):
+            if detector.update(value):
+                fired_at = i
+                break
+        assert fired_at is not None
+        assert fired_at >= 99  # zero-based: observation 2 * window_size
+
+    def test_reset_collects_fresh_reference_window(self):
+        detector = DistributionDriftDetector(window_size=50, alpha=0.05)
+        rng = np.random.default_rng(1)
+        for value in rng.normal(0, 0.1, 120):
+            detector.update(value)
+        detector.reset()
+        # Post-reset, a full reference + current window is needed again.
+        assert not any(detector.update(v)
+                       for v in rng.normal(5.0, 0.1, 99))
 
     def test_invalid_parameters_rejected(self):
         with pytest.raises(ValueError):
@@ -99,3 +146,17 @@ class TestDriftMonitor:
         monitor.consume(first_half)
         monitor.consume(second_half)
         assert all(0 <= point < len(stream) for point in monitor.drift_points)
+
+    def test_reset_after_retrain_keeps_history_and_rearms(self):
+        monitor = DriftMonitor(PageHinkley(threshold=20.0), cooldown=10_000)
+        monitor.consume(_stream_with_shift())
+        history = list(monitor.drift_points)
+        assert history
+        # The huge cooldown would swallow everything; reset (as done after
+        # a confirmed retrain) clears it and restarts the detector warm-up.
+        monitor.reset()
+        assert monitor.drift_points == history
+        assert monitor.detector._count == 0
+        found = monitor.consume(_stream_with_shift(seed=9))
+        assert found
+        assert monitor.drift_points == history + found
