@@ -8,7 +8,6 @@ annotations accumulate (with occasional flat segments), and eventually
 approaches or surpasses the unsupervised baseline.
 """
 
-import numpy as np
 from bench_utils import write_output
 
 from repro.data import generate_signal

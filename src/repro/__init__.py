@@ -14,6 +14,7 @@ The top-level package exposes the most common entry points:
 from repro.core import (
     CachingExecutor,
     Pipeline,
+    ProcessExecutor,
     SerialExecutor,
     Sintel,
     StreamEvent,
@@ -42,6 +43,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "CachingExecutor",
+    "ProcessExecutor",
     "get_executor",
     "list_executors",
     "list_pipelines",

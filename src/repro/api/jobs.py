@@ -6,6 +6,13 @@ submits the work to a :class:`JobManager`, which runs it on a worker pool
 and tracks its lifecycle; ``GET /jobs/<id>`` polls status and, once the job
 has finished, its result.
 
+Jobs themselves may fan further out: a detect job's ``executor`` and a
+benchmark job's ``executor`` / ``pipeline_executor`` accept any registered
+executor name — including ``"process"``, which schedules the work across a
+multiprocessing pool — and benchmark jobs take ``shard_index`` /
+``shard_count`` / ``checkpoint_dir`` / ``resume`` for sharded, resumable
+sweeps (see :mod:`repro.benchmark.runner`).
+
 Job lifecycle: ``pending`` → ``running`` → ``succeeded`` | ``failed``.
 """
 

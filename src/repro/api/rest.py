@@ -308,7 +308,8 @@ class SintelAPI:
             key: body[key]
             for key in ("pipelines", "datasets", "method", "scale",
                         "max_signals", "pipeline_options", "workers",
-                        "executor", "pipeline_executor")
+                        "executor", "pipeline_executor", "shard_index",
+                        "shard_count", "checkpoint_dir", "resume")
             if key in body
         }
         options.setdefault("profile_memory", False)

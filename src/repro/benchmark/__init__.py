@@ -13,11 +13,13 @@ from repro.benchmark.profiling import (
     profile_pipeline_steps,
     run_primitives_standalone,
 )
-from repro.benchmark.results import BenchmarkResult
+from repro.benchmark.regression import compare_results, format_report
+from repro.benchmark.results import BenchmarkResult, merge_shard_checkpoints
 from repro.benchmark.runner import (
     DEFAULT_PIPELINE_OPTIONS,
     benchmark,
     run_pipeline_on_signal,
+    shard_jobs,
 )
 from repro.benchmark.streaming import (
     benchmark_streaming,
@@ -31,6 +33,10 @@ __all__ = [
     "run_pipeline_on_signal",
     "DEFAULT_PIPELINE_OPTIONS",
     "BenchmarkResult",
+    "merge_shard_checkpoints",
+    "shard_jobs",
+    "compare_results",
+    "format_report",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.benchmark``."""
+
+import sys
+
+from repro.benchmark.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

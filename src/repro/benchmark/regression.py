@@ -1,0 +1,171 @@
+"""The CI performance-regression gate.
+
+Compares a freshly produced ``BENCH_*.json`` against a committed baseline:
+
+* **coverage** — both runs must score the same (dataset, pipeline, signal)
+  jobs; a disappeared record means the benchmark itself broke;
+* **quality** — detection metrics (``f1`` / ``precision`` / ``recall``) and
+  job status must match the baseline exactly (within ``quality_atol``):
+  the benchmark slice is seeded and deterministic, so any drift is a
+  behaviour change, not noise;
+* **wall time** — per-pipeline total fit + detect time must stay inside a
+  relative tolerance band of the baseline. Only slowdowns beyond the band
+  fail the gate; a speedup beyond the band is reported as ``improved`` (a
+  hint to refresh the baseline) but does not fail.
+
+``compare_results`` returns a plain-data report; the ``python -m
+repro.benchmark check`` CLI renders it and exits non-zero on failure,
+which is what fails the CI build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchmark.results import BenchmarkResult
+from repro.benchmark.runner import job_key
+
+__all__ = ["compare_results", "format_report", "QUALITY_METRICS"]
+
+#: Per-record quality fields compared against the baseline.
+QUALITY_METRICS = ("f1", "precision", "recall")
+
+#: Check statuses that fail the gate. ``extra`` fails too: a job that the
+#: baseline does not know means the benchmark slice changed, and the
+#: baseline must be refreshed deliberately rather than drift silently.
+FAILING = ("regression", "mismatch", "missing", "extra")
+
+
+def _record_key(record: dict) -> str:
+    # Same identity the shard checkpoints use, so comparison targets line
+    # up with checkpoint keys.
+    return job_key(record.get("dataset", ""), record.get("pipeline", ""),
+                   record.get("signal", ""))
+
+
+def compare_results(current: BenchmarkResult, baseline: BenchmarkResult,
+                    time_tolerance: float = 0.2,
+                    quality_atol: float = 0.0) -> dict:
+    """Compare a benchmark run against a baseline run.
+
+    Args:
+        current: the freshly produced result.
+        baseline: the committed reference result.
+        time_tolerance: allowed relative wall-time deviation per pipeline
+            (``0.2`` = ±20%). Only slowdowns beyond the band fail.
+        quality_atol: absolute tolerance on quality metrics (``0.0`` =
+            exact, the contract for seeded deterministic slices).
+
+    Returns:
+        ``{"status": "pass"|"fail", "checks": [...], ...}`` where each
+        check carries ``kind``, ``target``, ``status`` and a human-readable
+        ``detail``.
+    """
+    if time_tolerance < 0:
+        raise ValueError("time_tolerance must be non-negative")
+    if quality_atol < 0:
+        raise ValueError("quality_atol must be non-negative")
+
+    checks: List[dict] = []
+
+    # -- coverage: both runs must contain exactly the same jobs.
+    current_records = {_record_key(r): r for r in current.records}
+    baseline_records = {_record_key(r): r for r in baseline.records}
+    for key in sorted(set(baseline_records) - set(current_records)):
+        checks.append({
+            "kind": "coverage", "target": key, "status": "missing",
+            "detail": "job present in the baseline but absent from this run",
+        })
+    for key in sorted(set(current_records) - set(baseline_records)):
+        checks.append({
+            "kind": "coverage", "target": key, "status": "extra",
+            "detail": "job absent from the baseline (refresh the baseline "
+                      "after changing the benchmark slice)",
+        })
+
+    # -- quality: per-record metrics must match the baseline.
+    n_quality_failures = len(checks)
+    for key in sorted(set(current_records) & set(baseline_records)):
+        now, then = current_records[key], baseline_records[key]
+        if now.get("status") != then.get("status"):
+            checks.append({
+                "kind": "quality", "target": key, "status": "mismatch",
+                "detail": (f"status changed: {then.get('status')!r} -> "
+                           f"{now.get('status')!r}"),
+            })
+            continue
+        drifted = [
+            f"{metric} {float(then.get(metric, 0.0)):.6f} -> "
+            f"{float(now.get(metric, 0.0)):.6f}"
+            for metric in QUALITY_METRICS
+            if abs(float(now.get(metric, 0.0)) - float(then.get(metric, 0.0)))
+            > quality_atol
+        ]
+        if drifted:
+            checks.append({
+                "kind": "quality", "target": key, "status": "mismatch",
+                "detail": "; ".join(drifted),
+            })
+
+    shared = set(current_records) & set(baseline_records)
+    if shared and len(checks) == n_quality_failures:
+        checks.append({
+            "kind": "quality", "target": f"{len(shared)} records",
+            "status": "ok",
+            "detail": "status and quality metrics match the baseline",
+        })
+
+    # -- wall time: per-pipeline totals within the tolerance band.
+    current_times = _pipeline_times(current)
+    baseline_times = _pipeline_times(baseline)
+    for pipeline in sorted(set(current_times) & set(baseline_times)):
+        now, then = current_times[pipeline], baseline_times[pipeline]
+        if then <= 0.0:
+            continue
+        ratio = now / then
+        if ratio > 1.0 + time_tolerance:
+            status = "regression"
+            detail = (f"total wall time {then:.3f}s -> {now:.3f}s "
+                      f"({ratio:.2f}x, tolerance {1.0 + time_tolerance:.2f}x)")
+        elif ratio < 1.0 - time_tolerance:
+            status = "improved"
+            detail = (f"total wall time {then:.3f}s -> {now:.3f}s "
+                      f"({ratio:.2f}x); consider refreshing the baseline")
+        else:
+            status = "ok"
+            detail = f"total wall time {then:.3f}s -> {now:.3f}s ({ratio:.2f}x)"
+        checks.append({"kind": "wall_time", "target": pipeline,
+                       "status": status, "detail": detail,
+                       "baseline_seconds": then, "current_seconds": now})
+
+    failed = [check for check in checks if check["status"] in FAILING]
+    return {
+        "status": "fail" if failed else "pass",
+        "time_tolerance": time_tolerance,
+        "quality_atol": quality_atol,
+        "n_checks": len(checks),
+        "n_failed": len(failed),
+        "checks": checks,
+    }
+
+
+def _pipeline_times(result: BenchmarkResult) -> Dict[str, float]:
+    table = result.computational_table()
+    return {pipeline: row["fit_time"] + row["detect_time"]
+            for pipeline, row in table.items()}
+
+
+def format_report(report: dict) -> str:
+    """Render a comparison report as aligned console text."""
+    lines = [
+        f"bench-regression: {report['status'].upper()} "
+        f"({report['n_failed']}/{report['n_checks']} checks failed, "
+        f"time tolerance ±{report['time_tolerance'] * 100:.0f}%)"
+    ]
+    for check in report["checks"]:
+        flag = "FAIL" if check["status"] in FAILING else "  ok"
+        lines.append(
+            f"  [{flag}] {check['kind']:<10} {check['target']:<40} "
+            f"{check['status']:<10} {check['detail']}"
+        )
+    return "\n".join(lines)

@@ -4,6 +4,7 @@ from repro.core.analysis import AnalysisReport, analyze
 from repro.core.executor import (
     CachingExecutor,
     ExecutionPlan,
+    ProcessExecutor,
     Executor,
     SerialExecutor,
     StepNode,
@@ -39,6 +40,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "CachingExecutor",
+    "ProcessExecutor",
     "ExecutionPlan",
     "StepNode",
     "get_executor",

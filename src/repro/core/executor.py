@@ -11,7 +11,11 @@ This module separates *what* to run from *how* to run it:
   pipeline × signal jobs) out over a thread pool;
 * :class:`CachingExecutor` — wraps another executor and memoizes per-step
   outputs keyed by (step spec, hyperparameters, input digests) so repeated
-  tuning or benchmark runs skip unchanged pipeline prefixes.
+  tuning or benchmark runs skip unchanged pipeline prefixes;
+* :class:`ProcessExecutor` — schedules independent DAG branches and benchmark
+  jobs across a ``multiprocessing`` pool, sidestepping the GIL for CPU-heavy
+  primitives. Large arrays travel to the workers through POSIX shared memory
+  (``multiprocessing.shared_memory``) with a plain-pickle fallback.
 
 An executor consumes an :class:`ExecutionPlan` — a list of :class:`StepNode`
 entries carrying the variables each step reads and writes — and returns the
@@ -23,18 +27,31 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import multiprocessing
+import os
 import pickle
 import threading
 import time
 import tracemalloc
+import warnings
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import ExecutorError
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - ancient interpreters only
+    _shared_memory = None
 
 __all__ = [
     "StepNode",
@@ -43,9 +60,11 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "CachingExecutor",
+    "ProcessExecutor",
     "get_executor",
     "list_executors",
     "trace_memory",
+    "SHM_MIN_BYTES",
 ]
 
 
@@ -69,6 +88,17 @@ class StepNode:
             as the cache key prefix.
         cacheable: ``cacheable(fit)`` predicate deciding whether the step's
             outputs may be served from a cache in the given mode.
+        payload: optional zero-argument factory returning a *picklable* work
+            unit for cross-process dispatch. The returned object must expose
+            an ``engine`` attribute and a ``run(context, fit)`` method
+            returning ``(updates, state)``, where ``state`` is ``None`` or an
+            object for :attr:`absorb` (typically the fitted primitive).
+            Plans without payloads still run on every in-process executor;
+            :class:`ProcessExecutor` falls back to serial for them.
+        absorb: parent-side callback receiving the ``state`` a process worker
+            returned, so mutations that happened in the worker (a fitted or
+            incrementally-updated primitive) are grafted back into the
+            pipeline that built the plan.
     """
 
     name: str
@@ -78,6 +108,8 @@ class StepNode:
     execute: Callable[[dict, bool], dict]
     fingerprint: str = ""
     cacheable: Callable[[bool], bool] = field(default=lambda fit: False)
+    payload: Optional[Callable[[], object]] = None
+    absorb: Optional[Callable[[object], None]] = None
 
 
 class ExecutionPlan:
@@ -188,6 +220,137 @@ def _run_measured(action: Callable[[], dict], profile: bool) -> Tuple[dict, floa
 
 
 # --------------------------------------------------------------------------- #
+# cross-process array transfer
+# --------------------------------------------------------------------------- #
+#: Arrays at or above this many bytes are parked in shared memory instead of
+#: being pickled through the worker pipe.
+SHM_MIN_BYTES = 1 << 18
+
+
+class _ShmRef:
+    """Picklable handle to a numpy array parked in POSIX shared memory."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: tuple, dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+
+
+def _shm_eligible(value) -> bool:
+    return (
+        _shared_memory is not None
+        and isinstance(value, np.ndarray)
+        and value.nbytes >= SHM_MIN_BYTES
+        and value.dtype.hasobject is False
+    )
+
+
+def encode_for_transfer(value, segments: list):
+    """Swap large arrays in ``value`` for shared-memory handles.
+
+    Walks plain containers (dict / list / tuple); every qualifying array is
+    copied into a fresh ``SharedMemory`` segment and replaced by a
+    :class:`_ShmRef`. The created segments are appended to ``segments`` —
+    the caller owns them and must :func:`release_transfers` once the worker
+    is done. Anything that cannot go through shared memory (small arrays,
+    arbitrary objects, segment allocation failure) is returned unchanged and
+    rides the normal pickle channel.
+    """
+    if _shm_eligible(value):
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=value.nbytes)
+        except OSError:  # no /dev/shm, or it is full: pickle fallback
+            return value
+        mirror = np.ndarray(value.shape, dtype=value.dtype, buffer=segment.buf)
+        mirror[...] = value
+        segments.append(segment)
+        return _ShmRef(segment.name, value.shape, value.dtype.str)
+    if isinstance(value, dict):
+        return {key: encode_for_transfer(item, segments)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [encode_for_transfer(item, segments) for item in value]
+    if type(value) is tuple:
+        return tuple(encode_for_transfer(item, segments) for item in value)
+    return value
+
+
+def decode_from_transfer(value):
+    """Materialize shared-memory handles back into arrays (worker side).
+
+    The array is copied out of the segment so the parent can release it as
+    soon as the task finishes, and so worker-side mutation can never leak
+    back. The parent owns the segment lifecycle: pool workers share the
+    parent's resource tracker under every start method (fork inherits the
+    tracker fd, spawn/forkserver pass it explicitly), and the tracker's
+    registry is a set, so the worker's attach-time registration dedups
+    against the parent's create-time one and the parent's ``unlink`` is
+    the single cleanup point — the worker must *not* unregister.
+    """
+    if isinstance(value, _ShmRef):
+        segment = _shared_memory.SharedMemory(name=value.name)
+        try:
+            return np.ndarray(
+                value.shape, dtype=np.dtype(value.dtype), buffer=segment.buf
+            ).copy()
+        finally:
+            segment.close()
+    if isinstance(value, dict):
+        return {key: decode_from_transfer(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_from_transfer(item) for item in value]
+    if type(value) is tuple:
+        return tuple(decode_from_transfer(item) for item in value)
+    return value
+
+
+def release_transfers(segments: list) -> None:
+    """Close and unlink every shared-memory segment in ``segments``."""
+    for segment in segments:
+        with contextlib.suppress(Exception):
+            segment.close()
+        with contextlib.suppress(Exception):
+            segment.unlink()
+    segments.clear()
+
+
+def _in_worker_process() -> bool:
+    """Whether this interpreter is itself a multiprocessing worker."""
+    return multiprocessing.parent_process() is not None
+
+
+def _process_plan_worker(payload, context, fit: bool, profile: bool):
+    """Run one step payload inside a pool worker.
+
+    Returns ``(updates, timing, state)``; ``state`` is the mutated primitive
+    (fit or incremental update) the parent must absorb, or ``None``.
+    """
+    context = decode_from_transfer(context)
+    started = time.perf_counter()
+    with trace_memory(profile) as probe:
+        updates, state = payload.run(context, fit)
+    timing = {
+        "elapsed": time.perf_counter() - started,
+        "engine": payload.engine,
+        "memory": probe.memory,
+    }
+    return updates, timing, state
+
+
+def _process_map_worker(function, item):
+    """Apply one mapped function inside a pool worker."""
+    return function(decode_from_transfer(item))
+
+
+# --------------------------------------------------------------------------- #
 # executors
 # --------------------------------------------------------------------------- #
 class Executor:
@@ -212,8 +375,15 @@ class Executor:
         """
         raise NotImplementedError
 
-    def map(self, function: Callable, items: Iterable) -> List:
-        """Apply ``function`` to every item, returning results in order."""
+    def map(self, function: Callable, items: Iterable,
+            progress: Optional[Callable[[int, object], None]] = None) -> List:
+        """Apply ``function`` to every item, returning results in order.
+
+        ``progress(index, result)``, when given, is invoked in the *parent*
+        as each item completes (completion order, not item order) — the hook
+        the benchmark checkpointer uses to persist finished jobs while the
+        rest of the fan-out is still running.
+        """
         raise NotImplementedError
 
     def _run_node(self, node: StepNode, context: dict, fit: bool,
@@ -244,8 +414,14 @@ class SerialExecutor(Executor):
             timings[node.name] = timing
         return context, timings
 
-    def map(self, function, items):
-        return [function(item) for item in items]
+    def map(self, function, items, progress=None):
+        results = []
+        for index, item in enumerate(items):
+            result = function(item)
+            results.append(result)
+            if progress is not None:
+                progress(index, result)
+        return results
 
 
 class ThreadedExecutor(Executor):
@@ -322,12 +498,23 @@ class ThreadedExecutor(Executor):
         ordered = {node.name: timings[node.name] for node in plan}
         return context, ordered
 
-    def map(self, function, items):
+    def map(self, function, items, progress=None):
         items = list(items)
         if not items:
             return []
+        results: List = [None] * len(items)
         with ThreadPoolExecutor(max_workers=self._pool_size(len(items))) as pool:
-            return list(pool.map(function, items))
+            futures = {pool.submit(function, item): index
+                       for index, item in enumerate(items)}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    results[index] = future.result()
+                    if progress is not None:
+                        progress(index, results[index])
+        return results
 
 
 class CachingExecutor(Executor):
@@ -468,12 +655,206 @@ class CachingExecutor(Executor):
         wrapped = ExecutionPlan([self._wrap(node) for node in plan])
         return self.inner.run_plan(wrapped, context, fit=fit, profile=profile)
 
-    def map(self, function, items):
-        return self.inner.map(function, items)
+    def map(self, function, items, progress=None):
+        return self.inner.map(function, items, progress=progress)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"CachingExecutor(inner={self.inner!r}, "
                 f"hits={self.hits}, misses={self.misses})")
+
+
+class ProcessExecutor(Executor):
+    """Schedule steps and job lists across a ``multiprocessing`` pool.
+
+    Both executor duties escape the GIL:
+
+    * :meth:`run_plan` runs the same topological ready-queue as
+      :class:`ThreadedExecutor`, but dispatches each ready step's *payload*
+      (a picklable work unit built by the pipeline — see
+      :attr:`StepNode.payload`) to a ``ProcessPoolExecutor`` worker together
+      with only the context variables the step reads. Mutated primitive
+      state (a fit, or an incremental streaming update) is returned and
+      grafted back through :attr:`StepNode.absorb`, so a pipeline fitted
+      through the process backend is indistinguishable from a serial fit.
+    * :meth:`map` fans a job list out across the pool — the benchmark's
+      pipeline × signal sweep. The mapped function and items must be
+      picklable (module-level functions, plain-data items); an unpicklable
+      *function* degrades to a serial in-process run with a
+      ``RuntimeWarning`` rather than failing the fan-out.
+
+    Large numpy arrays travel through POSIX shared memory segments instead
+    of the worker pipe (see :func:`encode_for_transfer`); everything else —
+    and every array when shared memory is unavailable — falls back to
+    pickle. Per-step ``elapsed`` / ``memory`` timings are measured inside
+    the worker, so they report the step's own cost without IPC overhead.
+
+    Two safety fallbacks keep the executor composable:
+
+    * inside a worker process (nested process fan-out, e.g. a benchmark job
+      whose pipeline also selects ``"process"``) it degrades to serial
+      execution rather than forking grandchildren;
+    * a plan whose nodes carry no payloads (hand-built closure plans, or
+      plans wrapped by :class:`CachingExecutor`, whose memo store lives in
+      the parent) runs serially as well.
+
+    Args:
+        max_workers: pool size (default: ``min(cpu_count, 8, n_items)``).
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ExecutorError("max_workers must be at least 1")
+        self.max_workers = max_workers
+
+    def _pool_size(self, n_items: int) -> int:
+        if self.max_workers is not None:
+            return self.max_workers
+        return max(1, min(os.cpu_count() or 1, 8, n_items))
+
+    # -- a pool handle must never ride along with a pickled pipeline
+    def __getstate__(self) -> dict:
+        return {"max_workers": self.max_workers}
+
+    def __setstate__(self, state: dict) -> None:
+        self.max_workers = state["max_workers"]
+
+    def run_plan(self, plan, context, fit=False, profile=False):
+        if _in_worker_process() or any(node.payload is None for node in plan):
+            return SerialExecutor().run_plan(plan, context, fit=fit,
+                                             profile=profile)
+
+        remaining = {name: set(deps) for name, deps in plan.dependencies.items()}
+        dependents: Dict[str, set] = {node.name: set() for node in plan}
+        for name, deps in plan.dependencies.items():
+            for dep in deps:
+                dependents[dep].add(name)
+        by_name = {node.name: node for node in plan}
+
+        timings: Dict[str, dict] = {}
+        failure: List[BaseException] = []
+        in_flight: Dict[object, Tuple[str, list]] = {}
+
+        with ProcessPoolExecutor(max_workers=self._pool_size(len(plan))) as pool:
+            def dispatch(name: str) -> None:
+                node = by_name[name]
+                segments: list = []
+                # Missing read variables are omitted (not shipped as None),
+                # so the worker raises the same "needs variable" error the
+                # in-process executors produce.
+                subcontext = {var: context[var] for var in node.reads
+                              if var in context}
+                encoded = encode_for_transfer(subcontext, segments)
+                future = pool.submit(
+                    _process_plan_worker, node.payload(), encoded, fit, profile
+                )
+                in_flight[future] = (name, segments)
+
+            for name in [node.name for node in plan if not remaining[node.name]]:
+                dispatch(name)
+
+            while in_flight:
+                done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    name, segments = in_flight.pop(future)
+                    release_transfers(segments)
+                    error = future.exception()
+                    if error is not None:
+                        failure.append(error)
+                        continue
+                    updates, timing, state = future.result()
+                    context.update(updates)
+                    timings[name] = timing
+                    node = by_name[name]
+                    if state is not None and node.absorb is not None:
+                        node.absorb(state)
+                    for dependent in dependents[name]:
+                        remaining[dependent].discard(name)
+                        if not remaining[dependent] and not failure:
+                            dispatch(dependent)
+                if failure:
+                    # Drain in-flight work, then surface the first error.
+                    wait(set(in_flight))
+                    for _, segments in in_flight.values():
+                        release_transfers(segments)
+                    in_flight = {}
+        if failure:
+            raise self._surface(failure[0])
+
+        ordered = {node.name: timings[node.name] for node in plan}
+        return context, ordered
+
+    def map(self, function, items, progress=None):
+        items = list(items)
+        if not items:
+            return []
+        if _in_worker_process():
+            return SerialExecutor().map(function, items, progress=progress)
+        try:
+            pickle.dumps(function)
+        except Exception:
+            # A closure (e.g. the streaming layer's background-refit hook)
+            # cannot cross the process boundary; degrade to a correct serial
+            # run instead of failing the whole fan-out.
+            warnings.warn(
+                "ProcessExecutor.map received an unpicklable function; "
+                "running serially. Use a module-level function to "
+                "parallelize across processes.",
+                RuntimeWarning, stacklevel=2,
+            )
+            return SerialExecutor().map(function, items, progress=progress)
+
+        results: List = [None] * len(items)
+        in_flight: Dict[object, Tuple[int, list]] = {}
+        pool_size = self._pool_size(len(items))
+        # Encode lazily, a bounded window at a time: shared-memory segments
+        # (a finite system resource — /dev/shm) exist only for items that
+        # are running or next in line, not for the whole job list.
+        window = pool_size * 2
+        next_index = 0
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            def submit_next() -> None:
+                nonlocal next_index
+                segments: list = []
+                encoded = encode_for_transfer(items[next_index], segments)
+                future = pool.submit(_process_map_worker, function, encoded)
+                in_flight[future] = (next_index, segments)
+                next_index += 1
+
+            try:
+                while next_index < len(items) and len(in_flight) < window:
+                    submit_next()
+                while in_flight:
+                    done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, segments = in_flight.pop(future)
+                        release_transfers(segments)
+                        error = future.exception()
+                        if error is not None:
+                            raise self._surface(error)
+                        results[index] = future.result()
+                        if progress is not None:
+                            progress(index, results[index])
+                        if next_index < len(items):
+                            submit_next()
+            finally:
+                for _, segments in in_flight.values():
+                    release_transfers(segments)
+                pool.shutdown(cancel_futures=True)
+        return results
+
+    @staticmethod
+    def _surface(error: BaseException) -> BaseException:
+        """Wrap pickling failures in an actionable message."""
+        if isinstance(error, (pickle.PicklingError, AttributeError)) \
+                and "pickle" in str(error).lower():
+            return ExecutorError(
+                "The process executor requires picklable jobs: use "
+                "module-level functions and plain-data items (got: "
+                f"{error})"
+            )
+        return error
 
 
 # --------------------------------------------------------------------------- #
@@ -483,6 +864,7 @@ EXECUTORS: Dict[str, type] = {
     SerialExecutor.name: SerialExecutor,
     ThreadedExecutor.name: ThreadedExecutor,
     CachingExecutor.name: CachingExecutor,
+    ProcessExecutor.name: ProcessExecutor,
 }
 
 

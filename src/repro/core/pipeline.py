@@ -24,6 +24,63 @@ from repro.exceptions import NotFittedError, PipelineError
 __all__ = ["Template", "Pipeline"]
 
 
+def _collect_args(context: dict, args, inputs: dict, step: dict) -> dict:
+    kwargs = {}
+    for arg in args:
+        variable = inputs.get(arg, arg)
+        if variable not in context:
+            raise PipelineError(
+                f"Step {step['name']!r} needs variable {variable!r} "
+                "which is not present in the context"
+            )
+        kwargs[arg] = context[variable]
+    return kwargs
+
+
+class _StepPayload:
+    """A picklable work unit: one step's primitive plus its wiring.
+
+    This is what :class:`~repro.core.executor.ProcessExecutor` ships to a
+    pool worker. It carries the *current* primitive instance (fitted state
+    included), so it must be built fresh at dispatch time — step nodes hold
+    a zero-argument factory rather than a prebuilt payload. ``run`` returns
+    ``(updates, state)`` where ``state`` is the primitive whenever the call
+    mutated it (a fit, or an incremental streaming update) and ``None``
+    otherwise; the parent grafts returned state back through the node's
+    ``absorb`` callback.
+    """
+
+    def __init__(self, step: dict, primitive, stream: bool):
+        self.step = step
+        self.primitive = primitive
+        self.stream = stream
+
+    @property
+    def engine(self) -> str:
+        return self.primitive.engine
+
+    def run(self, context: dict, fit: bool):
+        primitive = self.primitive
+        step = self.step
+        inputs = step.get("inputs", {})
+        outputs = step.get("outputs", {})
+        incremental = self.stream and primitive.supports_stream
+        if fit and primitive.fit_args:
+            primitive.fit(**_collect_args(context, primitive.fit_args, inputs, step))
+        kwargs = _collect_args(context, primitive.produce_args, inputs, step)
+        if incremental:
+            produced = primitive.update(**kwargs)
+        else:
+            produced = primitive.produce(**kwargs)
+        if not isinstance(produced, dict):
+            raise PipelineError(
+                f"Primitive {primitive.name!r} must return a dict of outputs"
+            )
+        updates = {outputs.get(out, out): value for out, value in produced.items()}
+        mutated = (fit and bool(primitive.fit_args)) or incremental
+        return updates, (primitive if mutated else None)
+
+
 class Template:
     """A pipeline template with an open hyperparameter space.
 
@@ -220,13 +277,17 @@ class Pipeline:
     # execution
     # ------------------------------------------------------------------ #
     def _build_primitives(self):
+        # Each entry is a mutable [step, primitive] cell: step runners and
+        # payload factories read the primitive through the cell, so a worker
+        # process can hand back a fitted replacement (absorbed into the cell)
+        # and every later dispatch sees it.
         primitives = []
         for step in self.steps:
             values = self._hyperparameters.get(step["name"], {})
             cls = get_primitive_class(step["primitive"])
             known = cls.get_default_hyperparameters()
             usable = {key: value for key, value in values.items() if key in known}
-            primitives.append((step, get_primitive(step["primitive"], usable)))
+            primitives.append([step, get_primitive(step["primitive"], usable)])
         # Stateful steps carry this token in their cache fingerprint so a
         # rebuild (refit or hyperparameter change) invalidates their entries.
         self._build_token = uuid.uuid4().hex
@@ -245,7 +306,8 @@ class Pipeline:
 
     def _build_plan(self, stream: bool = False) -> ExecutionPlan:
         nodes = []
-        for step, primitive in self._primitives:
+        for entry in self._primitives:
+            step, primitive = entry
             inputs = step.get("inputs", {})
             outputs = step.get("outputs", {})
             reads = tuple(sorted({
@@ -268,31 +330,23 @@ class Pipeline:
                 engine=primitive.engine,
                 reads=reads,
                 writes=writes,
-                execute=self._make_step_runner(step, primitive, stream=stream),
+                execute=self._make_step_runner(entry, stream=stream),
                 fingerprint=self._step_fingerprint(step, primitive),
                 cacheable=cacheable,
+                payload=(lambda entry=entry, stream=stream:
+                         _StepPayload(entry[0], entry[1], stream)),
+                absorb=(lambda fitted, entry=entry:
+                        entry.__setitem__(1, fitted)),
             ))
         return ExecutionPlan(nodes)
 
-    def _make_step_runner(self, step: dict, primitive, stream: bool = False):
-        inputs = step.get("inputs", {})
-        outputs = step.get("outputs", {})
-        incremental = stream and primitive.supports_stream
-
+    def _make_step_runner(self, entry: list, stream: bool = False):
         def execute(context: dict, fit: bool) -> dict:
-            if fit and primitive.fit_args:
-                kwargs = self._collect(context, primitive.fit_args, inputs, step)
-                primitive.fit(**kwargs)
-            kwargs = self._collect(context, primitive.produce_args, inputs, step)
-            if incremental:
-                produced = primitive.update(**kwargs)
-            else:
-                produced = primitive.produce(**kwargs)
-            if not isinstance(produced, dict):
-                raise PipelineError(
-                    f"Primitive {primitive.name!r} must return a dict of outputs"
-                )
-            return {outputs.get(out, out): value for out, value in produced.items()}
+            # The primitive is read through the cell at call time, and runs
+            # in-process: mutation (fit / update) lands on the shared object
+            # directly, so there is no state to absorb.
+            updates, _ = _StepPayload(entry[0], entry[1], stream).run(context, fit)
+            return updates
 
         return execute
 
@@ -323,16 +377,7 @@ class Pipeline:
 
     @staticmethod
     def _collect(context: dict, args, inputs: dict, step: dict) -> dict:
-        kwargs = {}
-        for arg in args:
-            variable = inputs.get(arg, arg)
-            if variable not in context:
-                raise PipelineError(
-                    f"Step {step['name']!r} needs variable {variable!r} "
-                    "which is not present in the context"
-                )
-            kwargs[arg] = context[variable]
-        return kwargs
+        return _collect_args(context, args, inputs, step)
 
     def fit(self, data, profile: bool = False, **context_variables) -> "Pipeline":
         """Fit every step on ``data`` (a ``(timestamp, values...)`` array)."""

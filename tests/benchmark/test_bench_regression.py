@@ -1,0 +1,123 @@
+"""The CI perf-regression gate: comparison logic and CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.benchmark.cli import main
+from repro.benchmark.regression import compare_results, format_report
+from repro.benchmark.results import BenchmarkResult
+
+
+def _result(fit_time=1.0, f1=0.5, pipelines=("azure", "arima")):
+    records = []
+    for pipeline in pipelines:
+        for signal in ("s0", "s1"):
+            records.append({
+                "pipeline": pipeline, "dataset": "NAB", "signal": signal,
+                "status": "ok", "fit_time": fit_time, "detect_time": 0.5,
+                "memory": 0, "f1": f1, "precision": f1, "recall": f1,
+                "n_detected": 2, "n_truth": 2,
+            })
+    return BenchmarkResult(records=records)
+
+
+class TestCompareResults:
+    def test_identical_runs_pass(self):
+        report = compare_results(_result(), _result())
+        assert report["status"] == "pass"
+        assert report["n_failed"] == 0
+        kinds = {check["kind"] for check in report["checks"]}
+        assert kinds == {"quality", "wall_time"}
+
+    def test_slowdown_beyond_band_fails(self):
+        report = compare_results(_result(fit_time=2.0), _result(fit_time=1.0),
+                                 time_tolerance=0.2)
+        assert report["status"] == "fail"
+        regressions = [c for c in report["checks"]
+                       if c["status"] == "regression"]
+        assert {c["target"] for c in regressions} == {"azure", "arima"}
+
+    def test_slowdown_within_band_passes(self):
+        report = compare_results(_result(fit_time=1.1), _result(fit_time=1.0),
+                                 time_tolerance=0.2)
+        assert report["status"] == "pass"
+
+    def test_speedup_beyond_band_is_improved_not_failed(self):
+        report = compare_results(_result(fit_time=0.2), _result(fit_time=1.0),
+                                 time_tolerance=0.2)
+        assert report["status"] == "pass"
+        assert any(c["status"] == "improved" for c in report["checks"])
+
+    def test_quality_drift_fails(self):
+        report = compare_results(_result(f1=0.4), _result(f1=0.5))
+        assert report["status"] == "fail"
+        mismatches = [c for c in report["checks"] if c["status"] == "mismatch"]
+        assert len(mismatches) == 4  # every record drifted
+
+    def test_quality_drift_within_atol_passes(self):
+        report = compare_results(_result(f1=0.5 + 1e-12), _result(f1=0.5),
+                                 quality_atol=1e-9)
+        assert report["status"] == "pass"
+
+    def test_status_flip_fails(self):
+        current = _result()
+        current.records[0] = {**current.records[0], "status": "error"}
+        report = compare_results(current, _result())
+        assert report["status"] == "fail"
+
+    def test_missing_and_extra_jobs_fail(self):
+        report = compare_results(_result(pipelines=("azure",)), _result())
+        assert report["status"] == "fail"
+        assert any(c["status"] == "missing" for c in report["checks"])
+
+        report = compare_results(_result(), _result(pipelines=("azure",)))
+        assert report["status"] == "fail"
+        assert any(c["status"] == "extra" for c in report["checks"])
+
+    def test_invalid_tolerances_rejected(self):
+        with pytest.raises(ValueError):
+            compare_results(_result(), _result(), time_tolerance=-0.1)
+        with pytest.raises(ValueError):
+            compare_results(_result(), _result(), quality_atol=-1.0)
+
+    def test_format_report_flags_failures(self):
+        report = compare_results(_result(fit_time=5.0), _result())
+        text = format_report(report)
+        assert "FAIL" in text
+        assert "bench-regression" in text
+
+
+class TestCheckCli:
+    @pytest.fixture
+    def bench_files(self, tmp_path):
+        baseline = _result()
+        baseline.to_json(tmp_path / "baseline.json")
+        current = copy.deepcopy(baseline)
+        current.to_json(tmp_path / "current.json")
+        return tmp_path
+
+    def test_passing_check_exits_zero(self, bench_files, capsys):
+        code = main(["check",
+                     "--current", str(bench_files / "current.json"),
+                     "--baseline", str(bench_files / "baseline.json")])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero_and_writes_report(self, bench_files):
+        slow = _result(fit_time=10.0)
+        slow.to_json(bench_files / "slow.json")
+        report_path = bench_files / "report.json"
+        code = main(["check",
+                     "--current", str(bench_files / "slow.json"),
+                     "--baseline", str(bench_files / "baseline.json"),
+                     "--report", str(report_path)])
+        assert code == 1
+        report = json.loads(report_path.read_text())
+        assert report["status"] == "fail"
+        assert any(c["status"] == "regression" for c in report["checks"])
+
+    def test_merge_requires_exactly_one_source(self, tmp_path):
+        code = main(["merge", "--output", str(tmp_path / "out.json")])
+        assert code == 2

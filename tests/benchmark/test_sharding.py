@@ -1,0 +1,233 @@
+"""Sharded, resumable benchmark runs and shard merging."""
+
+import json
+
+import pytest
+
+from repro.benchmark import benchmark, merge_shard_checkpoints, shard_jobs
+from repro.benchmark.results import BenchmarkResult
+from repro.benchmark.runner import job_key
+from repro.data import Dataset, generate_signal
+from repro.exceptions import BenchmarkError
+
+#: Fields that must be identical between a sharded and an unsharded run
+#: (timings legitimately differ between runs).
+DETERMINISTIC = ("pipeline", "dataset", "signal", "status", "f1",
+                 "precision", "recall", "n_detected", "n_truth")
+
+
+def _quality_view(result: BenchmarkResult):
+    return [{field: record.get(field) for field in DETERMINISTIC}
+            for record in result.sort_canonical().records]
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    dataset = Dataset("NAB", metadata={"scale": 0.01})
+    for i in range(2):
+        dataset.add_signal(generate_signal(
+            f"nab-{i}", length=250, n_anomalies=2, random_state=20 + i,
+            flavour="traffic", metadata={"dataset": "NAB"},
+        ))
+    return {"NAB": dataset}
+
+
+class TestShardPartition:
+    def test_shards_partition_the_job_list(self):
+        positions = [shard_jobs(10, index, 3) for index in range(3)]
+        flattened = sorted(p for shard in positions for p in shard)
+        assert flattened == list(range(10))
+        for a in range(3):
+            for b in range(a + 1, 3):
+                assert not set(positions[a]) & set(positions[b])
+
+    def test_invalid_shards_rejected(self):
+        with pytest.raises(BenchmarkError):
+            shard_jobs(10, 3, 3)
+        with pytest.raises(BenchmarkError):
+            shard_jobs(10, -1, 3)
+        with pytest.raises(BenchmarkError):
+            shard_jobs(10, 0, 0)
+
+    def test_index_without_count_rejected(self, tiny_datasets):
+        with pytest.raises(BenchmarkError, match="together"):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                      shard_index=0)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_finished_jobs(self, tiny_datasets, tmp_path,
+                                        monkeypatch):
+        first = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                          profile_memory=False,
+                          checkpoint_dir=str(tmp_path))
+
+        # Any attempt to recompute a job would now blow up: the second run
+        # must be served from the checkpoint alone.
+        import repro.benchmark.runner as runner
+
+        def explode(*args, **kwargs):
+            raise AssertionError("job was recomputed despite the checkpoint")
+
+        monkeypatch.setattr(runner, "run_pipeline_on_signal", explode)
+        second = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False,
+                           checkpoint_dir=str(tmp_path))
+        assert _quality_view(second) == _quality_view(first)
+
+    def test_interrupted_run_resumes_from_checkpoint(self, tiny_datasets,
+                                                     tmp_path, monkeypatch):
+        import repro.benchmark.runner as runner
+
+        original = runner.run_pipeline_on_signal
+        calls = {"n": 0}
+
+        def interrupt_after_one(*args, **kwargs):
+            if calls["n"] >= 1:
+                raise KeyboardInterrupt("simulated operator interrupt")
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(runner, "run_pipeline_on_signal",
+                            interrupt_after_one)
+        with pytest.raises(KeyboardInterrupt):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                      profile_memory=False, checkpoint_dir=str(tmp_path))
+
+        # The finished job was checkpointed before the interruption.
+        checkpoint = tmp_path / "shard-000-of-001.jsonl"
+        entries = [json.loads(line) for line in
+                   checkpoint.read_text().splitlines()]
+        assert sum(1 for e in entries if e["kind"] == "record") == 1
+
+        # The resumed run only computes the remaining job.
+        monkeypatch.setattr(runner, "run_pipeline_on_signal", original)
+        resumed = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                            profile_memory=False,
+                            checkpoint_dir=str(tmp_path))
+        reference = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                              profile_memory=False)
+        assert _quality_view(resumed) == _quality_view(reference)
+
+    def test_torn_trailing_line_is_repaired_on_resume(self, tiny_datasets,
+                                                      tmp_path):
+        # A run killed mid-append leaves a partial JSONL line; the resume
+        # must drop it (recomputing that one job) instead of crashing.
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, checkpoint_dir=str(tmp_path))
+        checkpoint = tmp_path / "shard-000-of-001.jsonl"
+        text = checkpoint.read_text()
+        checkpoint.write_text(text[:len(text) - 40])  # tear the last record
+
+        resumed = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                            profile_memory=False,
+                            checkpoint_dir=str(tmp_path))
+        reference = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                              profile_memory=False)
+        assert _quality_view(resumed) == _quality_view(reference)
+        # The rewritten checkpoint is whole again.
+        from repro.benchmark.results import read_checkpoint_lines
+        entries = read_checkpoint_lines(checkpoint)
+        assert sum(1 for e in entries if e["kind"] == "record") == 2
+
+    def test_corrupt_middle_line_rejected(self, tiny_datasets, tmp_path):
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, checkpoint_dir=str(tmp_path))
+        checkpoint = tmp_path / "shard-000-of-001.jsonl"
+        lines = checkpoint.read_text().splitlines()
+        lines[1] = lines[1][:20]  # damage a non-trailing record
+        checkpoint.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="Corrupt checkpoint"):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                      profile_memory=False, checkpoint_dir=str(tmp_path))
+
+    def test_no_resume_recomputes(self, tiny_datasets, tmp_path):
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, checkpoint_dir=str(tmp_path))
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False, checkpoint_dir=str(tmp_path),
+                           resume=False)
+        assert len(result) == 2
+
+    def test_mismatched_checkpoint_rejected(self, tiny_datasets, tmp_path):
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, checkpoint_dir=str(tmp_path))
+        with pytest.raises(BenchmarkError, match="different run"):
+            benchmark(pipelines=["arima"], datasets=tiny_datasets,
+                      profile_memory=False, checkpoint_dir=str(tmp_path))
+
+    def test_different_data_configuration_rejected(self, tiny_datasets,
+                                                   tmp_path):
+        # Same job keys, different signal capping: the data each job ran on
+        # differs, so the resume must refuse to mix the records.
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, checkpoint_dir=str(tmp_path))
+        with pytest.raises(BenchmarkError, match="different run"):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                      profile_memory=False, checkpoint_dir=str(tmp_path),
+                      max_signals=1)
+
+
+class TestShardMerge:
+    def test_merge_of_shards_equals_single_run(self, tiny_datasets, tmp_path):
+        single = benchmark(pipelines=["azure", "arima"],
+                           datasets=tiny_datasets, profile_memory=False)
+        for index in range(2):
+            benchmark(pipelines=["azure", "arima"], datasets=tiny_datasets,
+                      profile_memory=False, shard_index=index, shard_count=2,
+                      checkpoint_dir=str(tmp_path))
+        merged = merge_shard_checkpoints(str(tmp_path))
+        assert _quality_view(merged) == _quality_view(single)
+
+    def test_incomplete_shard_detected(self, tiny_datasets, tmp_path):
+        for index in range(2):
+            benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                      profile_memory=False, shard_index=index, shard_count=2,
+                      checkpoint_dir=str(tmp_path))
+        # Tear the last finished record off shard 1: a complete set of
+        # shard files whose contents are nonetheless short of the run.
+        checkpoint = tmp_path / "shard-001-of-002.jsonl"
+        lines = checkpoint.read_text().splitlines()
+        checkpoint.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="finished 0 of 1"):
+            merge_shard_checkpoints(str(tmp_path))
+
+    def test_missing_shard_detected(self, tiny_datasets, tmp_path):
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, shard_index=0, shard_count=2,
+                  checkpoint_dir=str(tmp_path))
+        with pytest.raises(ValueError, match="Expected shards"):
+            merge_shard_checkpoints(str(tmp_path))
+        partial = merge_shard_checkpoints(str(tmp_path),
+                                          expect_complete=False)
+        assert len(partial) == 1
+
+    def test_duplicate_jobs_detected(self, tmp_path):
+        record = {"dataset": "NAB", "pipeline": "azure", "signal": "s"}
+        for index in range(2):
+            path = tmp_path / f"shard-{index:03d}-of-002.jsonl"
+            lines = [
+                {"kind": "header", "version": 1, "method": "overlapping",
+                 "shard_index": index, "shard_count": 2,
+                 "pipelines": ["azure"]},
+                {"kind": "record", "key": job_key("NAB", "azure", "s"),
+                 "record": record},
+            ]
+            path.write_text("\n".join(json.dumps(line) for line in lines))
+        with pytest.raises(ValueError, match="more than one"):
+            merge_shard_checkpoints(str(tmp_path))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="No shard"):
+            merge_shard_checkpoints(str(tmp_path))
+
+
+class TestJsonRoundTrip:
+    def test_to_from_json(self, tiny_datasets, tmp_path):
+        result = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False)
+        path = tmp_path / "BENCH_test.json"
+        result.sort_canonical().to_json(path)
+        loaded = BenchmarkResult.from_json(path)
+        assert loaded.method == result.method
+        assert _quality_view(loaded) == _quality_view(result)

@@ -1,0 +1,176 @@
+"""Executor parity and picklability guarantees.
+
+Every executor strategy must produce the same anomalies as the serial
+reference for the same plan, and everything the process backend ships
+across the worker boundary — primitives, pipelines, payloads — must
+survive a pickle round-trip.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.executor import (
+    ProcessExecutor,
+    SHM_MIN_BYTES,
+    decode_from_transfer,
+    encode_for_transfer,
+    get_executor,
+    release_transfers,
+)
+from repro.core.pipeline import Pipeline
+from repro.core.primitive import get_primitive, list_primitives
+from repro.core.sintel import Sintel
+from repro.exceptions import ExecutorError
+from repro.pipelines import get_pipeline_spec
+
+EXECUTORS = ["serial", "threaded", "process", "caching"]
+
+#: Fast, deterministic pipelines exercised by the parity suite.
+PIPELINES = [("azure", {}), ("arima", {"window_size": 30})]
+
+
+@pytest.fixture(scope="module")
+def reference(small_signal):
+    """Serial-executor anomalies per pipeline: the parity ground truth."""
+    data = small_signal.to_array()
+    outputs = {}
+    for name, options in PIPELINES:
+        sintel = Sintel(name, **options)
+        sintel.fit(data)
+        outputs[name] = sintel.detect(data)
+    return outputs
+
+
+class TestExecutorParity:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("pipeline,options", PIPELINES)
+    def test_identical_anomalies(self, executor, pipeline, options,
+                                 small_signal, reference):
+        data = small_signal.to_array()
+        sintel = Sintel(pipeline, executor=executor, **options)
+        sintel.fit(data)
+        assert sintel.detect(data) == reference[pipeline]
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_step_timings_cover_every_step(self, executor, small_signal):
+        data = small_signal.to_array()
+        pipeline = Pipeline(get_pipeline_spec("azure"), executor=executor)
+        pipeline.fit(data)
+        names = {step["name"] for step in pipeline.steps}
+        assert set(pipeline.step_timings) == names
+        for timing in pipeline.step_timings.values():
+            assert timing["elapsed"] >= 0.0
+
+    def test_process_fit_state_absorbed(self, small_signal):
+        # A stateful pipeline fitted entirely in worker processes must be
+        # detectable afterwards with a *serial* executor: the fitted
+        # primitives were grafted back into the parent's pipeline.
+        data = small_signal.to_array()
+        sintel = Sintel("arima", executor="process", window_size=30)
+        sintel.fit(data)
+        sintel.set_executor("serial")
+        assert sintel.detect(data) == Sintel(
+            "arima", window_size=30).fit(data).detect(data)
+
+
+class TestPrimitivePickling:
+    @pytest.mark.parametrize("name", list_primitives())
+    def test_round_trip(self, name):
+        primitive = get_primitive(name)
+        clone = pickle.loads(pickle.dumps(primitive))
+        assert type(clone) is type(primitive)
+        assert clone.hyperparameters == primitive.hyperparameters
+
+    def test_fitted_pipeline_round_trip(self, small_signal):
+        data = small_signal.to_array()
+        pipeline = Pipeline(get_pipeline_spec("arima", window_size=30))
+        pipeline.fit(data)
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone.detect(data) == pipeline.detect(data)
+
+    def test_step_payloads_round_trip(self, small_signal):
+        data = small_signal.to_array()
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(data)
+        for node in pipeline._plan:
+            assert node.payload is not None
+            payload = pickle.loads(pickle.dumps(node.payload()))
+            assert payload.engine in ("preprocessing", "modeling",
+                                      "postprocessing")
+
+
+class TestSharedMemoryTransfer:
+    def test_large_arrays_round_trip_through_shm(self):
+        rows = SHM_MIN_BYTES // 8 + 16
+        original = {"data": np.arange(rows, dtype=float),
+                    "small": np.ones(4), "label": "x",
+                    "nested": [np.zeros(3), ("tuple", 1)]}
+        segments = []
+        encoded = encode_for_transfer(original, segments)
+        try:
+            assert len(segments) == 1  # only the large array moved to shm
+            assert not isinstance(encoded["data"], np.ndarray)
+            assert isinstance(encoded["small"], np.ndarray)
+            decoded = decode_from_transfer(pickle.loads(pickle.dumps(encoded)))
+        finally:
+            release_transfers(segments)
+        np.testing.assert_array_equal(decoded["data"], original["data"])
+        np.testing.assert_array_equal(decoded["small"], original["small"])
+        assert decoded["label"] == "x"
+        assert decoded["nested"][1] == ("tuple", 1)
+
+    def test_release_is_idempotent(self):
+        segments = []
+        encode_for_transfer(np.zeros(SHM_MIN_BYTES, dtype=np.uint8), segments)
+        release_transfers(segments)
+        release_transfers(segments)
+        assert segments == []
+
+
+class TestProcessExecutor:
+    def test_registered(self):
+        assert isinstance(get_executor("process"), ProcessExecutor)
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(max_workers=0)
+
+    def test_map_preserves_order_and_reports_progress(self):
+        executor = ProcessExecutor(max_workers=2)
+        seen = []
+        results = executor.map(abs, [-3, 1, -2],
+                               progress=lambda i, r: seen.append((i, r)))
+        assert results == [3, 1, 2]
+        assert sorted(seen) == [(0, 3), (1, 1), (2, 2)]
+
+    def test_map_empty(self):
+        assert ProcessExecutor().map(abs, []) == []
+
+    def test_unpicklable_function_falls_back_to_serial(self):
+        # Closures (e.g. the streaming layer's background-refit hook)
+        # cannot cross the process boundary; map must still run them —
+        # serially, with a warning — instead of failing the fan-out.
+        executor = ProcessExecutor(max_workers=1)
+        offset = 10
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            results = executor.map(lambda item: item + offset, [1, 2])
+        assert results == [11, 12]
+
+    def test_closure_plan_falls_back_to_serial(self, small_signal):
+        # Hand-built plans carry no payloads; the process executor must run
+        # them (serially) rather than fail.
+        from repro.core.executor import ExecutionPlan, StepNode
+
+        node = StepNode(name="double", engine="preprocessing",
+                        reads=("data",), writes=("data",),
+                        execute=lambda context, fit: {
+                            "data": context["data"] * 2})
+        context, timings = ProcessExecutor().run_plan(
+            ExecutionPlan([node]), {"data": np.ones(4)})
+        np.testing.assert_array_equal(context["data"], np.full(4, 2.0))
+        assert "double" in timings
+
+    def test_pickle_drops_nothing_needed(self):
+        executor = ProcessExecutor(max_workers=3)
+        clone = pickle.loads(pickle.dumps(executor))
+        assert clone.max_workers == 3

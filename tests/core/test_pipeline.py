@@ -1,6 +1,5 @@
 """Tests for Template and Pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import Pipeline, Template

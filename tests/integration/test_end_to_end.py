@@ -1,6 +1,5 @@
 """Integration tests: every pipeline end-to-end, plus cross-module workflows."""
 
-import numpy as np
 import pytest
 
 from repro import Sintel, load_dataset
