@@ -1,0 +1,57 @@
+"""Batched multi-signal detection: one vectorized pass over many signals.
+
+A monitoring fleet rarely asks about one signal at a time — it asks about
+hundreds. The batch data plane runs N signals through each pipeline step
+*together*: primitives that declare ``supports_batch`` process the whole
+stacked batch in fused NumPy passes, everything else falls back to a
+per-signal loop inside the same plan. The results are guaranteed
+bitwise-identical to calling ``detect`` once per signal; only the
+scheduling of the floating-point work changes.
+
+Run with:  python examples/batch_detection.py
+"""
+
+import time
+
+from repro import Sintel
+from repro.data import generate_signal
+
+
+def main():
+    # 1. A fleet of similar telemetry signals (identical sampling, so the
+    #    fused steps can stack them into single arrays).
+    fleet = [
+        generate_signal(
+            f"satellite-{i:02d}", length=400, n_anomalies=2, random_state=i,
+            flavour="periodic", anomaly_types=("collective", "point"),
+        ).to_array()
+        for i in range(16)
+    ]
+
+    # 2. Fit once on a reference signal, then detect over the whole fleet.
+    sintel = Sintel("azure", k=3.0)
+    sintel.fit(fleet[0])
+
+    started = time.perf_counter()
+    looped = [sintel.detect(signal) for signal in fleet]
+    loop_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = sintel.detect_many(fleet)
+    batch_time = time.perf_counter() - started
+
+    # 3. Same anomalies, same floats — the batch plane's core guarantee.
+    assert batched == looped
+    total = sum(len(anomalies) for anomalies in batched)
+    print(f"{len(fleet)} signals, {total} anomalies")
+    print(f"per-signal loop: {loop_time * 1000:7.1f} ms")
+    print(f"detect_many:     {batch_time * 1000:7.1f} ms "
+          f"({loop_time / batch_time:.1f}x faster, bitwise-identical)")
+
+    for signal_index, anomalies in enumerate(batched[:4]):
+        spans = ", ".join(f"[{int(s)}..{int(e)}]" for s, e, _ in anomalies)
+        print(f"  satellite-{signal_index:02d}: {spans or 'clean'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -59,6 +59,7 @@ class SintelAPI:
     * ``POST /events/<id>/comments``     — comment on an event
     * ``GET  /events/<id>/comments``     — list an event's comments
     * ``GET  /pipelines``                — list registered pipelines
+    * ``POST /detect/batch``             — batched multi-signal detection
     * ``POST /jobs``                     — submit a background job
     * ``GET  /jobs``                     — list jobs
     * ``GET  /jobs/<id>``                — poll one job's status / result
@@ -74,6 +75,14 @@ class SintelAPI:
     id, and clients poll ``GET /jobs/<id>`` until the status is
     ``succeeded`` or ``failed``. ``self.jobs.wait(job_id)`` joins a job
     deterministically from in-process callers.
+
+    ``POST /detect/batch`` is the request-batching front door to the batch
+    data plane: one request carries ``signals`` (a list of row arrays) and
+    the fitted pipeline runs them all through a single
+    ``Pipeline.detect_batch`` pass — N signals per round trip instead of N
+    round trips, with per-signal results in input order. The same payload
+    submitted as a ``detect_batch`` job (``POST /jobs``) runs
+    asynchronously for large batches.
 
     Live signals go through the ``/streams`` resource instead: ``POST
     /streams`` fits the requested pipeline on the supplied training rows
@@ -124,6 +133,7 @@ class SintelAPI:
             ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)/comments$"),
              self._list_comments),
             ("GET", re.compile(r"^/pipelines$"), self._list_pipelines),
+            ("POST", re.compile(r"^/detect/batch$"), self._detect_batch),
             ("POST", re.compile(r"^/jobs$"), self._create_job),
             ("GET", re.compile(r"^/jobs$"), self._list_jobs),
             ("GET", re.compile(r"^/jobs/(?P<job_id>[^/]+)$"), self._get_job),
@@ -265,17 +275,62 @@ class SintelAPI:
         return Response(200, {"pipelines": list_pipelines()})
 
     # ------------------------------------------------------------------ #
+    # batched detection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_detect_batch(body) -> None:
+        """Reject malformed batch requests before any work is queued."""
+        if "pipeline" not in body:
+            raise KeyError("pipeline")
+        signals = body["signals"]
+        if not isinstance(signals, (list, tuple)) or not signals:
+            raise ValueError("signals must be a non-empty list of row arrays")
+
+    @classmethod
+    def _run_detect_batch(cls, body) -> dict:
+        """Fit the requested pipeline and run one batched detection pass."""
+        # Imported lazily to keep the API importable without the core.
+        from repro.core.sintel import Sintel
+
+        cls._validate_detect_batch(body)
+        signals = body["signals"]
+        sintel = Sintel(
+            body["pipeline"],
+            hyperparameters=body.get("hyperparameters"),
+            executor=body.get("executor"),
+            **body.get("pipeline_options", {}),
+        )
+        # Train on the supplied rows, or on the first signal of the batch.
+        sintel.fit(body.get("data", signals[0]))
+        batches = sintel.detect_many(signals)
+        return {
+            "pipeline": body["pipeline"],
+            "n_signals": len(signals),
+            "anomalies": [[list(anomaly) for anomaly in per_signal]
+                          for per_signal in batches],
+        }
+
+    def _detect_batch(self, body, query) -> Response:
+        return Response(200, self._run_detect_batch(body))
+
+    # ------------------------------------------------------------------ #
     # background jobs
     # ------------------------------------------------------------------ #
     def _create_job(self, body, query) -> Response:
         task = body.get("task")
         if task == "detect":
             runner = self._make_detect_job(body)
+        elif task == "detect_batch":
+            # Validate at submission (400) rather than at job run time
+            # (a later "failed" job), matching the 'detect' task.
+            self._validate_detect_batch(body)
+            runner = (lambda body=dict(body): self._run_detect_batch(body))
         elif task == "benchmark":
             runner = self._make_benchmark_job(body)
         else:
             raise ValueError(
-                f"Unknown job task {task!r}; expected 'detect' or 'benchmark'"
+                f"Unknown job task {task!r}; expected 'detect', "
+                "'detect_batch' or 'benchmark'"
             )
         job = self.jobs.submit(task, runner)
         return Response(202, job.to_dict())

@@ -1,5 +1,10 @@
 """``repro.benchmark``: the standardized benchmarking framework (paper §3.4)."""
 
+from repro.benchmark.batch import (
+    benchmark_batch,
+    default_batch_signals,
+    run_batch_on_pipeline,
+)
 from repro.benchmark.comparison import (
     FEATURE_MATRIX,
     FEATURES,
@@ -37,6 +42,9 @@ __all__ = [
     "shard_jobs",
     "compare_results",
     "format_report",
+    "benchmark_batch",
+    "default_batch_signals",
+    "run_batch_on_pipeline",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

@@ -65,7 +65,22 @@ __all__ = [
     "list_executors",
     "trace_memory",
     "SHM_MIN_BYTES",
+    "MP_START_ENV",
 ]
+
+#: Environment variable selecting the multiprocessing start method used by
+#: :class:`ProcessExecutor` pools (``fork`` / ``spawn`` / ``forkserver``).
+#: Unset (or empty) keeps the platform default. CI runs the executor parity
+#: suite under ``REPRO_MP_START=spawn`` to prove macOS-default semantics.
+MP_START_ENV = "REPRO_MP_START"
+
+
+def _mp_context():
+    """The start-method context for worker pools (honours ``MP_START_ENV``)."""
+    method = os.environ.get(MP_START_ENV, "").strip()
+    if not method:
+        return None
+    return multiprocessing.get_context(method)
 
 
 # --------------------------------------------------------------------------- #
@@ -322,6 +337,73 @@ def release_transfers(segments: list) -> None:
     segments.clear()
 
 
+def encode_result(value):
+    """Park a worker's large output arrays in shared memory (worker side).
+
+    The zero-copy *return* path: the mirror of :func:`encode_for_transfer`
+    for values travelling worker → parent. Qualifying arrays are copied
+    into fresh segments whose handles ride the result pickle; the worker
+    drops its own mappings immediately (named POSIX segments persist until
+    unlinked) and ownership passes to the parent, which must materialize
+    the value with :func:`decode_and_release` — the single cleanup point.
+    If anything fails mid-encode the created segments are unlinked here and
+    the error propagates, so a worker that raises never leaks ``/dev/shm``
+    space past the task.
+
+    Ownership transfer detail: the segments are *unregistered* from this
+    process's resource tracker once encoding succeeds — the parent's
+    attach-time registration (and unlink-time unregistration) in
+    :func:`decode_and_release` becomes the single authoritative record, so
+    neither side's tracker warns about (or double-unlinks) segments the
+    other side already reclaimed. A worker hard-killed in the instant
+    between unregistration and the result reaching the parent can strand a
+    segment until reboot; the pool surfaces that as ``BrokenProcessPool``,
+    and the window is a few microseconds of pickling.
+    """
+    segments: list = []
+    try:
+        encoded = encode_for_transfer(value, segments)
+    except BaseException:
+        release_transfers(segments)
+        raise
+    for segment in segments:
+        with contextlib.suppress(Exception):
+            segment.close()
+        with contextlib.suppress(Exception):
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+    return encoded
+
+
+def decode_and_release(value):
+    """Materialize a worker-encoded result and unlink its segments.
+
+    Parent-side counterpart of :func:`encode_result`: every handle is
+    copied out and its segment unlinked immediately, so the shared-memory
+    footprint of a fan-out is bounded by the results in flight, not the
+    whole job list.
+    """
+    if isinstance(value, _ShmRef):
+        segment = _shared_memory.SharedMemory(name=value.name)
+        try:
+            return np.ndarray(
+                value.shape, dtype=np.dtype(value.dtype), buffer=segment.buf
+            ).copy()
+        finally:
+            with contextlib.suppress(Exception):
+                segment.close()
+            with contextlib.suppress(Exception):
+                segment.unlink()
+    if isinstance(value, dict):
+        return {key: decode_and_release(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_and_release(item) for item in value]
+    if type(value) is tuple:
+        return tuple(decode_and_release(item) for item in value)
+    return value
+
+
 def _in_worker_process() -> bool:
     """Whether this interpreter is itself a multiprocessing worker."""
     return multiprocessing.parent_process() is not None
@@ -331,7 +413,10 @@ def _process_plan_worker(payload, context, fit: bool, profile: bool):
     """Run one step payload inside a pool worker.
 
     Returns ``(updates, timing, state)``; ``state`` is the mutated primitive
-    (fit or incremental update) the parent must absorb, or ``None``.
+    (fit or incremental update) the parent must absorb, or ``None``. Large
+    arrays in ``updates`` return through shared memory
+    (:func:`encode_result`); the parent materializes them with
+    :func:`decode_and_release`.
     """
     context = decode_from_transfer(context)
     started = time.perf_counter()
@@ -342,12 +427,16 @@ def _process_plan_worker(payload, context, fit: bool, profile: bool):
         "engine": payload.engine,
         "memory": probe.memory,
     }
-    return updates, timing, state
+    return encode_result(updates), timing, state
 
 
 def _process_map_worker(function, item):
-    """Apply one mapped function inside a pool worker."""
-    return function(decode_from_transfer(item))
+    """Apply one mapped function inside a pool worker.
+
+    The result's large arrays return through shared memory; the parent
+    materializes them with :func:`decode_and_release`.
+    """
+    return encode_result(function(decode_from_transfer(item)))
 
 
 # --------------------------------------------------------------------------- #
@@ -683,10 +772,19 @@ class ProcessExecutor(Executor):
       ``RuntimeWarning`` rather than failing the fan-out.
 
     Large numpy arrays travel through POSIX shared memory segments instead
-    of the worker pipe (see :func:`encode_for_transfer`); everything else —
-    and every array when shared memory is unavailable — falls back to
-    pickle. Per-step ``elapsed`` / ``memory`` timings are measured inside
-    the worker, so they report the step's own cost without IPC overhead.
+    of the worker pipe — in *both* directions: inputs via
+    :func:`encode_for_transfer` (parent creates, parent unlinks after the
+    task), outputs via :func:`encode_result` in the worker (worker creates,
+    parent unlinks on receipt through :func:`decode_and_release`).
+    Everything else — and every array when shared memory is unavailable —
+    falls back to pickle. Per-step ``elapsed`` / ``memory`` timings are
+    measured inside the worker, so they report the step's own cost without
+    IPC overhead.
+
+    The pool's start method follows the platform default unless the
+    ``REPRO_MP_START`` environment variable names one explicitly
+    (``fork`` / ``spawn`` / ``forkserver``) — the hook CI uses to prove
+    parity under macOS-default ``spawn`` semantics.
 
     Two safety fallbacks keep the executor composable:
 
@@ -736,7 +834,8 @@ class ProcessExecutor(Executor):
         failure: List[BaseException] = []
         in_flight: Dict[object, Tuple[str, list]] = {}
 
-        with ProcessPoolExecutor(max_workers=self._pool_size(len(plan))) as pool:
+        with ProcessPoolExecutor(max_workers=self._pool_size(len(plan)),
+                                 mp_context=_mp_context()) as pool:
             def dispatch(name: str) -> None:
                 node = by_name[name]
                 segments: list = []
@@ -764,7 +863,7 @@ class ProcessExecutor(Executor):
                         failure.append(error)
                         continue
                     updates, timing, state = future.result()
-                    context.update(updates)
+                    context.update(decode_and_release(updates))
                     timings[name] = timing
                     node = by_name[name]
                     if state is not None and node.absorb is not None:
@@ -775,9 +874,14 @@ class ProcessExecutor(Executor):
                             dispatch(dependent)
                 if failure:
                     # Drain in-flight work, then surface the first error.
+                    # Results that still completed are decoded and dropped
+                    # so their return segments are reclaimed too.
                     wait(set(in_flight))
-                    for _, segments in in_flight.values():
+                    for future, (_, segments) in in_flight.items():
                         release_transfers(segments)
+                        if future.exception() is None:
+                            with contextlib.suppress(Exception):
+                                decode_and_release(future.result()[0])
                     in_flight = {}
         if failure:
             raise self._surface(failure[0])
@@ -813,7 +917,8 @@ class ProcessExecutor(Executor):
         # are running or next in line, not for the whole job list.
         window = pool_size * 2
         next_index = 0
-        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+        with ProcessPoolExecutor(max_workers=pool_size,
+                                 mp_context=_mp_context()) as pool:
             def submit_next() -> None:
                 nonlocal next_index
                 segments: list = []
@@ -833,15 +938,22 @@ class ProcessExecutor(Executor):
                         error = future.exception()
                         if error is not None:
                             raise self._surface(error)
-                        results[index] = future.result()
+                        results[index] = decode_and_release(future.result())
                         if progress is not None:
                             progress(index, results[index])
                         if next_index < len(items):
                             submit_next()
             finally:
-                for _, segments in in_flight.values():
-                    release_transfers(segments)
+                # Settle every abandoned future first (cancel what has not
+                # started, join what has), then reclaim both the input
+                # segments and the return segments of results that
+                # completed but will never be consumed.
                 pool.shutdown(cancel_futures=True)
+                for future, (_, segments) in in_flight.items():
+                    release_transfers(segments)
+                    if not future.cancelled() and future.exception() is None:
+                        with contextlib.suppress(Exception):
+                            decode_and_release(future.result())
         return results
 
     @staticmethod

@@ -60,6 +60,12 @@ class Primitive:
     #: :meth:`update` simply re-``produce``s over the sliding window the
     #: stream runner supplies, which is always correct but never cheaper.
     supports_stream: bool = False
+    #: Whether :meth:`produce_batch` runs a genuinely fused (vectorized)
+    #: implementation over many signals at once (the batch contract). When
+    #: ``False`` the default :meth:`produce_batch` simply loops
+    #: :meth:`produce` per signal, which is always correct but never
+    #: cheaper.
+    supports_batch: bool = False
 
     def __init__(self, **hyperparameters):
         defaults = self.get_default_hyperparameters()
@@ -108,6 +114,7 @@ class Primitive:
             "fixed_hyperparameters": copy.deepcopy(cls.fixed_hyperparameters),
             "tunable_hyperparameters": copy.deepcopy(cls.tunable_hyperparameters),
             "supports_stream": bool(cls.supports_stream),
+            "supports_batch": bool(cls.supports_batch),
         }
 
     # ------------------------------------------------------------------ #
@@ -133,6 +140,36 @@ class Primitive:
         moments, trailing buffers) instead of recomputing from scratch.
         """
         return self.produce(**kwargs)
+
+    def produce_batch(self, **kwargs):
+        """Produce outputs for many signals in one call (batch contract).
+
+        Every :attr:`produce_args` keyword holds a *list* with one entry per
+        signal, and the returned dictionary maps every
+        :attr:`produce_output` name to a list of the same length — entry
+        ``i`` of every list belongs to signal ``i``. The default
+        implementation loops :meth:`produce` over the signals, so every
+        primitive accepts batches out of the box and the results are
+        trivially identical to per-signal calls. Primitives that declare
+        ``supports_batch = True`` override this with a fused NumPy pass
+        over stacked arrays; such overrides MUST stay bitwise-identical to
+        the per-signal loop (the batch data plane's parity guarantee).
+        """
+        sizes = {len(values) for values in kwargs.values()}
+        if len(sizes) > 1:
+            raise PrimitiveError(
+                f"Primitive {self.name!r} received batch inputs of unequal "
+                f"lengths {sorted(sizes)}"
+            )
+        size = sizes.pop() if sizes else 0
+        produced = [
+            self.produce(**{arg: values[i] for arg, values in kwargs.items()})
+            for i in range(size)
+        ]
+        return {
+            out: [result[out] for result in produced]
+            for out in self.produce_output
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{self.__class__.__name__}({self.hyperparameters})"

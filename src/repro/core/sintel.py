@@ -117,6 +117,20 @@ class Sintel:
             self._to_array(data), visualization=visualization, **context_variables
         )
 
+    def detect_many(self, signals, **context_variables) -> List[AnomalyList]:
+        """Detect anomalies in many signals with one batched pipeline pass.
+
+        The batch data-plane counterpart of :meth:`detect`: the whole batch
+        flows through each pipeline step together (vectorized where the
+        primitives support it), returning one anomaly list per signal in
+        input order — bitwise-identical to ``[self.detect(s) for s in
+        signals]`` but substantially faster for batches of similar signals.
+        """
+        if not self.fitted:
+            raise NotFittedError("Sintel.detect_many called before Sintel.fit")
+        arrays = [self._to_array(signal) for signal in signals]
+        return self._pipeline.detect_batch(arrays, **context_variables)
+
     def fit_detect(self, data, **context_variables) -> AnomalyList:
         """Fit on ``data`` and detect anomalies in the same data."""
         self.fit(data, **context_variables)

@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.core.batch import find_sequences_mask, shape_groups
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import PrimitiveError
 
@@ -21,7 +22,12 @@ __all__ = ["FindAnomalies", "FixedThreshold"]
 
 
 def _find_sequences(above: np.ndarray) -> List[Tuple[int, int]]:
-    """Return inclusive (start, end) index pairs of contiguous True runs."""
+    """Return inclusive (start, end) index pairs of contiguous True runs.
+
+    Reference implementation: production code uses the vectorized
+    :func:`repro.core.batch.find_sequences_mask`, which the test suite
+    pins as index-exact against this scan.
+    """
     sequences = []
     start = None
     for i, flag in enumerate(above):
@@ -62,7 +68,7 @@ def _select_epsilon(errors: np.ndarray, z_range: Tuple[float, float]) -> float:
             continue
         delta_mean = mean - float(np.mean(below))
         delta_std = std - float(np.std(below))
-        n_sequences = len(_find_sequences(above))
+        n_sequences = len(find_sequences_mask(above))
         score = (delta_mean / mean + delta_std / std) / (n_above + n_sequences ** 2)
         if score > best_score:
             best_score = score
@@ -168,7 +174,7 @@ class FindAnomalies(Primitive):
                 if end == length:
                     break
 
-        sequences = _find_sequences(flagged)
+        sequences = find_sequences_mask(flagged)
         sequences = _prune_anomalies(errors, sequences, float(self.min_percent))
 
         padding = int(self.anomaly_padding)
@@ -215,6 +221,7 @@ class FixedThreshold(Primitive):
         "anomaly_padding": {"type": "int", "default": 2, "range": [0, 50]},
     }
     supports_stream = True
+    supports_batch = True
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)
@@ -232,7 +239,9 @@ class FixedThreshold(Primitive):
         return errors, index
 
     def _extract(self, errors, index, threshold: float) -> dict:
-        sequences = _find_sequences(errors > threshold)
+        # find_sequences_mask is index-exact vs the _find_sequences scan
+        # (pinned in tests), so batch and per-signal paths share one body.
+        sequences = find_sequences_mask(errors > threshold)
         padding = int(self.anomaly_padding)
         anomalies = []
         for start, end in sequences:
@@ -251,6 +260,25 @@ class FixedThreshold(Primitive):
             return {"anomalies": np.zeros((0, 3))}
         threshold = float(np.mean(errors) + float(self.k) * np.std(errors))
         return self._extract(errors, index, threshold)
+
+    def produce_batch(self, errors, index):
+        """Threshold a whole batch: fused per-signal moments + extraction."""
+        validated = [self._validate(e, i) for e, i in zip(errors, index)]
+        size = len(validated)
+        results = [None] * size
+        nonempty = [i for i in range(size) if len(validated[i][0])]
+        for i in set(range(size)) - set(nonempty):
+            results[i] = np.zeros((0, 3))
+        k = float(self.k)
+        for indices, stacked in shape_groups(
+                [validated[i][0] for i in nonempty]):
+            thresholds = np.mean(stacked, axis=1) + k * np.std(stacked, axis=1)
+            for j, position in enumerate(indices):
+                i = nonempty[position]
+                results[i] = self._extract(
+                    validated[i][0], validated[i][1],
+                    float(thresholds[j]))["anomalies"]
+        return {"anomalies": results}
 
     @staticmethod
     def _combine(a, b):

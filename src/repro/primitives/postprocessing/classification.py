@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import find_sequences_mask
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import PrimitiveError
-from repro.primitives.postprocessing.anomalies import _find_sequences, _merge_overlapping
+from repro.primitives.postprocessing.anomalies import _merge_overlapping
 
 __all__ = ["ProbabilitiesToIntervals"]
 
@@ -40,7 +41,7 @@ class ProbabilitiesToIntervals(Primitive):
             return {"anomalies": np.zeros((0, 3))}
 
         above = probabilities > float(self.threshold)
-        sequences = _find_sequences(above)
+        sequences = find_sequences_mask(above)
 
         padding = int(self.anomaly_padding)
         anomalies = []

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import shape_groups
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import PrimitiveError
 
@@ -28,6 +29,7 @@ class TimeSegmentsAggregate(Primitive):
     produce_output = ["X", "index"]
     fixed_hyperparameters = {"interval": None, "method": "mean"}
     tunable_hyperparameters = {}
+    supports_batch = True
 
     _METHODS = {
         "mean": np.nanmean,
@@ -78,3 +80,63 @@ class TimeSegmentsAggregate(Primitive):
             aggregated[segment] = aggregate(values[mask], axis=0)
 
         return {"X": aggregated, "index": index.astype(np.int64)}
+
+    def produce_batch(self, data):
+        """Aggregate a batch, sharing segment structure across signals.
+
+        Signals with identical timestamp grids share one segment layout —
+        sort order, interval inference, segment ids and per-segment masks
+        are computed once — and each segment is aggregated for the whole
+        group in one reduction along the sample axis, which NumPy applies
+        per signal exactly as the per-signal call would.
+        """
+        if self.method not in self._METHODS:
+            raise PrimitiveError(
+                f"Unknown aggregation method {self.method!r}; "
+                f"choose from {sorted(self._METHODS)}"
+            )
+        arrays = []
+        for entry in data:
+            array = np.asarray(entry, dtype=float)
+            if array.ndim != 2 or array.shape[1] < 2:
+                raise PrimitiveError(
+                    "time_segments_aggregate expects a 2D "
+                    "(timestamp, values...) array"
+                )
+            arrays.append(array)
+        size = len(arrays)
+        out = {"X": [None] * size, "index": [None] * size}
+        keys = [array[:, 0].tobytes() for array in arrays]
+        aggregate = self._METHODS[self.method]
+        for indices, stacked in shape_groups(arrays, keys=keys):
+            timestamps = stacked[0, :, 0]
+            order = np.argsort(timestamps)
+            timestamps = timestamps[order]
+            values = stacked[:, order, 1:]
+
+            interval = self.interval
+            if interval is None:
+                diffs = np.diff(timestamps)
+                diffs = diffs[diffs > 0]
+                interval = float(np.median(diffs)) if len(diffs) else 1.0
+            interval = float(interval)
+            if interval <= 0:
+                raise PrimitiveError("interval must be positive")
+
+            start = timestamps[0]
+            end = timestamps[-1]
+            n_segments = int(np.floor((end - start) / interval)) + 1
+            index = start + interval * np.arange(n_segments)
+            aggregated = np.full(
+                (len(indices), n_segments, values.shape[2]), np.nan)
+            segment_ids = np.floor((timestamps - start) / interval).astype(int)
+            segment_ids = np.clip(segment_ids, 0, n_segments - 1)
+            for segment in np.unique(segment_ids):
+                mask = segment_ids == segment
+                aggregated[:, segment] = aggregate(values[:, mask], axis=1)
+
+            index = index.astype(np.int64)
+            for j, i in enumerate(indices):
+                out["X"][i] = aggregated[j]
+                out["index"][i] = index
+        return out

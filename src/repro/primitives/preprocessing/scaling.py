@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.batch import shape_groups
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import NotFittedError, PrimitiveError
 
@@ -30,6 +31,7 @@ class MinMaxScaler(Primitive):
     fixed_hyperparameters = {"feature_range": (-1.0, 1.0)}
     tunable_hyperparameters = {}
     supports_stream = True
+    supports_batch = True
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)
@@ -55,6 +57,19 @@ class MinMaxScaler(Primitive):
         low, high = self.feature_range
         scaled = (X - self._min) / self._scale
         return {"X": scaled * (high - low) + low}
+
+    def produce_batch(self, X):
+        """Scale a whole batch in one fused pass per stackable group."""
+        if self._min is None:
+            raise NotFittedError("MinMaxScaler must be fit before produce")
+        low, high = self.feature_range
+        results = [None] * len(X)
+        for indices, stacked in shape_groups([_as_2d(x) for x in X]):
+            scaled = (stacked - self._min) / self._scale
+            scaled = scaled * (high - low) + low
+            for j, i in enumerate(indices):
+                results[i] = scaled[j]
+        return {"X": results}
 
     def update(self, X):
         """Fold a micro-batch into the rolling extrema, then scale it."""
@@ -99,6 +114,7 @@ class StandardScaler(Primitive):
     fixed_hyperparameters = {"with_mean": True, "with_std": True}
     tunable_hyperparameters = {}
     supports_stream = True
+    supports_batch = True
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)
@@ -133,6 +149,17 @@ class StandardScaler(Primitive):
             raise NotFittedError("StandardScaler must be fit before produce")
         X = _as_2d(X)
         return {"X": (X - self._mean) / self._std}
+
+    def produce_batch(self, X):
+        """Standardize a whole batch in one fused pass per stackable group."""
+        if self._mean is None:
+            raise NotFittedError("StandardScaler must be fit before produce")
+        results = [None] * len(X)
+        for indices, stacked in shape_groups([_as_2d(x) for x in X]):
+            scaled = (stacked - self._mean) / self._std
+            for j, i in enumerate(indices):
+                results[i] = scaled[j]
+        return {"X": results}
 
     def _fresh_rows(self, X: np.ndarray) -> np.ndarray:
         """Rows of the new window not already seen in the previous one.

@@ -3,11 +3,26 @@
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.core.batch import shape_groups
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import PrimitiveError
 
 __all__ = ["RollingWindowSequences", "CutoffWindowSequences"]
+
+
+def _window_stack(stacked: np.ndarray, starts: np.ndarray,
+                  window_size: int) -> np.ndarray:
+    """Extract ``(n_signals, k, window_size, m)`` windows without a loop.
+
+    Pure indexing over a strided view — the extracted values are copied
+    byte-for-byte, so downstream arithmetic sees exactly the arrays the
+    per-signal ``np.stack`` of slices would have produced.
+    """
+    view = sliding_window_view(stacked, window_size, axis=1)
+    # view: (n_signals, n - window + 1, m, window) -> (n_signals, k, window, m)
+    return np.ascontiguousarray(np.moveaxis(view, -1, 2)[:, starts])
 
 
 @register_primitive
@@ -37,6 +52,7 @@ class RollingWindowSequences(Primitive):
         "window_size": {"type": "int", "default": 100, "range": [10, 500]},
         "target_size": {"type": "int", "default": 1, "range": [1, 10]},
     }
+    supports_batch = True
 
     def produce(self, X, index):
         X = np.asarray(X, dtype=float)
@@ -46,24 +62,7 @@ class RollingWindowSequences(Primitive):
         if len(X) != len(index):
             raise PrimitiveError("X and index must have the same length")
 
-        window_size = int(self.window_size)
-        target_size = int(self.target_size)
-        step_size = int(self.step_size)
-        if window_size < 1 or target_size < 1 or step_size < 1:
-            raise PrimitiveError("window_size, target_size and step_size must be >= 1")
-
-        max_start = len(X) - window_size - target_size
-        if max_start < 0:
-            # Shrink the window so that short signals still produce sequences.
-            window_size = max(1, len(X) - target_size - 1)
-            max_start = len(X) - window_size - target_size
-            if max_start < 0:
-                raise PrimitiveError(
-                    f"Signal of length {len(X)} is too short for "
-                    f"window_size={self.window_size} and target_size={target_size}"
-                )
-
-        starts = np.arange(0, max_start + 1, step_size)
+        window_size, target_size, starts = self._effective_window(len(X))
         windows = np.stack([X[s:s + window_size] for s in starts])
         targets = np.stack([
             X[s + window_size:s + window_size + target_size, self.target_column]
@@ -75,6 +74,56 @@ class RollingWindowSequences(Primitive):
             "index": index[starts],
             "target_index": index[starts + window_size],
         }
+
+    def _effective_window(self, length: int) -> tuple:
+        """Validated (and shrunk-to-fit) window layout for ``length`` rows.
+
+        Shared by :meth:`produce` and :meth:`produce_batch`, so the
+        short-signal shrink behaviour can never diverge between them.
+        """
+        window_size = int(self.window_size)
+        target_size = int(self.target_size)
+        step_size = int(self.step_size)
+        if window_size < 1 or target_size < 1 or step_size < 1:
+            raise PrimitiveError("window_size, target_size and step_size must be >= 1")
+        max_start = length - window_size - target_size
+        if max_start < 0:
+            window_size = max(1, length - target_size - 1)
+            max_start = length - window_size - target_size
+            if max_start < 0:
+                raise PrimitiveError(
+                    f"Signal of length {length} is too short for "
+                    f"window_size={self.window_size} and target_size={target_size}"
+                )
+        starts = np.arange(0, max_start + 1, step_size)
+        return window_size, target_size, starts
+
+    def produce_batch(self, X, index):
+        """Build every signal's windows from one strided view per group."""
+        arrays = []
+        for x, idx in zip(X, index):
+            x = np.asarray(x, dtype=float)
+            if x.ndim == 1:
+                x = x.reshape(-1, 1)
+            if len(x) != len(np.asarray(idx)):
+                raise PrimitiveError("X and index must have the same length")
+            arrays.append(x)
+        size = len(arrays)
+        out = {"X": [None] * size, "y": [None] * size,
+               "index": [None] * size, "target_index": [None] * size}
+        for indices, stacked in shape_groups(arrays):
+            window_size, target_size, starts = self._effective_window(
+                stacked.shape[1])
+            windows = _window_stack(stacked, starts, window_size)
+            offsets = starts[:, np.newaxis] + window_size + np.arange(target_size)
+            targets = stacked[:, offsets, self.target_column]
+            for j, i in enumerate(indices):
+                signal_index = np.asarray(index[i])
+                out["X"][i] = windows[j]
+                out["y"][i] = targets[j]
+                out["index"][i] = signal_index[starts]
+                out["target_index"][i] = signal_index[starts + window_size]
+        return out
 
 
 @register_primitive
@@ -95,6 +144,7 @@ class CutoffWindowSequences(Primitive):
     tunable_hyperparameters = {
         "window_size": {"type": "int", "default": 50, "range": [10, 300]},
     }
+    supports_batch = True
 
     def produce(self, X, index):
         X = np.asarray(X, dtype=float)
@@ -116,3 +166,32 @@ class CutoffWindowSequences(Primitive):
             raise PrimitiveError("Signal too short to build any cutoff window")
         windows = np.stack([X[end - window_size:end] for end in ends])
         return {"X": windows, "index": index[ends]}
+
+    def produce_batch(self, X, index):
+        """Build every signal's trailing windows from one strided view."""
+        arrays = []
+        for x, idx in zip(X, index):
+            x = np.asarray(x, dtype=float)
+            if x.ndim == 1:
+                x = x.reshape(-1, 1)
+            if len(x) != len(np.asarray(idx)):
+                raise PrimitiveError("X and index must have the same length")
+            arrays.append(x)
+        size = len(arrays)
+        out = {"X": [None] * size, "index": [None] * size}
+        step_size = int(self.step_size)
+        for indices, stacked in shape_groups(arrays):
+            length = stacked.shape[1]
+            window_size = int(self.window_size)
+            if window_size < 1 or step_size < 1:
+                raise PrimitiveError("window_size and step_size must be >= 1")
+            if length <= window_size:
+                window_size = max(1, length - 1)
+            ends = np.arange(window_size, length, step_size)
+            if len(ends) == 0:
+                raise PrimitiveError("Signal too short to build any cutoff window")
+            windows = _window_stack(stacked, ends - window_size, window_size)
+            for j, i in enumerate(indices):
+                out["X"][i] = windows[j]
+                out["index"][i] = np.asarray(index[i])[ends]
+        return out

@@ -295,3 +295,73 @@ class TestJobs:
         assert api.get("/pipelines").ok
         job = api.jobs.wait(accepted.body["id"], timeout=60)
         assert job.status == "succeeded"
+
+
+class TestDetectBatch:
+    def _signals(self, n=3, length=150):
+        from repro.data import generate_signal
+
+        return [generate_signal(f"batch-sig-{i}", length=length,
+                                n_anomalies=1, random_state=i).to_array()
+                for i in range(n)]
+
+    def test_synchronous_batch_detection(self, api):
+        signals = self._signals()
+        response = api.post("/detect/batch", {
+            "pipeline": "azure",
+            "data": signals[0].tolist(),
+            "signals": [signal.tolist() for signal in signals],
+        })
+        assert response.status == 200
+        body = response.body
+        assert body["n_signals"] == 3
+        assert len(body["anomalies"]) == 3
+        # Per-signal results equal the equivalent in-process batch run.
+        from repro.core.sintel import Sintel
+
+        sintel = Sintel("azure")
+        sintel.fit(signals[0])
+        expected = sintel.detect_many(signals)
+        assert body["anomalies"] == [
+            [list(anomaly) for anomaly in per_signal]
+            for per_signal in expected
+        ]
+        json.dumps(body)  # the payload must be JSON-serializable
+
+    def test_batch_without_training_rows_uses_first_signal(self, api):
+        signals = self._signals(n=2)
+        response = api.post("/detect/batch", {
+            "pipeline": "azure",
+            "signals": [signal.tolist() for signal in signals],
+        })
+        assert response.status == 200
+        assert response.body["n_signals"] == 2
+
+    def test_empty_batch_400(self, api):
+        assert api.post("/detect/batch", {
+            "pipeline": "azure", "signals": [],
+        }).status == 400
+
+    def test_missing_signals_400(self, api):
+        assert api.post("/detect/batch", {"pipeline": "azure"}).status == 400
+
+    def test_malformed_batch_job_rejected_at_submission(self, api):
+        # Missing payload must 400 immediately, not surface later as a
+        # failed job (parity with the 'detect' task's eager validation).
+        assert api.post("/jobs", {"task": "detect_batch"}).status == 400
+        assert api.post("/jobs", {
+            "task": "detect_batch", "pipeline": "azure", "signals": [],
+        }).status == 400
+
+    def test_batch_job_lifecycle(self, api):
+        signals = self._signals(n=2)
+        accepted = api.post("/jobs", {
+            "task": "detect_batch",
+            "pipeline": "azure",
+            "signals": [signal.tolist() for signal in signals],
+        })
+        assert accepted.status == 202
+        job = api.jobs.wait(accepted.body["id"], timeout=60)
+        assert job.status == "succeeded"
+        assert job.result["n_signals"] == 2
+        assert len(job.result["anomalies"]) == 2

@@ -1,0 +1,73 @@
+"""Tests for the batch-detection throughput harness."""
+
+import pytest
+
+from repro.benchmark import (
+    benchmark_batch,
+    default_batch_signals,
+    run_batch_on_pipeline,
+)
+from repro.exceptions import BenchmarkError
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    return benchmark_batch(
+        pipelines=["azure"],
+        signals=default_batch_signals(n_signals=4, length=200),
+        repeats=1,
+    )
+
+
+class TestBenchmarkBatch:
+    def test_record_shape(self, quick_result):
+        (record,) = quick_result["records"]
+        assert record["status"] == "ok"
+        assert record["pipeline"] == "azure"
+        assert record["batch_size"] == 4
+        for key in ("fit_time", "loop_time", "batch_time", "speedup",
+                    "throughput_loop", "throughput_batch"):
+            assert record[key] > 0
+
+    def test_parity_asserted_per_record(self, quick_result):
+        assert quick_result["records"][0]["parity"] is True
+        assert quick_result["summary"]["parity_rate"] == 1.0
+
+    def test_summary_aggregates(self, quick_result):
+        summary = quick_result["summary"]
+        assert summary["n_ok"] == summary["n_records"] == 1
+        assert summary["batch_size"] == 4
+        assert summary["speedup_best"] == summary["speedup_mean"]
+        assert summary["aggregate_speedup"] > 0
+
+    def test_failing_pipeline_is_a_record(self):
+        result = benchmark_batch(
+            pipelines=["azure"],
+            signals=default_batch_signals(n_signals=2, length=200),
+            pipeline_options={"azure": {"no_such_option": 1}},
+            repeats=1,
+        )
+        (record,) = result["records"]
+        assert record["status"] == "error"
+        assert record["parity"] is False
+        assert result["summary"]["n_ok"] == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BenchmarkError):
+            benchmark_batch(batch_size=0)
+        with pytest.raises(BenchmarkError):
+            benchmark_batch(repeats=0)
+
+    def test_run_batch_accepts_plain_arrays(self):
+        signals = [signal.to_array()
+                   for signal in default_batch_signals(n_signals=2, length=200)]
+        record = run_batch_on_pipeline("azure", signals, repeats=1)
+        assert record["status"] == "ok"
+        assert record["parity"] is True
+
+    def test_default_signals_deterministic(self):
+        first = default_batch_signals(n_signals=3, length=150)
+        second = default_batch_signals(n_signals=3, length=150)
+        for a, b in zip(first, second):
+            assert a.name == b.name
+            assert (a.to_array() == b.to_array()).all()

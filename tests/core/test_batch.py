@@ -1,0 +1,136 @@
+"""The batch data plane: ``detect_batch`` / ``detect_many`` guarantees.
+
+The central contract under test: for any fitted pipeline and any batch of
+signals, ``detect_batch(signals)`` is *exactly* ``[detect(s) for s in
+signals]`` — same anomalies, same floats — regardless of which executor
+schedules the plan and whether the batch mixes signal lengths.
+"""
+
+import pytest
+
+from repro.core.pipeline import Pipeline, _BatchStepPayload
+from repro.core.sintel import Sintel
+from repro.data import generate_signal
+from repro.exceptions import NotFittedError, PipelineError
+from repro.pipelines import get_pipeline_spec
+
+EXECUTORS = ["serial", "threaded", "process", "caching"]
+
+PIPELINES = [("azure", {}), ("arima", {"window_size": 30})]
+
+
+@pytest.fixture(scope="module")
+def batch_signals():
+    """Eight signals, two lengths, three flavours — a mixed batch."""
+    flavours = ("periodic", "traffic", "trend_seasonal")
+    return [
+        generate_signal(
+            f"batch-{i}", length=280 + (i % 2) * 40, n_anomalies=2,
+            random_state=i, flavour=flavours[i % 3],
+        ).to_array()
+        for i in range(8)
+    ]
+
+
+@pytest.fixture(scope="module")
+def loop_reference(batch_signals):
+    """Per-signal serial detections: the parity ground truth."""
+    outputs = {}
+    for name, options in PIPELINES:
+        sintel = Sintel(name, **options)
+        sintel.fit(batch_signals[0])
+        outputs[name] = [sintel.detect(signal) for signal in batch_signals]
+    return outputs
+
+
+class TestDetectBatchParity:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("pipeline,options", PIPELINES)
+    def test_bitwise_identical_to_loop(self, executor, pipeline, options,
+                                       batch_signals, loop_reference):
+        sintel = Sintel(pipeline, executor=executor, **options)
+        sintel.fit(batch_signals[0])
+        assert sintel.detect_many(batch_signals) == loop_reference[pipeline]
+
+    def test_single_signal_batch(self, batch_signals):
+        sintel = Sintel("azure")
+        sintel.fit(batch_signals[0])
+        assert sintel.detect_many(batch_signals[:1]) == [
+            sintel.detect(batch_signals[0])]
+
+    def test_repeated_batches_reuse_plan(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        first = pipeline.detect_batch(batch_signals)
+        plan = pipeline._batch_plan
+        assert plan is not None
+        assert pipeline.detect_batch(batch_signals) == first
+        assert pipeline._batch_plan is plan
+
+    def test_step_timings_cover_every_step(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        pipeline.detect_batch(batch_signals)
+        assert set(pipeline.step_timings) == {
+            step["name"] for step in pipeline.steps}
+
+
+class TestDetectBatchEdges:
+    def test_unfitted_pipeline_raises(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        with pytest.raises(NotFittedError):
+            pipeline.detect_batch(batch_signals)
+
+    def test_unfitted_sintel_raises(self, batch_signals):
+        with pytest.raises(NotFittedError):
+            Sintel("azure").detect_many(batch_signals)
+
+    def test_empty_batch(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        assert pipeline.detect_batch([]) == []
+
+    def test_hyperparameter_change_invalidates_plan(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        pipeline.detect_batch(batch_signals[:2])
+        assert pipeline._batch_plan is not None
+        pipeline.set_hyperparameters({"fixed_threshold": {"k": 4.0}})
+        assert pipeline._batch_plan is None
+        with pytest.raises(NotFittedError):
+            pipeline.detect_batch(batch_signals[:2])
+
+    def test_mismatched_context_variable_length(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        with pytest.raises(PipelineError, match="entries for"):
+            pipeline.detect_batch(batch_signals[:3], extra=[1, 2])
+
+    def test_batch_payload_rejects_fit(self, batch_signals):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        payload = pipeline._build_batch_plan().nodes[0].payload()
+        assert isinstance(payload, _BatchStepPayload)
+        with pytest.raises(PipelineError, match="detect-only"):
+            payload.run({"data": [batch_signals[0]]}, fit=True)
+
+    def test_refit_after_batch_detect(self, batch_signals):
+        # A refit rebuilds the primitives; the stale batch plan must not
+        # keep serving the old fitted state.
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(batch_signals[0])
+        pipeline.detect_batch(batch_signals[:2])
+        pipeline.fit(batch_signals[1])
+        expected = [pipeline.detect(signal) for signal in batch_signals[:2]]
+        assert pipeline.detect_batch(batch_signals[:2]) == expected
+
+
+class TestBatchViaSignalObjects:
+    def test_detect_many_accepts_signals_and_1d(self, batch_signals):
+        signal = generate_signal("obj", length=300, n_anomalies=2,
+                                 random_state=3, flavour="periodic")
+        sintel = Sintel("azure")
+        sintel.fit(signal)
+        values = signal.to_array()[:, 1]
+        assert sintel.detect_many([signal, values]) == [
+            sintel.detect(signal), sintel.detect(values)]

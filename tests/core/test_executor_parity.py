@@ -6,16 +6,21 @@ across the worker boundary — primitives, pipelines, payloads — must
 survive a pickle round-trip.
 """
 
+import os
 import pickle
 
 import numpy as np
 import pytest
 
 from repro.core.executor import (
+    MP_START_ENV,
     ProcessExecutor,
     SHM_MIN_BYTES,
+    _mp_context,
+    decode_and_release,
     decode_from_transfer,
     encode_for_transfer,
+    encode_result,
     get_executor,
     release_transfers,
 )
@@ -29,6 +34,24 @@ EXECUTORS = ["serial", "threaded", "process", "caching"]
 
 #: Fast, deterministic pipelines exercised by the parity suite.
 PIPELINES = [("azure", {}), ("arima", {"window_size": 30})]
+
+
+def _shm_entries():
+    """Current /dev/shm entries (empty set where unsupported)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
+# Module-level on purpose: the process executor ships mapped functions by
+# reference, so they must be importable from inside pool workers.
+def _return_large_array(n):
+    return {"payload": np.full(SHM_MIN_BYTES, float(n)), "tag": n}
+
+
+def _worker_boom(n):
+    raise RuntimeError(f"injected worker failure {n}")
 
 
 @pytest.fixture(scope="module")
@@ -127,6 +150,89 @@ class TestSharedMemoryTransfer:
         release_transfers(segments)
         release_transfers(segments)
         assert segments == []
+
+
+class TestSharedMemoryReturnPath:
+    def test_encode_result_round_trip(self):
+        original = {"big": np.arange(SHM_MIN_BYTES // 8 + 8, dtype=float),
+                    "small": np.ones(3), "label": "x"}
+        before = _shm_entries()
+        encoded = encode_result(original)
+        assert not isinstance(encoded["big"], np.ndarray)  # rides a handle
+        assert isinstance(encoded["small"], np.ndarray)
+        decoded = decode_and_release(pickle.loads(pickle.dumps(encoded)))
+        np.testing.assert_array_equal(decoded["big"], original["big"])
+        assert decoded["label"] == "x"
+        # decode_and_release unlinked every segment the encode created.
+        assert _shm_entries() == before
+
+    def test_map_returns_large_arrays_through_shm(self):
+        before = _shm_entries()
+        results = ProcessExecutor(max_workers=2).map(
+            _return_large_array, [1, 2, 3])
+        for i, result in enumerate(results):
+            assert result["tag"] == i + 1
+            np.testing.assert_array_equal(
+                result["payload"], np.full(SHM_MIN_BYTES, float(i + 1)))
+        assert _shm_entries() == before
+
+    def test_worker_failure_leaks_no_segments(self):
+        # Satellite guarantee: a worker that dies mid-fan-out (here: an
+        # exception; encode_result's except path plus the parent's
+        # abandoned-future drain cover the partial cases) must leave
+        # /dev/shm exactly as it found it.
+        before = _shm_entries()
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            ProcessExecutor(max_workers=2).map(
+                _worker_boom, [1, 2, 3, 4])
+        assert _shm_entries() == before
+
+    def test_mixed_success_and_failure_leaks_no_segments(self):
+        # Successful results abandoned because a sibling failed must have
+        # their return segments reclaimed by the parent's drain path.
+        before = _shm_entries()
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            ProcessExecutor(max_workers=2).map(
+                _worker_boom_on_even, list(range(6)))
+        assert _shm_entries() == before
+
+    def test_plan_outputs_return_through_shm(self, small_signal):
+        # A pipeline whose step outputs exceed SHM_MIN_BYTES must come back
+        # through shared memory bit-for-bit and leave /dev/shm clean.
+        rows = SHM_MIN_BYTES // 16
+        data = np.column_stack([
+            np.arange(rows, dtype=float),
+            np.sin(np.arange(rows) / 25.0),
+        ])
+        before = _shm_entries()
+        process = Sintel("azure", executor="process")
+        process.fit(data)
+        serial = Sintel("azure")
+        serial.fit(data)
+        assert process.detect(data) == serial.detect(data)
+        assert _shm_entries() == before
+
+
+def _worker_boom_on_even(n):
+    if n % 2 == 0:
+        return {"payload": np.full(SHM_MIN_BYTES, float(n))}
+    raise RuntimeError(f"injected worker failure {n}")
+
+
+class TestStartMethodEnv:
+    def test_env_selects_context(self, monkeypatch):
+        monkeypatch.delenv(MP_START_ENV, raising=False)
+        assert _mp_context() is None
+        monkeypatch.setenv(MP_START_ENV, "spawn")
+        assert _mp_context().get_start_method() == "spawn"
+        monkeypatch.setenv(MP_START_ENV, "")
+        assert _mp_context() is None
+
+    def test_map_runs_under_spawn(self, monkeypatch):
+        monkeypatch.setenv(MP_START_ENV, "spawn")
+        results = ProcessExecutor(max_workers=2).map(
+            _return_large_array, [5, 6])
+        assert [result["tag"] for result in results] == [5, 6]
 
 
 class TestProcessExecutor:
