@@ -1,18 +1,28 @@
-"""E10 — Batched detection: throughput and bitwise parity vs the loop.
+"""E10 — Batched detection: throughput and parity vs the loop, both planes.
 
-The batch data plane runs N signals through each pipeline step together —
-fused NumPy passes over stacked arrays where the primitives support it,
-per-signal loops everywhere else — with results guaranteed bitwise equal
-to N independent ``detect`` calls. This experiment measures the speedup
-that fusion buys on the Fig. 7a pipeline set at batch size 8 and records
-the numbers as machine-readable ``BENCH_batch.json``.
+The batch data plane runs N signals through each pipeline step together.
+Two planes are measured at batch size 8 over the Fig. 7a pipeline set:
 
-Expectation shape (single core): pipelines whose detection cost lives in
-preprocessing/postprocessing (azure, dense AE, arima) gain several times
-over the loop; pipelines dominated by a recurrent network forward pass
-(LSTM DT / LSTM AE / TadGAN) gain least, because batching the matrix
-products across signals would change BLAS summation order and break the
-bitwise guarantee.
+* ``exact=True`` — fused NumPy passes over stacked arrays where the
+  primitives support it, per-signal loops elsewhere, with results
+  guaranteed **bitwise equal** to N independent ``detect`` calls;
+* ``exact=False`` — additionally lowers the LSTM/AE forwards to fused
+  single-precision passes (one concatenated network forward per step,
+  input projections hoisted into single GEMMs). Parity is **tolerance
+  based** (``PARITY_RTOL`` / ``PARITY_ATOL``) because both the precision
+  and the BLAS summation order change.
+
+Expectation shape (single core): on the exact plane, pipelines whose
+detection cost lives in preprocessing/postprocessing (azure, dense AE,
+arima) gain several times over the loop while recurrent-forward pipelines
+gain little (their matmuls cannot be batch-fused without breaking bitwise
+parity). The fused plane is exactly what unlocks those recurrent
+pipelines — the committed JSON records the measured ≥2x speedups on
+lstm_dynamic_threshold / lstm_autoencoder at batch 8.
+
+The numbers land in machine-readable ``BENCH_batch.json`` with one entry
+per plane; CI's ``bench-batch`` leg re-runs this experiment and gates on
+both parities.
 """
 
 import json
@@ -21,28 +31,18 @@ from bench_utils import FAST_PIPELINE_OPTIONS, write_output
 
 from repro.benchmark import benchmark_batch, default_batch_signals
 
+#: Pipelines whose modeling primitives genuinely declare
+#: ``supports_fused_batch`` — the floor check below must assert on these
+#: only (tadgan is recurrent too but not fused; its exact-plane gains
+#: would mask a degenerated fused path).
+FUSED_PIPELINES = ("lstm_dynamic_threshold", "lstm_autoencoder")
 
-def test_batch_throughput_and_parity():
-    result = benchmark_batch(
-        signals=default_batch_signals(n_signals=8, length=300),
-        pipeline_options=FAST_PIPELINE_OPTIONS,
-        repeats=3,
-    )
+
+def _render(result, title):
     records = result["records"]
     summary = result["summary"]
-
-    # Every pipeline must run, and every batch result must be *exactly*
-    # the per-signal loop's result — the batch plane's core guarantee.
-    assert summary["n_ok"] == len(records) == 6
-    assert summary["parity_rate"] == 1.0
-    # The fused pipelines must beat the loop clearly even on noisy CI
-    # hardware; the committed JSON records the actual measured speedups.
-    assert summary["speedup_best"] >= 1.5
-    assert summary["speedup_mean"] > 1.0
-
     lines = [
-        "E10 - Batched detection throughput (batch size "
-        f"{summary['batch_size']}, best of 3)",
+        f"{title} (batch size {summary['batch_size']}, best of 3)",
         f"{'pipeline':<24} {'loop':>10} {'batch':>10} {'speedup':>9} "
         f"{'signals/s':>11} {'parity':>7}",
     ]
@@ -64,5 +64,44 @@ def test_batch_throughput_and_parity():
         f"best={summary['speedup_best']:.2f}x "
         f"aggregate={summary['aggregate_speedup']:.2f}x"
     )
+    return lines
+
+
+def test_batch_throughput_and_parity():
+    signals = default_batch_signals(n_signals=8, length=300)
+    exact = benchmark_batch(signals=signals,
+                            pipeline_options=FAST_PIPELINE_OPTIONS,
+                            repeats=3, exact=True)
+    fused = benchmark_batch(signals=signals,
+                            pipeline_options=FAST_PIPELINE_OPTIONS,
+                            repeats=3, exact=False)
+
+    # Every pipeline must run on both planes, with full parity: bitwise
+    # on the exact plane, within the documented tolerance on the fused
+    # plane — the CI gate for the exact=False contract.
+    for result in (exact, fused):
+        assert result["summary"]["n_ok"] == len(result["records"]) == 6
+        assert result["summary"]["parity_rate"] == 1.0
+    # The fused pipelines must beat the loop clearly even on noisy CI
+    # hardware; the committed JSON records the actual measured speedups.
+    assert exact["summary"]["speedup_best"] >= 1.5
+    assert exact["summary"]["speedup_mean"] > 1.0
+    # The fused plane's reason to exist: a clear win on at least one
+    # recurrent-forward pipeline. Measured ~3.5-4x locally; the floor is
+    # deliberately loose because this runs on shared CI runners — parity
+    # above is the hard gate, the speedup floor only catches the fused
+    # path degenerating to the loop entirely. (Speedups are ratios of
+    # same-run measurements, so host speed largely cancels.)
+    fused_recurrent = [record["speedup"] for record in fused["records"]
+                       if record["pipeline"] in FUSED_PIPELINES]
+    assert max(fused_recurrent) >= 1.3
+
+    lines = _render(exact, "E10 - Batched detection throughput, exact plane")
+    lines.append("")
+    lines.extend(_render(
+        fused, "E10 - Batched detection throughput, fused plane "
+               "(exact=False, single-precision NN forwards)"))
     write_output("batch_throughput.txt", "\n".join(lines))
-    write_output("BENCH_batch.json", json.dumps(result, indent=2))
+    write_output("BENCH_batch.json", json.dumps(
+        {"records": exact["records"], "summary": exact["summary"],
+         "fused": fused}, indent=2))

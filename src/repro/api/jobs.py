@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import NotFoundError
 
-__all__ = ["Job", "JobManager"]
+__all__ = ["Job", "JobManager", "RequestCoalescer"]
 
 
 class Job:
@@ -58,6 +58,159 @@ class Job:
         if self.status == "failed":
             payload["error"] = self.error
         return payload
+
+
+class _CoalesceBatch:
+    """One in-flight accumulation window of compatible requests."""
+
+    __slots__ = ("items", "closed", "done", "results", "error", "cond")
+
+    def __init__(self, lock: threading.Lock):
+        self.items: List[object] = []
+        self.closed = False          # no longer accepting joiners
+        self.done = threading.Event()
+        self.results: Optional[List[object]] = None
+        self.error: Optional[BaseException] = None
+        # Shares the coalescer lock so the leader can wait for joiners
+        # while submit() appends under the same mutex.
+        self.cond = threading.Condition(lock)
+
+
+class RequestCoalescer:
+    """Accumulate concurrent compatible requests into one batched call.
+
+    The request-coalescing front door of the batch data plane: the first
+    request for a given ``key`` becomes the *leader* and opens a small
+    accumulation window (``window`` seconds, at most ``max_batch``
+    requests). Concurrent requests with the same key join the window and
+    block; when the window closes — full, or timed out — the leader runs
+    ``execute(items)`` **once** over every accumulated payload and each
+    caller receives its own slice of the result, in submission order. An
+    execution error propagates to every caller in the batch.
+
+    Requests with different keys (different pipeline, hyperparameters,
+    training data...) never share a batch; they coalesce independently.
+
+    The window is a deliberate latency/throughput trade-off: a request
+    that finds no peers still waits out the window before executing, so
+    the worst case adds ``window`` seconds to every lone request in
+    exchange for collapsing bursts into single executions. Size it to the
+    burstiness of the traffic, and set ``window=0`` for latency-sensitive
+    deployments — coalescing is then fully disabled (every request
+    executes alone, guaranteed, without changing the call shape).
+
+    Args:
+        execute: ``execute(items) -> results`` — must return one result
+            per item, aligned by position.
+        window: seconds the leader waits for additional requests. ``0``
+            disables accumulation.
+        max_batch: requests that force an immediate flush when reached.
+    """
+
+    def __init__(self, execute: Callable[[List[object]], List[object]],
+                 window: float = 0.01, max_batch: int = 8):
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.execute = execute
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._lock = threading.Lock()
+        self._pending: Dict[object, _CoalesceBatch] = {}
+        self._stats = {"requests": 0, "executions": 0,
+                       "coalesced_requests": 0, "largest_batch": 0}
+
+    def stats(self) -> dict:
+        """Counters: requests seen, underlying executions, batch shapes.
+
+        ``coalesced_requests`` counts requests that shared a batch with at
+        least one other request — the round trips saved by coalescing are
+        ``requests - executions``.
+        """
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["window"] = self.window
+        snapshot["max_batch"] = self.max_batch
+        return snapshot
+
+    def submit(self, key, payload):
+        """Run ``payload`` through the coalesced batch for ``key``.
+
+        Blocks until the batch executes (bounded by ``window`` plus the
+        execution itself) and returns this request's result.
+        """
+        with self._lock:
+            self._stats["requests"] += 1
+            batch = self._pending.get(key)
+            leader = batch is None or batch.closed
+            if leader:
+                batch = _CoalesceBatch(self._lock)
+                self._pending[key] = batch
+            index = len(batch.items)
+            batch.items.append(payload)
+            # A zero window means no accumulation at all: close the batch
+            # while still holding the lock so no concurrent request can
+            # ever join it.
+            if len(batch.items) >= self.max_batch or self.window <= 0:
+                batch.closed = True
+                batch.cond.notify_all()
+
+        if leader:
+            # Everything after leadership is assumed runs under one
+            # try/finally: whatever happens to this thread — including an
+            # async exception while waiting on the condition — the batch
+            # is unpinned from ``_pending`` and ``done`` is set, so
+            # joiners can never be stranded in ``wait()``.
+            try:
+                deadline = time.monotonic() + self.window
+                with self._lock:
+                    while not batch.closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        batch.cond.wait(remaining)
+                    batch.closed = True
+                    if self._pending.get(key) is batch:
+                        del self._pending[key]
+                    items = list(batch.items)
+                    self._stats["executions"] += 1
+                    self._stats["largest_batch"] = max(
+                        self._stats["largest_batch"], len(items))
+                    if len(items) > 1:
+                        self._stats["coalesced_requests"] += len(items)
+                results = self.execute(items)
+                if results is None or len(results) != len(items):
+                    raise ValueError(
+                        "coalesced execute() must return one result per "
+                        f"request (got {0 if results is None else len(results)} "
+                        f"for {len(items)})"
+                    )
+                batch.results = list(results)
+            except BaseException as error:  # noqa: BLE001 - fanned back out
+                batch.error = error
+            finally:
+                with self._lock:
+                    batch.closed = True
+                    if self._pending.get(key) is batch:
+                        del self._pending[key]
+                batch.done.set()
+        else:
+            batch.done.wait()
+
+        error = batch.error
+        if error is not None:
+            if not leader:
+                # Joiners raise their own instance where possible: N
+                # threads raising the one shared object would race on its
+                # __traceback__. The type is preserved so callers' error
+                # mapping (e.g. the API router's 400 classes) still works.
+                try:
+                    error = type(error)(*error.args)
+                except Exception:  # noqa: BLE001 - fall back to shared
+                    error = batch.error
+            raise error
+        return batch.results[index]
 
 
 class JobManager:

@@ -9,11 +9,12 @@ a network stack or a web framework.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from typing import Callable, List, Optional, Tuple
 
-from repro.api.jobs import JobManager
+from repro.api.jobs import JobManager, RequestCoalescer
 from repro.api.streams import StreamManager
 from repro.db.explorer import SintelExplorer
 from repro.exceptions import NotFoundError, ReproError
@@ -59,6 +60,7 @@ class SintelAPI:
     * ``POST /events/<id>/comments``     — comment on an event
     * ``GET  /events/<id>/comments``     — list an event's comments
     * ``GET  /pipelines``                — list registered pipelines
+    * ``POST /detect``                   — single-signal detection (coalesced)
     * ``POST /detect/batch``             — batched multi-signal detection
     * ``POST /jobs``                     — submit a background job
     * ``GET  /jobs``                     — list jobs
@@ -82,7 +84,18 @@ class SintelAPI:
     ``Pipeline.detect_batch`` pass — N signals per round trip instead of N
     round trips, with per-signal results in input order. The same payload
     submitted as a ``detect_batch`` job (``POST /jobs``) runs
-    asynchronously for large batches.
+    asynchronously for large batches. An optional ``exact: false`` opts
+    into the fused (tolerance-parity) batch plane.
+
+    ``POST /detect`` serves clients that ask about *one* signal at a time
+    — but the server still batches them: concurrent requests with a
+    compatible configuration (same pipeline, hyperparameters, options,
+    executor and training rows) accumulate in a small time/size-bounded
+    window (``coalesce_window`` seconds, at most ``coalesce_max_batch``
+    requests) and execute as **one** ``detect_batch`` pass, with each
+    response carrying only its own signal's anomalies. ``self.coalescer``
+    exposes ``stats()`` (requests vs underlying executions) for
+    observability.
 
     Live signals go through the ``/streams`` resource instead: ``POST
     /streams`` fits the requested pipeline on the supplied training rows
@@ -98,16 +111,27 @@ class SintelAPI:
         job_workers: worker threads for background jobs.
         stream_workers: worker threads shared by the stream drainers.
         max_streams: capacity bound on concurrently open stream sessions.
+        coalesce_window: seconds a ``POST /detect`` leader waits for
+            compatible concurrent requests before executing the batch.
+            This is added latency for lone requests in exchange for
+            burst collapsing — size it to the traffic's burstiness, or
+            pass ``0`` to disable accumulation entirely.
+        coalesce_max_batch: requests that force an immediate flush of a
+            coalescing window.
     """
 
     def __init__(self, explorer: Optional[SintelExplorer] = None,
                  job_workers: int = 2, stream_workers: int = 2,
-                 max_streams: int = 8):
+                 max_streams: int = 8, coalesce_window: float = 0.01,
+                 coalesce_max_batch: int = 8):
         self.explorer = explorer or SintelExplorer()
         self.jobs = JobManager(max_workers=job_workers)
         self.streams = StreamManager(max_workers=stream_workers,
                                      max_sessions=max_streams,
                                      explorer=self.explorer)
+        self.coalescer = RequestCoalescer(self._execute_detect_group,
+                                          window=coalesce_window,
+                                          max_batch=coalesce_max_batch)
         self._routes: List[Tuple[str, re.Pattern, Callable]] = []
         self._register_routes()
 
@@ -133,6 +157,7 @@ class SintelAPI:
             ("GET", re.compile(r"^/events/(?P<event_id>[^/]+)/comments$"),
              self._list_comments),
             ("GET", re.compile(r"^/pipelines$"), self._list_pipelines),
+            ("POST", re.compile(r"^/detect$"), self._detect),
             ("POST", re.compile(r"^/detect/batch$"), self._detect_batch),
             ("POST", re.compile(r"^/jobs$"), self._create_job),
             ("GET", re.compile(r"^/jobs$"), self._list_jobs),
@@ -302,7 +327,7 @@ class SintelAPI:
         )
         # Train on the supplied rows, or on the first signal of the batch.
         sintel.fit(body.get("data", signals[0]))
-        batches = sintel.detect_many(signals)
+        batches = sintel.detect_many(signals, exact=body.get("exact", True))
         return {
             "pipeline": body["pipeline"],
             "n_signals": len(signals),
@@ -312,6 +337,65 @@ class SintelAPI:
 
     def _detect_batch(self, body, query) -> Response:
         return Response(200, self._run_detect_batch(body))
+
+    # ------------------------------------------------------------------ #
+    # coalesced single-signal detection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _detect_group_key(body) -> str:
+        """Coalescing compatibility key of one ``POST /detect`` request.
+
+        Requests may only share a batch when the *whole* pipeline
+        configuration — name, hyperparameters, options, executor, exact
+        flag — and the training rows are identical; the (potentially
+        large) training rows enter the key as a digest.
+        """
+        train = body.get("train", body["data"])
+        digest = hashlib.sha256(
+            json.dumps(train, default=str).encode()).hexdigest()
+        return json.dumps({
+            "pipeline": body["pipeline"],
+            "hyperparameters": body.get("hyperparameters"),
+            "pipeline_options": body.get("pipeline_options", {}),
+            "executor": body.get("executor"),
+            "exact": bool(body.get("exact", True)),
+            "train": digest,
+        }, sort_keys=True, default=str)
+
+    def _execute_detect_group(self, items: List[dict]) -> List[dict]:
+        """Serve one coalesced window with a single ``detect_batch`` pass."""
+        # Imported lazily to keep the API importable without the core.
+        from repro.core.sintel import Sintel
+
+        first = items[0]
+        sintel = Sintel(
+            first["pipeline"],
+            hyperparameters=first.get("hyperparameters"),
+            executor=first.get("executor"),
+            **first.get("pipeline_options", {}),
+        )
+        sintel.fit(first.get("train", first["data"]))
+        batches = sintel.detect_many([item["data"] for item in items],
+                                     exact=first.get("exact", True))
+        return [
+            {
+                "pipeline": first["pipeline"],
+                "anomalies": [list(anomaly) for anomaly in per_signal],
+                "batch_size": len(items),
+            }
+            for per_signal in batches
+        ]
+
+    def _detect(self, body, query) -> Response:
+        if "pipeline" not in body:
+            raise KeyError("pipeline")
+        if "data" not in body:
+            raise KeyError("data")
+        if not body["data"]:
+            raise ValueError("data must be a non-empty row array")
+        result = self.coalescer.submit(self._detect_group_key(body),
+                                       dict(body))
+        return Response(200, result)
 
     # ------------------------------------------------------------------ #
     # background jobs

@@ -1,6 +1,9 @@
 """``repro.benchmark``: the standardized benchmarking framework (paper §3.4)."""
 
 from repro.benchmark.batch import (
+    PARITY_ATOL,
+    PARITY_RTOL,
+    anomalies_within_tolerance,
     benchmark_batch,
     default_batch_signals,
     run_batch_on_pipeline,
@@ -18,7 +21,12 @@ from repro.benchmark.profiling import (
     profile_pipeline_steps,
     run_primitives_standalone,
 )
-from repro.benchmark.regression import compare_results, format_report
+from repro.benchmark.regression import (
+    compare_results,
+    failure_kinds,
+    format_delta_table,
+    format_report,
+)
 from repro.benchmark.results import BenchmarkResult, merge_shard_checkpoints
 from repro.benchmark.runner import (
     DEFAULT_PIPELINE_OPTIONS,
@@ -41,10 +49,15 @@ __all__ = [
     "merge_shard_checkpoints",
     "shard_jobs",
     "compare_results",
+    "failure_kinds",
+    "format_delta_table",
     "format_report",
     "benchmark_batch",
     "default_batch_signals",
     "run_batch_on_pipeline",
+    "anomalies_within_tolerance",
+    "PARITY_RTOL",
+    "PARITY_ATOL",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

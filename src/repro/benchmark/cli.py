@@ -88,8 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path of the merged BENCH_*.json")
 
     check = commands.add_parser(
-        "check", help="compare a BENCH_*.json against a baseline; exit 1 "
-                      "on regression")
+        "check",
+        help="compare a BENCH_*.json against a baseline; prints a "
+             "per-pipeline delta table and exits 1 on quality/coverage "
+             "failures, 3 on timing-only regressions",
+    )
     check.add_argument("--current", required=True,
                        help="freshly produced BENCH_*.json")
     check.add_argument("--baseline", required=True,
@@ -151,8 +154,23 @@ def _command_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``check`` exit codes: quality/coverage failures (the benchmark's
+#: *behaviour* changed) vs timing-only regressions (it merely got slower).
+#: A report with both kinds exits with the quality code — correctness
+#: dominates. The timing code deliberately avoids 2, which argparse uses
+#: for usage errors — a consumer soft-failing on timing must never
+#: mistake a broken invocation for a slowdown.
+EXIT_QUALITY_FAILURE = 1
+EXIT_TIMING_FAILURE = 3
+
+
 def _command_check(args: argparse.Namespace) -> int:
-    from repro.benchmark.regression import compare_results, format_report
+    from repro.benchmark.regression import (
+        compare_results,
+        failure_kinds,
+        format_delta_table,
+        format_report,
+    )
     from repro.benchmark.results import BenchmarkResult
 
     report = compare_results(
@@ -162,12 +180,19 @@ def _command_check(args: argparse.Namespace) -> int:
         quality_atol=args.quality_atol,
     )
     print(format_report(report))
+    print()
+    print(format_delta_table(report))
     if args.report:
         with open(args.report, "w") as handle:
             json.dump(report, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.report}")
-    return 0 if report["status"] == "pass" else 1
+    kinds = failure_kinds(report)
+    if "quality" in kinds:
+        return EXIT_QUALITY_FAILURE
+    if "timing" in kinds:
+        return EXIT_TIMING_FAILURE
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -25,7 +25,13 @@ from typing import Dict, List
 from repro.benchmark.results import BenchmarkResult
 from repro.benchmark.runner import job_key
 
-__all__ = ["compare_results", "format_report", "QUALITY_METRICS"]
+__all__ = [
+    "compare_results",
+    "failure_kinds",
+    "format_delta_table",
+    "format_report",
+    "QUALITY_METRICS",
+]
 
 #: Per-record quality fields compared against the baseline.
 QUALITY_METRICS = ("f1", "precision", "recall")
@@ -138,6 +144,36 @@ def compare_results(current: BenchmarkResult, baseline: BenchmarkResult,
                        "status": status, "detail": detail,
                        "baseline_seconds": then, "current_seconds": now})
 
+    # -- per-pipeline delta rows: the human-readable summary `check` prints.
+    quality_by_pipeline: Dict[str, int] = {}
+    for check in checks:
+        if check["kind"] != "quality" or check["status"] not in FAILING:
+            continue
+        record = current_records.get(check["target"]) \
+            or baseline_records.get(check["target"]) or {}
+        pipeline = record.get("pipeline", "?")
+        quality_by_pipeline[pipeline] = quality_by_pipeline.get(pipeline, 0) + 1
+    pipelines = []
+    for pipeline in sorted(set(current_times) | set(baseline_times)
+                           | set(quality_by_pipeline)):
+        then = baseline_times.get(pipeline)
+        now = current_times.get(pipeline)
+        ratio = (now / then if then and now is not None and then > 0 else None)
+        time_status = "n/a"
+        for check in checks:
+            if check["kind"] == "wall_time" and check["target"] == pipeline:
+                time_status = check["status"]
+        mismatches = quality_by_pipeline.get(pipeline, 0)
+        pipelines.append({
+            "pipeline": pipeline,
+            "baseline_seconds": then,
+            "current_seconds": now,
+            "time_ratio": ratio,
+            "time_status": time_status,
+            "quality": "match" if not mismatches
+            else f"{mismatches} mismatch(es)",
+        })
+
     failed = [check for check in checks if check["status"] in FAILING]
     return {
         "status": "fail" if failed else "pass",
@@ -146,13 +182,55 @@ def compare_results(current: BenchmarkResult, baseline: BenchmarkResult,
         "n_checks": len(checks),
         "n_failed": len(failed),
         "checks": checks,
+        "pipelines": pipelines,
     }
+
+
+def failure_kinds(report: dict) -> set:
+    """Classify a report's failures as ``{"quality", "timing"}`` subsets.
+
+    Coverage problems (missing / extra jobs) and metric or status drift
+    count as ``quality`` — the benchmark's *behaviour* changed. Wall-time
+    regressions count as ``timing``. The CLI maps these to distinct exit
+    codes so CI can tell a correctness break from a slowdown.
+    """
+    kinds = set()
+    for check in report["checks"]:
+        if check["status"] not in FAILING:
+            continue
+        kinds.add("timing" if check["kind"] == "wall_time" else "quality")
+    return kinds
 
 
 def _pipeline_times(result: BenchmarkResult) -> Dict[str, float]:
     table = result.computational_table()
     return {pipeline: row["fit_time"] + row["detect_time"]
             for pipeline, row in table.items()}
+
+
+def format_delta_table(report: dict) -> str:
+    """Render the per-pipeline delta rows as an aligned console table.
+
+    One row per pipeline: baseline vs current total wall time, the ratio,
+    the timing verdict, and whether the pipeline's quality metrics match
+    the baseline.
+    """
+    header = (f"{'pipeline':<26} {'baseline':>10} {'current':>10} "
+              f"{'ratio':>7} {'timing':>11} {'quality':>15}")
+    lines = [header, "-" * len(header)]
+    for row in report.get("pipelines", []):
+        then = ("-" if row["baseline_seconds"] is None
+                else f"{row['baseline_seconds']:.3f}s")
+        now = ("-" if row["current_seconds"] is None
+               else f"{row['current_seconds']:.3f}s")
+        ratio = "-" if row["time_ratio"] is None else f"{row['time_ratio']:.2f}x"
+        lines.append(
+            f"{row['pipeline']:<26} {then:>10} {now:>10} "
+            f"{ratio:>7} {row['time_status']:>11} {row['quality']:>15}"
+        )
+    if len(lines) == 2:
+        lines.append("(no shared pipelines)")
+    return "\n".join(lines)
 
 
 def format_report(report: dict) -> str:

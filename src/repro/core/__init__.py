@@ -13,6 +13,7 @@ from repro.core.executor import (
     list_executors,
 )
 from repro.core.pipeline import Pipeline, Template
+from repro.core.plan import PLAN_MODES, CompiledStep, PlanCompiler
 from repro.core.primitive import (
     Primitive,
     get_primitive,
@@ -33,6 +34,9 @@ __all__ = [
     "list_primitives",
     "Template",
     "Pipeline",
+    "PLAN_MODES",
+    "CompiledStep",
+    "PlanCompiler",
     "Sintel",
     "analyze",
     "AnalysisReport",

@@ -114,6 +114,15 @@ class StepNode:
             returned, so mutations that happened in the worker (a fitted or
             incrementally-updated primitive) are grafted back into the
             pipeline that built the plan.
+        mode: plan mode this node was lowered for (``fit`` / ``detect`` /
+            ``stream`` / ``batch`` — see :mod:`repro.core.plan`). The
+            caching executor treats ``batch`` nodes specially (per-signal
+            memoization) and splits its counters by it.
+        signal_fingerprint: exact batch nodes only — the *single-signal*
+            fingerprint of the same step, under which the caching executor
+            serves and memoizes per-signal slices of the batch. Empty for
+            non-batch nodes and for fused (tolerance-parity) batch nodes,
+            which must never touch the exact per-signal cache.
     """
 
     name: str
@@ -125,6 +134,8 @@ class StepNode:
     cacheable: Callable[[bool], bool] = field(default=lambda fit: False)
     payload: Optional[Callable[[], object]] = None
     absorb: Optional[Callable[[object], None]] = None
+    mode: str = "detect"
+    signal_fingerprint: str = ""
 
 
 class ExecutionPlan:
@@ -615,11 +626,24 @@ class CachingExecutor(Executor):
     different input data invalidates the entry. Steps whose inputs cannot be
     digested deterministically bypass the cache.
 
+    Batch-mode plans are cached **per signal**: an exact batch node carries
+    the single-signal fingerprint of its step
+    (:attr:`StepNode.signal_fingerprint`), and the executor digests each
+    signal's slice of the batched inputs separately. Signals already in the
+    memo — whether a previous single-signal run or an earlier batch put
+    them there — are served from cache, only the remaining signals run
+    through the fused batch pass, and their output slices are memoized
+    under the same per-signal keys, so batch and single-signal traffic
+    share one cache. Fused (``exact=False``) batch nodes are excluded from
+    the per-signal store (their outputs are only tolerance-equal) and fall
+    back to whole-batch memoization under their own namespaced fingerprint.
+
     The memo store is a bounded LRU: once ``maxsize`` entries accumulate,
     the least-recently-used entry is evicted, so long tuning sessions and
     stream sessions cannot grow memory without limit. ``hits`` / ``misses``
     / ``evictions`` counters (see :meth:`stats`) expose the cache's
-    effectiveness.
+    effectiveness, totalled and split by plan mode (``batch`` vs
+    ``single``).
 
     Args:
         inner: the executor that actually schedules steps (default serial).
@@ -628,6 +652,10 @@ class CachingExecutor(Executor):
     """
 
     name = "caching"
+
+    #: Plan modes whose cache traffic is accounted under ``batch`` in
+    #: :meth:`stats`; everything else counts as ``single``.
+    _MODE_KEYS = ("single", "batch")
 
     def __init__(self, inner: Optional[Union[str, "Executor"]] = None,
                  maxsize: int = 256, max_entries: Optional[int] = None):
@@ -640,7 +668,11 @@ class CachingExecutor(Executor):
         self.hits = 0
         self.misses = 0
         self.evictions = 0
-        self._cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        self._by_mode = {key: {"hits": 0, "misses": 0, "evictions": 0}
+                         for key in self._MODE_KEYS}
+        # Entries are ``(mode, updates)``: the mode that *stored* the entry
+        # attributes its eventual eviction in the per-mode counters.
+        self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._lock = threading.Lock()
 
     @property
@@ -648,8 +680,22 @@ class CachingExecutor(Executor):
         """The LRU capacity bound (alias of ``maxsize``)."""
         return self.maxsize
 
+    @staticmethod
+    def _mode_key(node: "StepNode") -> str:
+        return "batch" if node.mode == "batch" else "single"
+
     def stats(self) -> dict:
-        """Current ``hits`` / ``misses`` / ``evictions`` / occupancy."""
+        """Current ``hits`` / ``misses`` / ``evictions`` / occupancy.
+
+        Totals stay at the top level; ``by_mode`` splits the same three
+        counters by the plan mode of the accessing node — ``batch`` for
+        batch-mode plans (including per-signal hits and misses served from
+        *inside* a batch step), ``single`` for everything else (fit,
+        detect, stream). Evictions are attributed to the mode that stored
+        the evicted entry. :meth:`clear` resets the totals **and** both
+        mode splits along with the entries; counters are never reset
+        implicitly.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
@@ -657,6 +703,8 @@ class CachingExecutor(Executor):
                 "evictions": self.evictions,
                 "entries": len(self._cache),
                 "max_entries": self.maxsize,
+                "by_mode": {key: dict(counters)
+                            for key, counters in self._by_mode.items()},
             }
 
     # -- pickling: locks are not picklable and a cache is never worth
@@ -672,12 +720,14 @@ class CachingExecutor(Executor):
         self._lock = threading.Lock()
 
     def clear(self) -> None:
-        """Drop every cached entry and reset the counters."""
+        """Drop every cached entry and reset all counters (incl. by-mode)."""
         with self._lock:
             self._cache.clear()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
+            for counters in self._by_mode.values():
+                counters.update(hits=0, misses=0, evictions=0)
 
     @staticmethod
     def _digest(value) -> Optional[str]:
@@ -699,10 +749,12 @@ class CachingExecutor(Executor):
         return hasher.hexdigest()
 
     def _key(self, node: StepNode, context: dict) -> Optional[tuple]:
-        # The execution mode is deliberately NOT part of the key: a step is
-        # only cacheable in fit mode when fitting is a no-op for it, so a
-        # cacheable step produces identical outputs in both modes and a fit
-        # run can warm the cache for subsequent detect runs.
+        # The fit/detect execution mode is deliberately NOT part of the
+        # key: a step is only cacheable in fit mode when fitting is a
+        # no-op for it, so a cacheable step produces identical outputs in
+        # both modes and a fit run can warm the cache for subsequent
+        # detect runs. (Batch plans are namespaced via the fingerprint
+        # itself, and their per-signal path keys on signal_fingerprint.)
         parts = []
         for variable in sorted(node.reads):
             digest = self._digest(context.get(variable))
@@ -711,33 +763,128 @@ class CachingExecutor(Executor):
             parts.append((variable, digest))
         return (node.fingerprint, tuple(parts))
 
+    # -- counter-accounted store access (all called with the lock held) --
+    def _hit(self, key: tuple, mode: str) -> dict:
+        self.hits += 1
+        self._by_mode[mode]["hits"] += 1
+        self._cache.move_to_end(key)
+        return dict(self._cache[key][1])
+
+    def _store(self, key: tuple, updates: dict, mode: str) -> None:
+        self.misses += 1
+        self._by_mode[mode]["misses"] += 1
+        self._cache[key] = (mode, dict(updates))
+        while len(self._cache) > self.maxsize:
+            _, (stored_mode, _) = self._cache.popitem(last=False)
+            self.evictions += 1
+            self._by_mode[stored_mode]["evictions"] += 1
+
+    # ------------------------------------------------------------------ #
+    # the batch-aware path: per-signal memoization inside a batch step
+    # ------------------------------------------------------------------ #
+    def _signal_keys(self, node: StepNode, context: dict) -> Optional[list]:
+        """One single-signal cache key per batch entry (None = undigestable)."""
+        reads = sorted(node.reads)
+        size = None
+        for variable in reads:
+            value = context.get(variable)
+            if not isinstance(value, list):
+                return None  # not a batched context: no per-signal view
+            if size is None:
+                size = len(value)
+            elif len(value) != size:
+                return None
+        if size is None:
+            return None
+        keys = []
+        for index in range(size):
+            parts = []
+            for variable in reads:
+                digest = self._digest(context[variable][index])
+                if digest is None:
+                    parts = None
+                    break
+                parts.append((variable, digest))
+            keys.append((node.signal_fingerprint, tuple(parts))
+                        if parts is not None else None)
+        return keys
+
+    def _run_batch_aware(self, node: StepNode, context: dict,
+                         fit: bool) -> dict:
+        keys = self._signal_keys(node, context)
+        if keys is None:
+            return node.execute(context, fit)
+        size = len(keys)
+        served: Dict[int, dict] = {}
+        with self._lock:
+            for index, key in enumerate(keys):
+                if key is not None and key in self._cache:
+                    served[index] = self._hit(key, "batch")
+        missing = [index for index in range(size) if index not in served]
+        if not missing:
+            updates = {
+                variable: [served[index][variable] for index in range(size)]
+                for variable in node.writes
+            }
+            updates["__cached__"] = True
+            return updates
+        # Run only the uncached signals through the fused batch body; the
+        # CompiledStep is batch-shape-agnostic, so a sub-batch is just a
+        # smaller context.
+        subcontext = {
+            variable: [context[variable][index] for index in missing]
+            for variable in node.reads if variable in context
+        }
+        computed = node.execute(subcontext, fit)
+        with self._lock:
+            for position, index in enumerate(missing):
+                if keys[index] is None:
+                    self.misses += 1  # ran, but cannot be memoized
+                    self._by_mode["batch"]["misses"] += 1
+                    continue
+                slice_updates = {
+                    variable: computed[variable][position]
+                    for variable in node.writes
+                }
+                self._store(keys[index], slice_updates, "batch")
+        if len(missing) == size:
+            return computed
+        by_position = dict(zip(missing, range(len(missing))))
+        return {
+            variable: [
+                computed[variable][by_position[index]]
+                if index in by_position else served[index][variable]
+                for index in range(size)
+            ]
+            for variable in node.writes
+        }
+
     def _wrap(self, node: StepNode) -> StepNode:
+        mode = self._mode_key(node)
+
         def execute(context: dict, fit: bool) -> dict:
             if not node.cacheable(fit) or not node.fingerprint:
                 return node.execute(context, fit)
+            if node.mode == "batch" and node.signal_fingerprint:
+                return self._run_batch_aware(node, context, fit)
             key = self._key(node, context)
             if key is None:
                 return node.execute(context, fit)
             with self._lock:
                 if key in self._cache:
-                    self.hits += 1
-                    self._cache.move_to_end(key)
-                    cached = dict(self._cache[key])
+                    cached = self._hit(key, mode)
                     cached["__cached__"] = True
                     return cached
             updates = node.execute(context, fit)
             with self._lock:
-                self.misses += 1
-                self._cache[key] = dict(updates)
-                while len(self._cache) > self.maxsize:
-                    self._cache.popitem(last=False)
-                    self.evictions += 1
+                self._store(key, updates, mode)
             return updates
 
         return StepNode(
             name=node.name, engine=node.engine, reads=node.reads,
             writes=node.writes, execute=execute,
             fingerprint=node.fingerprint, cacheable=node.cacheable,
+            mode=node.mode, signal_fingerprint=node.signal_fingerprint,
         )
 
     def run_plan(self, plan, context, fit=False, profile=False):

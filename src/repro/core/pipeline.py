@@ -5,119 +5,31 @@ pipeline steps ``V`` whose data flow ``E`` is given by the variables each
 primitive consumes and produces, together with the joint tunable
 hyperparameter space ``Λ``. A *pipeline* ``P = <V, E, λ>`` fixes a specific
 hyperparameter assignment ``λ ∈ Λ``.
+
+Execution lowers through the unified plan IR (:mod:`repro.core.plan`): a
+:class:`~repro.core.plan.PlanCompiler` turns the template's steps into one
+mode-tagged :class:`~repro.core.plan.CompiledStep` representation per mode
+(``fit`` / ``detect`` / ``stream`` / ``batch``), and every public entry
+point — :meth:`Pipeline.fit`, :meth:`Pipeline.detect`,
+:meth:`Pipeline.partial_detect`, :meth:`Pipeline.detect_batch` — runs the
+corresponding compiled plan through the pipeline's executor.
 """
 
 from __future__ import annotations
 
 import copy
-import json
 import uuid
 from typing import Dict, List, Optional
 
 import networkx as nx
 import numpy as np
 
-from repro.core.executor import ExecutionPlan, Executor, StepNode, get_executor
+from repro.core.executor import ExecutionPlan, Executor, get_executor
+from repro.core.plan import PlanCompiler
 from repro.core.primitive import get_primitive, get_primitive_class
 from repro.exceptions import NotFittedError, PipelineError
 
 __all__ = ["Template", "Pipeline"]
-
-
-def _collect_args(context: dict, args, inputs: dict, step: dict) -> dict:
-    kwargs = {}
-    for arg in args:
-        variable = inputs.get(arg, arg)
-        if variable not in context:
-            raise PipelineError(
-                f"Step {step['name']!r} needs variable {variable!r} "
-                "which is not present in the context"
-            )
-        kwargs[arg] = context[variable]
-    return kwargs
-
-
-class _StepPayload:
-    """A picklable work unit: one step's primitive plus its wiring.
-
-    This is what :class:`~repro.core.executor.ProcessExecutor` ships to a
-    pool worker. It carries the *current* primitive instance (fitted state
-    included), so it must be built fresh at dispatch time — step nodes hold
-    a zero-argument factory rather than a prebuilt payload. ``run`` returns
-    ``(updates, state)`` where ``state`` is the primitive whenever the call
-    mutated it (a fit, or an incremental streaming update) and ``None``
-    otherwise; the parent grafts returned state back through the node's
-    ``absorb`` callback.
-    """
-
-    def __init__(self, step: dict, primitive, stream: bool):
-        self.step = step
-        self.primitive = primitive
-        self.stream = stream
-
-    @property
-    def engine(self) -> str:
-        return self.primitive.engine
-
-    def run(self, context: dict, fit: bool):
-        primitive = self.primitive
-        step = self.step
-        inputs = step.get("inputs", {})
-        outputs = step.get("outputs", {})
-        incremental = self.stream and primitive.supports_stream
-        if fit and primitive.fit_args:
-            primitive.fit(**_collect_args(context, primitive.fit_args, inputs, step))
-        kwargs = _collect_args(context, primitive.produce_args, inputs, step)
-        if incremental:
-            produced = primitive.update(**kwargs)
-        else:
-            produced = primitive.produce(**kwargs)
-        if not isinstance(produced, dict):
-            raise PipelineError(
-                f"Primitive {primitive.name!r} must return a dict of outputs"
-            )
-        updates = {outputs.get(out, out): value for out, value in produced.items()}
-        mutated = (fit and bool(primitive.fit_args)) or incremental
-        return updates, (primitive if mutated else None)
-
-
-class _BatchStepPayload:
-    """A picklable work unit running one step over a whole signal batch.
-
-    The batch-mode counterpart of :class:`_StepPayload`: every context
-    variable holds a *list* with one entry per signal, and the step runs
-    :meth:`~repro.core.primitive.Primitive.produce_batch` once — a fused
-    vectorized pass for primitives that declare ``supports_batch``, the
-    per-signal loop otherwise. Batch plans are detect-only, so ``run``
-    never fits and never returns mutated primitive state.
-    """
-
-    def __init__(self, step: dict, primitive):
-        self.step = step
-        self.primitive = primitive
-
-    @property
-    def engine(self) -> str:
-        return self.primitive.engine
-
-    def run(self, context: dict, fit: bool):
-        if fit:
-            raise PipelineError(
-                "Batch plans are detect-only; fit the pipeline per signal "
-                "before calling detect_batch"
-            )
-        primitive = self.primitive
-        step = self.step
-        kwargs = _collect_args(context, primitive.produce_args,
-                               step.get("inputs", {}), step)
-        produced = primitive.produce_batch(**kwargs)
-        if not isinstance(produced, dict):
-            raise PipelineError(
-                f"Primitive {primitive.name!r} must return a dict of outputs"
-            )
-        outputs = step.get("outputs", {})
-        updates = {outputs.get(out, out): value for out, value in produced.items()}
-        return updates, None
 
 
 class Template:
@@ -229,6 +141,13 @@ class Pipeline:
     :class:`~repro.core.executor.Executor` (serial by default), and the
     resulting ``step_timings`` feed the computational benchmark (Figure 7).
 
+    All execution goes through the unified plan IR: the first run of each
+    mode lowers the template once via :class:`~repro.core.plan.PlanCompiler`
+    and the compiled plan is reused afterwards — a refit swaps fresh
+    primitives into the compiler's shared cells and re-stamps cache
+    fingerprints instead of lowering again (observable through
+    :attr:`plan_compilations`).
+
     Args:
         spec: template specification dictionary.
         hyperparameters: optional hyperparameter overrides.
@@ -247,20 +166,17 @@ class Pipeline:
             self.set_hyperparameters(hyperparameters)
         self._primitives = None
         self._build_token = ""
-        self._plan = None
-        self._stream_plan = None
-        self._batch_plan = None
+        self._compiler: Optional[PlanCompiler] = None
         self._executor = get_executor(executor)
         self.fitted = False
         self.step_timings: Dict[str, dict] = {}
 
     def __getstate__(self) -> dict:
-        # The cached plans hold step closures, which cannot be pickled;
-        # they are rebuilt lazily on the next run.
+        # Compiled plans hold step closures, which cannot be pickled; the
+        # compiler is rebuilt lazily (from the pickled cells and build
+        # token) on the next run.
         state = self.__dict__.copy()
-        state["_plan"] = None
-        state["_stream_plan"] = None
-        state["_batch_plan"] = None
+        state["_compiler"] = None
         return state
 
     # ------------------------------------------------------------------ #
@@ -305,10 +221,11 @@ class Pipeline:
             if step not in step_names:
                 raise PipelineError(f"Unknown pipeline step {step!r}")
             self._hyperparameters.setdefault(step, {}).update(values)
+        # A changed λ invalidates the primitives AND the compiled plans —
+        # node closures read primitives through the compiler's cells, so
+        # the cells must be rebuilt, not refreshed.
         self._primitives = None
-        self._plan = None
-        self._stream_plan = None
-        self._batch_plan = None
+        self._compiler = None
         self.fitted = False
 
     def get_tunable_hyperparameters(self) -> dict:
@@ -316,147 +233,73 @@ class Pipeline:
         return self.template.get_tunable_hyperparameters()
 
     # ------------------------------------------------------------------ #
-    # execution
+    # plan compilation
     # ------------------------------------------------------------------ #
-    def _build_primitives(self):
-        # Each entry is a mutable [step, primitive] cell: step runners and
-        # payload factories read the primitive through the cell, so a worker
-        # process can hand back a fitted replacement (absorbed into the cell)
-        # and every later dispatch sees it.
-        primitives = []
-        for step in self.steps:
-            values = self._hyperparameters.get(step["name"], {})
-            cls = get_primitive_class(step["primitive"])
-            known = cls.get_default_hyperparameters()
-            usable = {key: value for key, value in values.items() if key in known}
-            primitives.append([step, get_primitive(step["primitive"], usable)])
+    def _fresh_primitive(self, step: dict):
+        values = self._hyperparameters.get(step["name"], {})
+        cls = get_primitive_class(step["primitive"])
+        known = cls.get_default_hyperparameters()
+        usable = {key: value for key, value in values.items() if key in known}
+        return get_primitive(step["primitive"], usable)
+
+    def _rebuild_primitives(self) -> None:
+        """(Re)build every step's primitive, preserving cell identity.
+
+        Each entry of ``_primitives`` is a mutable ``[step, primitive]``
+        cell: compiled plan nodes and payload factories read the primitive
+        through the cell, so a refit only has to swap fresh instances into
+        the existing cells (and a process worker can hand back a fitted
+        replacement through the node's ``absorb`` callback) — every
+        already-compiled plan sees the new build without recompiling.
+        """
         # Stateful steps carry this token in their cache fingerprint so a
         # rebuild (refit or hyperparameter change) invalidates their entries.
         self._build_token = uuid.uuid4().hex
-        return primitives
+        if self._primitives is None:
+            self._primitives = [[step, self._fresh_primitive(step)]
+                                for step in self.steps]
+        else:
+            for cell in self._primitives:
+                cell[1] = self._fresh_primitive(cell[0])
+        if self._compiler is not None:
+            self._compiler.cells = self._primitives
+            self._compiler.refresh(self._build_token)
 
-    def _step_fingerprint(self, step: dict, primitive) -> str:
-        identity = {
-            "primitive": step["primitive"],
-            "inputs": step.get("inputs", {}),
-            "outputs": step.get("outputs", {}),
-            "hyperparameters": primitive.hyperparameters,
-        }
-        if primitive.fit_args:
-            identity["build"] = self._build_token
-        return json.dumps(identity, sort_keys=True, default=repr)
-
-    def _build_plan(self, stream: bool = False) -> ExecutionPlan:
-        nodes = []
-        for entry in self._primitives:
-            step, primitive = entry
-            inputs = step.get("inputs", {})
-            outputs = step.get("outputs", {})
-            reads = tuple(sorted({
-                inputs.get(arg, arg)
-                for arg in set(primitive.produce_args) | set(primitive.fit_args)
-            }))
-            writes = tuple(outputs.get(out, out) for out in primitive.produce_output)
-            if stream and primitive.supports_stream:
-                # An incremental step mutates internal state on every call,
-                # so its outputs must never be served from a memo cache.
-                cacheable = lambda fit: False  # noqa: E731
-            else:
-                # A step with no fit state is deterministic given its inputs
-                # and hyperparameters; a fitted stateful step is only safe to
-                # cache in produce mode (the fingerprint pins its build).
-                cacheable = (lambda fit, stateful=bool(primitive.fit_args):
-                             not (fit and stateful))
-            nodes.append(StepNode(
-                name=step["name"],
-                engine=primitive.engine,
-                reads=reads,
-                writes=writes,
-                execute=self._make_step_runner(entry, stream=stream),
-                fingerprint=self._step_fingerprint(step, primitive),
-                cacheable=cacheable,
-                payload=(lambda entry=entry, stream=stream:
-                         _StepPayload(entry[0], entry[1], stream)),
-                absorb=(lambda fitted, entry=entry:
-                        entry.__setitem__(1, fitted)),
-            ))
-        return ExecutionPlan(nodes)
-
-    def _build_batch_plan(self) -> ExecutionPlan:
-        # The batch plan mirrors the produce-mode plan — same reads, writes
-        # and dependency structure — but every context variable holds a list
-        # of per-signal values and each node runs `produce_batch` once over
-        # the whole batch. The fingerprint is namespaced so a caching
-        # executor never serves a single-signal entry for a batch key (the
-        # input digests already differ, the namespace makes it structural).
-        nodes = []
-        for entry in self._primitives:
-            step, primitive = entry
-            inputs = step.get("inputs", {})
-            outputs = step.get("outputs", {})
-            reads = tuple(sorted({
-                inputs.get(arg, arg) for arg in primitive.produce_args
-            }))
-            writes = tuple(outputs.get(out, out) for out in primitive.produce_output)
-            nodes.append(StepNode(
-                name=step["name"],
-                engine=primitive.engine,
-                reads=reads,
-                writes=writes,
-                execute=self._make_batch_step_runner(entry),
-                fingerprint="batch:" + self._step_fingerprint(step, primitive),
-                cacheable=lambda fit: not fit,
-                payload=(lambda entry=entry:
-                         _BatchStepPayload(entry[0], entry[1])),
-            ))
-        return ExecutionPlan(nodes)
-
-    def _make_batch_step_runner(self, entry: list):
-        def execute(context: dict, fit: bool) -> dict:
-            updates, _ = _BatchStepPayload(entry[0], entry[1]).run(context, fit)
-            return updates
-
-        return execute
-
-    def _make_step_runner(self, entry: list, stream: bool = False):
-        def execute(context: dict, fit: bool) -> dict:
-            # The primitive is read through the cell at call time, and runs
-            # in-process: mutation (fit / update) lands on the shared object
-            # directly, so there is no state to absorb.
-            updates, _ = _StepPayload(entry[0], entry[1], stream).run(context, fit)
-            return updates
-
-        return execute
-
-    def _run(self, context: dict, fit: bool, profile: bool = False,
-             stream: bool = False) -> dict:
-        if fit:
-            self._primitives = self._build_primitives()
-            self._plan = None
-            self._stream_plan = None
-            self._batch_plan = None
-        elif self._primitives is None:
+    @property
+    def compiler(self) -> PlanCompiler:
+        """The plan compiler lowering this pipeline's template (lazy)."""
+        if self._primitives is None:
             raise NotFittedError(
                 f"Pipeline {self.name!r} has no fitted primitives; call fit() "
                 "before detect()"
             )
-        if stream:
-            if self._stream_plan is None:
-                self._stream_plan = self._build_plan(stream=True)
-            plan = self._stream_plan
-        else:
-            if self._plan is None:
-                self._plan = self._build_plan()
-            plan = self._plan
+        if self._compiler is None:
+            self._compiler = PlanCompiler(self._primitives, self._build_token)
+        return self._compiler
+
+    def compiled_plan(self, mode: str, exact: bool = True) -> ExecutionPlan:
+        """The cached compiled plan for ``mode`` (lowering it on first use)."""
+        return self.compiler.plan(mode, exact=exact)
+
+    @property
+    def plan_compilations(self) -> int:
+        """How many lowering passes this pipeline has performed so far."""
+        return 0 if self._compiler is None else self._compiler.compilations
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _run(self, context: dict, fit: bool, profile: bool = False,
+             stream: bool = False) -> dict:
+        if fit:
+            self._rebuild_primitives()
+        mode = "fit" if fit else ("stream" if stream else "detect")
+        plan = self.compiled_plan(mode)
         self.step_timings = {}
         context, self.step_timings = self._executor.run_plan(
             plan, context, fit=fit, profile=profile
         )
         return context
-
-    @staticmethod
-    def _collect(context: dict, args, inputs: dict, step: dict) -> dict:
-        return _collect_args(context, args, inputs, step)
 
     def fit(self, data, profile: bool = False, **context_variables) -> "Pipeline":
         """Fit every step on ``data`` (a ``(timestamp, values...)`` array)."""
@@ -483,7 +326,7 @@ class Pipeline:
             return anomalies, context
         return anomalies
 
-    def detect_batch(self, signals, profile: bool = False,
+    def detect_batch(self, signals, exact: bool = True, profile: bool = False,
                      **context_variables) -> List[List[tuple]]:
         """Detect anomalies in many signals with one batched pipeline pass.
 
@@ -492,15 +335,27 @@ class Pipeline:
         per-signal values, and each step calls the primitive's
         :meth:`~repro.core.primitive.Primitive.produce_batch` — a fused
         vectorized pass over stacked arrays for primitives that declare
-        ``supports_batch``, the per-signal loop otherwise. The results are
-        guaranteed bitwise-identical to ``[self.detect(s) for s in
-        signals]``; the batch path only changes *how* the floating-point
-        work is scheduled, never the operations each signal sees.
+        ``supports_batch``, the per-signal loop otherwise.
+
+        With ``exact=True`` (the default) the results are guaranteed
+        bitwise-identical to ``[self.detect(s) for s in signals]``; the
+        batch path only changes *how* the floating-point work is
+        scheduled, never the operations each signal sees. ``exact=False``
+        opts into the *fused* lowering: primitives that declare
+        ``supports_fused_batch`` (the LSTM and autoencoder forwards)
+        concatenate the batch into single large matrix products, which
+        reorders BLAS summation — results are then only guaranteed equal
+        within a small numerical tolerance (see
+        ``repro.benchmark.batch.PARITY_RTOL`` / ``PARITY_ATOL``), in
+        exchange for a large speedup on recurrent-forward pipelines.
 
         Args:
             signals: sequence of ``(timestamp, values...)`` arrays. Lengths
                 may differ — fused steps group stackable signals
                 internally.
+            exact: require bitwise parity with the per-signal loop
+                (``True``) or allow tolerance-parity fused NN forwards
+                (``False``).
             profile: record per-step memory with ``tracemalloc``.
             **context_variables: extra context variables; each value must
                 be a list with one entry per signal.
@@ -526,11 +381,10 @@ class Pipeline:
                     f"entries for {size} signals"
                 )
             context[name] = values
-        if self._batch_plan is None:
-            self._batch_plan = self._build_batch_plan()
+        plan = self.compiled_plan("batch", exact=exact)
         self.step_timings = {}
         context, self.step_timings = self._executor.run_plan(
-            self._batch_plan, context, fit=False, profile=profile
+            plan, context, fit=False, profile=profile
         )
         anomalies = context.get("anomalies")
         if anomalies is None:
@@ -543,11 +397,12 @@ class Pipeline:
         ``data`` is the stream's current window — typically the trailing
         ``window_size`` rows maintained by
         :class:`~repro.core.stream.StreamRunner`. Steps run through the same
-        executor as :meth:`detect`, but in *stream mode*: primitives that
-        declare ``supports_stream`` consume the window through
-        :meth:`~repro.core.primitive.Primitive.update` (folding the new
-        samples into running state) while every other step re-``produce``s
-        over the window. The pipeline must already be fitted.
+        executor as :meth:`detect`, but through the *stream-mode* plan:
+        primitives that declare ``supports_stream`` consume the window
+        through :meth:`~repro.core.primitive.Primitive.update` (folding the
+        new samples into running state) while every other step
+        re-``produce``s over the window. The pipeline must already be
+        fitted.
         """
         if not self.fitted:
             raise NotFittedError(

@@ -1,0 +1,302 @@
+"""The unified plan IR: one compiled execution representation per mode.
+
+The paper's central abstraction is a single pipeline object that moves
+unchanged from offline benchmarking to live serving (§3.1, §5). On the
+execution side that promise is kept here: a :class:`PlanCompiler` lowers a
+template's steps — paired with their live primitive instances — into one
+mode-tagged :class:`CompiledStep` intermediate representation, and every
+execution surface consumes the same IR:
+
+* ``fit``    — each step fits (when the runtime ``fit`` flag is set) and
+  produces; the only mode allowed to mutate primitives through ``fit``;
+* ``detect`` — produce-only, one signal per context variable;
+* ``stream`` — produce-only over a sliding window; primitives that declare
+  ``supports_stream`` consume it incrementally through ``update``;
+* ``batch``  — produce-only, every context variable holds a *list* with
+  one entry per signal and each step runs ``produce_batch`` once over the
+  whole batch. With ``exact=False`` the compiler lowers to
+  ``produce_batch_fused`` for primitives that declare
+  ``supports_fused_batch`` — fused NN forwards whose parity is tolerance-
+  based instead of bitwise (BLAS summation order changes with the GEMM
+  shape), namespaced under a separate cache fingerprint.
+
+A ``CompiledStep`` is simultaneously the in-process step body (wrapped in
+a closure by the compiler) and the picklable work unit
+:class:`~repro.core.executor.ProcessExecutor` ships to pool workers, so
+there is exactly one implementation of argument collection, output
+mapping, and mode dispatch for all four modes and all executors.
+
+The compiler also owns the plan cache: plans are compiled lazily per
+``(mode, exact)`` key and *refreshed* — not recompiled — when a refit
+replaces the primitive instances (the fingerprints absorb the new build
+token while the node closures keep reading the live primitive through the
+shared ``[step, primitive]`` cell). ``compilations`` counts actual
+lowering passes, which is what the streaming layer's refit-reuse
+regression test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.executor import ExecutionPlan, StepNode
+from repro.exceptions import PipelineError
+
+__all__ = ["PLAN_MODES", "CompiledStep", "PlanCompiler", "collect_args"]
+
+#: The four execution modes a template lowers into.
+PLAN_MODES = ("fit", "detect", "stream", "batch")
+
+
+def collect_args(context: dict, args, inputs: dict, step: dict) -> dict:
+    """Resolve a step's argument list against the execution context."""
+    kwargs = {}
+    for arg in args:
+        variable = inputs.get(arg, arg)
+        if variable not in context:
+            raise PipelineError(
+                f"Step {step['name']!r} needs variable {variable!r} "
+                "which is not present in the context"
+            )
+        kwargs[arg] = context[variable]
+    return kwargs
+
+
+class CompiledStep:
+    """One step of the lowered plan: a mode-tagged, picklable work unit.
+
+    The same object serves every executor: in-process executors call
+    :meth:`run` directly (through the node's ``execute`` closure), and
+    :class:`~repro.core.executor.ProcessExecutor` pickles it to a pool
+    worker. It carries the *current* primitive instance (fitted state
+    included), so payload factories build it at dispatch time.
+
+    :meth:`run` returns ``(updates, state)`` where ``state`` is the
+    primitive whenever the call mutated it (a fit, or an incremental
+    streaming update) and ``None`` otherwise; the parent grafts returned
+    state back through the node's ``absorb`` callback.
+
+    Args:
+        mode: one of :data:`PLAN_MODES`.
+        step: the template step dictionary (name, inputs, outputs).
+        primitive: the live primitive instance executing the step.
+        exact: batch mode only — ``False`` lowers to the fused
+            (tolerance-parity) ``produce_batch_fused`` for primitives that
+            support it.
+    """
+
+    __slots__ = ("mode", "step", "primitive", "exact")
+
+    def __init__(self, mode: str, step: dict, primitive, exact: bool = True):
+        if mode not in PLAN_MODES:
+            raise PipelineError(f"Unknown plan mode {mode!r}; expected one "
+                                f"of {PLAN_MODES}")
+        self.mode = mode
+        self.step = step
+        self.primitive = primitive
+        self.exact = exact
+
+    def __getstate__(self):
+        return (self.mode, self.step, self.primitive, self.exact)
+
+    def __setstate__(self, state):
+        self.mode, self.step, self.primitive, self.exact = state
+
+    @property
+    def engine(self) -> str:
+        return self.primitive.engine
+
+    def _map_outputs(self, produced) -> dict:
+        if not isinstance(produced, dict):
+            raise PipelineError(
+                f"Primitive {self.primitive.name!r} must return a dict of "
+                "outputs"
+            )
+        outputs = self.step.get("outputs", {})
+        return {outputs.get(out, out): value for out, value in produced.items()}
+
+    def run(self, context: dict, fit: bool):
+        if fit and self.mode != "fit":
+            raise PipelineError(
+                f"{self.mode}-mode plans are produce-only; compile a "
+                "fit-mode plan to fit"
+            )
+        primitive = self.primitive
+        step = self.step
+        if self.mode == "batch":
+            kwargs = collect_args(context, primitive.produce_args,
+                                  step.get("inputs", {}), step)
+            if not self.exact and primitive.supports_fused_batch:
+                produced = primitive.produce_batch_fused(**kwargs)
+            else:
+                produced = primitive.produce_batch(**kwargs)
+            return self._map_outputs(produced), None
+        inputs = step.get("inputs", {})
+        incremental = self.mode == "stream" and primitive.supports_stream
+        if fit and primitive.fit_args:
+            primitive.fit(**collect_args(context, primitive.fit_args,
+                                         inputs, step))
+        kwargs = collect_args(context, primitive.produce_args, inputs, step)
+        produced = primitive.update(**kwargs) if incremental \
+            else primitive.produce(**kwargs)
+        mutated = (fit and bool(primitive.fit_args)) or incremental
+        return self._map_outputs(produced), (primitive if mutated else None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"CompiledStep(mode={self.mode!r}, "
+                f"step={self.step.get('name')!r}, exact={self.exact})")
+
+
+class PlanCompiler:
+    """Lower template steps into mode-tagged execution plans, once.
+
+    Args:
+        cells: the pipeline's mutable ``[step, primitive]`` cells. Node
+            closures and payload factories read the primitive *through*
+            the cell at call time, so a refit (or a process worker's
+            absorbed state) is visible to every already-compiled plan.
+        build_token: opaque token identifying the current primitive build;
+            folded into the fingerprint of stateful steps so caches never
+            serve results across refits.
+    """
+
+    def __init__(self, cells: List[list], build_token: str = ""):
+        self.cells = cells
+        self.build_token = build_token
+        self.compilations = 0
+        self._plans: Dict[Tuple[str, bool], ExecutionPlan] = {}
+
+    # ------------------------------------------------------------------ #
+    # fingerprints
+    # ------------------------------------------------------------------ #
+    def _base_fingerprint(self, step: dict, primitive) -> str:
+        identity = {
+            "primitive": step["primitive"],
+            "inputs": step.get("inputs", {}),
+            "outputs": step.get("outputs", {}),
+            "hyperparameters": primitive.hyperparameters,
+        }
+        if primitive.fit_args:
+            identity["build"] = self.build_token
+        return json.dumps(identity, sort_keys=True, default=repr)
+
+    def _fingerprints(self, step: dict, primitive, mode: str,
+                      exact: bool) -> Tuple[str, str]:
+        """``(fingerprint, signal_fingerprint)`` for one node.
+
+        fit / detect / stream share the base fingerprint on purpose: a
+        step cacheable in fit mode is one whose fitting is a no-op, so a
+        fit run warms the cache for subsequent detect runs. Batch plans
+        are namespaced (``batch:`` / ``batch-fused:``) so a whole-batch
+        memo entry can never collide with a single-signal one, and exact
+        batch nodes additionally expose the *single-signal* fingerprint —
+        the handle the caching executor uses to serve and memoize
+        per-signal slices from inside the batch. Fused nodes do not: their
+        outputs are only tolerance-equal to per-signal results, and must
+        never poison (or be served from) the exact per-signal cache.
+        """
+        base = self._base_fingerprint(step, primitive)
+        if mode != "batch":
+            return base, ""
+        if exact:
+            return "batch:" + base, base
+        return "batch-fused:" + base, ""
+
+    # ------------------------------------------------------------------ #
+    # lowering
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _io_sets(step: dict, primitive) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        inputs = step.get("inputs", {})
+        outputs = step.get("outputs", {})
+        reads = tuple(sorted({
+            inputs.get(arg, arg)
+            for arg in set(primitive.produce_args) | set(primitive.fit_args)
+        }))
+        writes = tuple(outputs.get(out, out) for out in primitive.produce_output)
+        return reads, writes
+
+    @staticmethod
+    def _cacheable(primitive, mode: str):
+        if mode == "stream" and primitive.supports_stream:
+            # An incremental step mutates internal state on every call, so
+            # its outputs must never be served from a memo cache.
+            return lambda fit: False
+        if mode == "batch":
+            return lambda fit: not fit
+        # A step with no fit state is deterministic given its inputs and
+        # hyperparameters; a fitted stateful step is only safe to cache in
+        # produce mode (the fingerprint pins its build).
+        stateful = bool(primitive.fit_args)
+        return lambda fit, stateful=stateful: not (fit and stateful)
+
+    def _lower_node(self, entry: list, mode: str, exact: bool) -> StepNode:
+        step, primitive = entry
+        reads, writes = self._io_sets(step, primitive)
+        fingerprint, signal_fingerprint = self._fingerprints(
+            step, primitive, mode, exact)
+
+        def execute(context: dict, fit: bool, entry=entry) -> dict:
+            # The primitive is read through the cell at call time, and runs
+            # in-process: mutation (fit / update) lands on the shared
+            # object directly, so there is no state to absorb.
+            updates, _ = CompiledStep(mode, entry[0], entry[1], exact).run(
+                context, fit)
+            return updates
+
+        absorb = None
+        if mode in ("fit", "stream"):
+            absorb = (lambda fitted, entry=entry:
+                      entry.__setitem__(1, fitted))
+        return StepNode(
+            name=step["name"],
+            engine=primitive.engine,
+            reads=reads,
+            writes=writes,
+            execute=execute,
+            fingerprint=fingerprint,
+            cacheable=self._cacheable(primitive, mode),
+            payload=(lambda entry=entry:
+                     CompiledStep(mode, entry[0], entry[1], exact)),
+            absorb=absorb,
+            mode=mode,
+            signal_fingerprint=signal_fingerprint,
+        )
+
+    def compile(self, mode: str, exact: bool = True) -> ExecutionPlan:
+        """Lower every step into a fresh mode-tagged :class:`ExecutionPlan`."""
+        if mode not in PLAN_MODES:
+            raise PipelineError(f"Unknown plan mode {mode!r}; expected one "
+                                f"of {PLAN_MODES}")
+        self.compilations += 1
+        return ExecutionPlan([
+            self._lower_node(entry, mode, exact) for entry in self.cells
+        ])
+
+    def plan(self, mode: str, exact: bool = True) -> ExecutionPlan:
+        """The cached plan for ``(mode, exact)``, compiling it on first use."""
+        key = (mode, bool(exact))
+        if key not in self._plans:
+            self._plans[key] = self.compile(mode, exact=exact)
+        return self._plans[key]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def refresh(self, build_token: Optional[str] = None) -> None:
+        """Re-stamp fingerprints after the cells received fresh primitives.
+
+        A refit replaces every cell's primitive in place; the compiled
+        node closures keep working (they read through the cell), but the
+        fingerprints of stateful steps must absorb the new build token so
+        caching executors never serve the previous fit's outputs. This is
+        the cheap path that makes refits reuse compiled plans instead of
+        lowering them again.
+        """
+        if build_token is not None:
+            self.build_token = build_token
+        for (mode, exact), plan in self._plans.items():
+            for node, entry in zip(plan.nodes, self.cells):
+                node.fingerprint, node.signal_fingerprint = \
+                    self._fingerprints(entry[0], entry[1], mode, exact)

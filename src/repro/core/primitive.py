@@ -66,6 +66,14 @@ class Primitive:
     #: :meth:`produce` per signal, which is always correct but never
     #: cheaper.
     supports_batch: bool = False
+    #: Whether :meth:`produce_batch_fused` implements the *opt-in* fused
+    #: batch contract: the whole batch concatenated into single large
+    #: tensor operations (batched matmuls for the NN forwards). Fused
+    #: results are only guaranteed equal to the per-signal loop within a
+    #: small numerical tolerance — BLAS summation order changes with the
+    #: GEMM shape — so they are reachable only through ``exact=False``
+    #: batch plans, never through the bitwise-exact plane.
+    supports_fused_batch: bool = False
 
     def __init__(self, **hyperparameters):
         defaults = self.get_default_hyperparameters()
@@ -115,6 +123,7 @@ class Primitive:
             "tunable_hyperparameters": copy.deepcopy(cls.tunable_hyperparameters),
             "supports_stream": bool(cls.supports_stream),
             "supports_batch": bool(cls.supports_batch),
+            "supports_fused_batch": bool(cls.supports_fused_batch),
         }
 
     # ------------------------------------------------------------------ #
@@ -170,6 +179,20 @@ class Primitive:
             out: [result[out] for result in produced]
             for out in self.produce_output
         }
+
+    def produce_batch_fused(self, **kwargs):
+        """Produce outputs for many signals in one *fused* call (opt-in).
+
+        Same argument and return shape as :meth:`produce_batch`, but
+        implementations may concatenate the whole batch into single large
+        tensor operations whose results are only tolerance-equal to the
+        per-signal loop (the ``exact=False`` batch contract). The default
+        simply delegates to :meth:`produce_batch`, so the fused lowering
+        is always safe to run; primitives that genuinely fuse must declare
+        ``supports_fused_batch = True`` — the plan compiler only routes
+        ``exact=False`` batch steps here for primitives that do.
+        """
+        return self.produce_batch(**kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{self.__class__.__name__}({self.hyperparameters})"

@@ -117,7 +117,8 @@ class Sintel:
             self._to_array(data), visualization=visualization, **context_variables
         )
 
-    def detect_many(self, signals, **context_variables) -> List[AnomalyList]:
+    def detect_many(self, signals, exact: bool = True,
+                    **context_variables) -> List[AnomalyList]:
         """Detect anomalies in many signals with one batched pipeline pass.
 
         The batch data-plane counterpart of :meth:`detect`: the whole batch
@@ -125,11 +126,17 @@ class Sintel:
         primitives support it), returning one anomaly list per signal in
         input order — bitwise-identical to ``[self.detect(s) for s in
         signals]`` but substantially faster for batches of similar signals.
+
+        ``exact=False`` opts into the fused batch plan: NN forwards run as
+        concatenated batched matmuls, trading bitwise parity for
+        tolerance parity and a large speedup on recurrent pipelines (see
+        :meth:`~repro.core.pipeline.Pipeline.detect_batch`).
         """
         if not self.fitted:
             raise NotFittedError("Sintel.detect_many called before Sintel.fit")
         arrays = [self._to_array(signal) for signal in signals]
-        return self._pipeline.detect_batch(arrays, **context_variables)
+        return self._pipeline.detect_batch(arrays, exact=exact,
+                                           **context_variables)
 
     def fit_detect(self, data, **context_variables) -> AnomalyList:
         """Fit on ``data`` and detect anomalies in the same data."""

@@ -147,6 +147,12 @@ class StreamRunner:
         self._drift_pending = False
         self._monitor_reset_pending = False
         self._last_retrain_sample: Optional[int] = None
+        # The standby pipeline refits are trained on. Created (via clone)
+        # on the first retrain and thereafter ping-ponged with the serving
+        # pipeline on every swap, so each retrain reuses a pipeline whose
+        # fit-mode plan is already compiled — a refit only swaps fresh
+        # primitives into the plan's cells instead of lowering again.
+        self._spare: Optional[Pipeline] = None
 
     # ------------------------------------------------------------------ #
     # properties
@@ -360,11 +366,18 @@ class StreamRunner:
     def _retrain(self, snapshot: np.ndarray) -> None:
         with self._swap_lock:
             serving = self._pipeline
+            if self._spare is None:
+                self._spare = serving.clone()
+            standby = self._spare
 
+        # Deliberately a closure: it cannot cross a process boundary, so
+        # ProcessExecutor.map degrades to its in-process serial fallback
+        # and the refit always mutates THIS standby object — the compiled
+        # fit-mode plan is reused on every backend (a worker-side fit
+        # would return a pickled copy whose compiler was dropped).
         def refit(data):
-            fresh = serving.clone()
-            fresh.fit(data)
-            return fresh
+            standby.fit(data)
+            return standby
 
         try:
             fitted = serving.executor.map(refit, [snapshot])[0]
@@ -372,6 +385,10 @@ class StreamRunner:
             self.retrain_error = str(error)
             return
         with self._swap_lock:
+            # Atomic swap: the freshly fitted standby starts serving and
+            # the previous serving pipeline becomes the next standby, so
+            # after the first cycle no retrain ever compiles a new plan.
+            self._spare = self._pipeline
             self._pipeline = fitted
         self.retrains += 1
         self.last_retrain_at = time.time()

@@ -59,6 +59,20 @@ class Layer:
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 
+    def fused_forward(self, x: np.ndarray) -> np.ndarray:
+        """Inference-only forward for the fused batch plane.
+
+        Contract: no training caches are built, and the computation runs
+        in the *input's* dtype — callers feed ``float32`` for the
+        reduced-precision fused NN forwards (``exact=False`` batch mode),
+        so results are tolerance-equal, not bitwise-equal, to
+        ``forward(x, training=False)``. The default delegates to the
+        regular forward (promoting back to float64 through the float64
+        parameters), which is always correct; layers on the fused hot
+        path override it with cache-free, dtype-preserving kernels.
+        """
+        return self.forward(x, training=False)
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -122,6 +136,11 @@ class Dense(Layer):
         self._cache = (x, out)
         return out
 
+    def fused_forward(self, x):
+        z = x @ self.params["W"].astype(x.dtype, copy=False) \
+            + self.params["b"].astype(x.dtype, copy=False)
+        return self.activation.forward(z)
+
     def backward(self, grad):
         x, out = self._cache
         grad = self.activation.backward(out, grad)
@@ -155,6 +174,9 @@ class Dropout(Layer):
         keep = 1.0 - self.rate
         self._mask = (self._rng.random(x.shape) < keep) / keep
         return x * self._mask
+
+    def fused_forward(self, x):
+        return x  # inference: dropout is the identity
 
     def backward(self, grad):
         if self._mask is None:
@@ -254,6 +276,9 @@ class TimeDistributed(Layer):
     def forward(self, x, training=False):
         return self.layer.forward(x, training=training)
 
+    def fused_forward(self, x):
+        return self.layer.fused_forward(x)
+
     def backward(self, grad):
         out = self.layer.backward(grad)
         self.grads = self.layer.grads
@@ -331,6 +356,53 @@ class LSTM(Layer):
         if self.return_sequences:
             return outputs
         return outputs[:, -1, :]
+
+    @staticmethod
+    def _fast_sigmoid(z):
+        # Dtype-preserving logistic. exp may overflow to inf for very
+        # negative z, which still yields the correct limit (1/inf -> 0);
+        # only the warning is suppressed. The branch-free form is what
+        # keeps the fused time loop cheap.
+        with np.errstate(over="ignore"):
+            return 1.0 / (1.0 + np.exp(-z))
+
+    def fused_forward(self, x):
+        """Cache-free recurrent inference in the input's dtype.
+
+        Two structural differences from :meth:`forward`, both covered by
+        the fused plane's tolerance contract: the input projection
+        ``x @ W + b`` is hoisted out of the time loop into one large GEMM
+        over all timesteps (changing floating-point association), and all
+        arithmetic stays in ``x.dtype`` (float32 on the fused batch path)
+        instead of promoting through the float64 parameters. No backward
+        cache is built.
+        """
+        dtype = x.dtype
+        units = self.units
+        weights = self.params["W"].astype(dtype, copy=False)
+        recurrent = self.params["U"].astype(dtype, copy=False)
+        bias = self.params["b"].astype(dtype, copy=False)
+        batch, timesteps, features = x.shape
+
+        projected = x.reshape(batch * timesteps, features) @ weights
+        projected = projected.reshape(batch, timesteps, 4 * units)
+        projected += bias
+
+        h = np.zeros((batch, units), dtype=dtype)
+        c = np.zeros((batch, units), dtype=dtype)
+        outputs = (np.empty((batch, timesteps, units), dtype=dtype)
+                   if self.return_sequences else None)
+        for t in range(timesteps):
+            z = projected[:, t, :] + h @ recurrent
+            i = self._fast_sigmoid(z[:, :units])
+            f = self._fast_sigmoid(z[:, units:2 * units])
+            g = np.tanh(z[:, 2 * units:3 * units])
+            o = self._fast_sigmoid(z[:, 3 * units:])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            if outputs is not None:
+                outputs[:, t, :] = h
+        return outputs if outputs is not None else h
 
     def backward(self, grad):
         x_shape, cache = self._cache

@@ -183,6 +183,26 @@ class Sequential:
             return np.zeros((0,) + tuple(shape))
         return np.concatenate(outputs, axis=0)
 
+    def predict_fused(self, x: np.ndarray) -> np.ndarray:
+        """Single-precision, cache-free inference over the whole batch.
+
+        The fused batch plane's forward: the input is cast to ``float32``
+        and pushed through every layer's :meth:`~repro.nn.layers.Layer.
+        fused_forward` in one pass (no 256-row chunking, no backward
+        caches, recurrent input projections hoisted into single GEMMs).
+        The result is cast back to ``float64`` for downstream numerics but
+        is only tolerance-equal to :meth:`predict` — reduced precision and
+        changed summation order are the price of the speedup, which is why
+        only ``exact=False`` batch plans reach this path.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        if not self.built:
+            self.build(x.shape[1:])
+        out = x
+        for layer in self.layers:
+            out = layer.fused_forward(out)
+        return np.asarray(out, dtype=float)
+
     def get_weights(self):
         """Return a list with each layer's parameter dictionary."""
         return [layer.get_weights() for layer in self.layers]

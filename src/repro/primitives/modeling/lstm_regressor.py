@@ -74,8 +74,29 @@ class LSTMTimeSeriesRegressor(Primitive):
             verbose=bool(self.verbose),
         )
 
+    supports_fused_batch = True
+
     def produce(self, X):
         if self._model is None:
             raise NotFittedError("LSTMTimeSeriesRegressor must be fit before produce")
         X = np.asarray(X, dtype=float)
         return {"y_hat": self._model.predict(X)}
+
+    def produce_batch_fused(self, X):
+        """One concatenated forward pass over every signal's windows.
+
+        The ``exact=False`` batch contract: all signals' rolling windows
+        are stacked into a single ``(sum_i n_i, window, ...)`` array and
+        pushed through the network in one forward — the LSTM's Python
+        time-step loop runs once for the whole batch instead of once per
+        signal/chunk, and every per-step matmul covers the full batch.
+        Results are tolerance-equal (not bitwise) to the per-signal loop.
+        """
+        if self._model is None:
+            raise NotFittedError("LSTMTimeSeriesRegressor must be fit before produce")
+        arrays = [np.asarray(x, dtype=float) for x in X]
+        if not arrays:
+            return {"y_hat": []}
+        fused = self._model.predict_fused(np.concatenate(arrays, axis=0))
+        splits = np.cumsum([len(array) for array in arrays])[:-1]
+        return {"y_hat": np.split(fused, splits, axis=0)}

@@ -365,3 +365,166 @@ class TestDetectBatch:
         assert job.status == "succeeded"
         assert job.result["n_signals"] == 2
         assert len(job.result["anomalies"]) == 2
+
+
+class TestCoalescedDetect:
+    """``POST /detect``: concurrent compatible requests share one batch."""
+
+    @staticmethod
+    def _signals(n=4, length=220):
+        from repro.data import generate_signal
+
+        return [generate_signal(f"co-{i}", length=length, n_anomalies=2,
+                                random_state=i, flavour="periodic").to_array()
+                for i in range(n)]
+
+    @pytest.fixture
+    def coalescing_api(self):
+        # A generous window plus max_batch == request count makes the test
+        # deterministic: the batch flushes on size, never on time.
+        api = SintelAPI(SintelExplorer(), coalesce_window=10.0,
+                        coalesce_max_batch=4)
+        yield api
+        api.close()
+
+    def test_concurrent_requests_execute_one_batch(self, coalescing_api):
+        import threading
+
+        signals = self._signals(4)
+        train = signals[0].tolist()
+        responses = [None] * 4
+
+        def post(index):
+            responses[index] = coalescing_api.post("/detect", {
+                "pipeline": "azure",
+                "data": signals[index].tolist(),
+                "train": train,
+            })
+
+        threads = [threading.Thread(target=post, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+
+        for response in responses:
+            assert response is not None and response.status == 200
+            # Every response reports the shared underlying batch.
+            assert response.body["batch_size"] == 4
+        stats = coalescing_api.coalescer.stats()
+        assert stats["requests"] == 4
+        assert stats["executions"] == 1  # one detect_batch pass served all
+        assert stats["coalesced_requests"] == 4
+
+        # Per-request demux matches a direct per-signal Sintel run.
+        from repro.core.sintel import Sintel
+
+        sintel = Sintel("azure")
+        sintel.fit(signals[0])
+        for index, response in enumerate(responses):
+            expected = [list(anomaly) for anomaly in sintel.detect(signals[index])]
+            assert response.body["anomalies"] == expected
+
+    def test_incompatible_requests_do_not_coalesce(self):
+        import threading
+
+        signals = self._signals(2)
+        responses = [None] * 2
+        # Different group keys can never fill a shared batch, so flushing
+        # happens on the window timer — keep it short.
+        api = SintelAPI(SintelExplorer(), coalesce_window=0.2,
+                        coalesce_max_batch=4)
+
+        def post(index, k):
+            responses[index] = api.post("/detect", {
+                "pipeline": "azure",
+                "data": signals[index].tolist(),
+                "train": signals[0].tolist(),
+                "hyperparameters": {"fixed_threshold": {"k": k}},
+            })
+
+        threads = [threading.Thread(target=post, args=(0, 3.0)),
+                   threading.Thread(target=post, args=(1, 4.0))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert all(r.status == 200 for r in responses)
+        # Different hyperparameters -> different group keys -> two passes,
+        # each a batch of one.
+        stats = api.coalescer.stats()
+        assert stats["executions"] == 2
+        assert all(r.body["batch_size"] == 1 for r in responses)
+        api.close()
+
+    def test_single_request_still_served(self, api):
+        signal = self._signals(1)[0]
+        response = api.post("/detect", {"pipeline": "azure",
+                                        "data": signal.tolist()})
+        assert response.status == 200
+        assert response.body["batch_size"] == 1
+        assert api.coalescer.stats()["executions"] == 1
+
+    def test_validation_errors_400(self, api):
+        signal = self._signals(1)[0]
+        assert api.post("/detect", {"data": signal.tolist()}).status == 400
+        assert api.post("/detect", {"pipeline": "azure"}).status == 400
+        assert api.post("/detect", {"pipeline": "azure", "data": []}).status == 400
+
+    def test_zero_window_disables_coalescing(self):
+        import threading
+
+        from repro.api.jobs import RequestCoalescer
+
+        sizes = []
+
+        def execute(items):
+            sizes.append(len(items))
+            return list(items)
+
+        coalescer = RequestCoalescer(execute, window=0.0, max_batch=8)
+        results = [None] * 4
+
+        def submit(index):
+            results[index] = coalescer.submit("key", index)
+
+        threads = [threading.Thread(target=submit, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Every request executed alone — a zero window never accumulates,
+        # even under concurrency.
+        assert results == [0, 1, 2, 3]
+        assert sizes == [1, 1, 1, 1]
+        assert coalescer.stats()["executions"] == 4
+        assert coalescer.stats()["coalesced_requests"] == 0
+
+    def test_execution_error_propagates_to_every_caller(self):
+        import threading
+
+        signal = self._signals(1)[0]
+        responses = [None] * 2
+        api = SintelAPI(SintelExplorer(), coalesce_window=10.0,
+                        coalesce_max_batch=2)
+
+        def post(index):
+            responses[index] = api.post("/detect", {
+                "pipeline": "no-such-pipeline",
+                "data": signal.tolist(),
+            })
+
+        threads = [threading.Thread(target=post, args=(index,))
+                   for index in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        # The leader's execution error fans out to every caller in the
+        # batch: both get a 400, never a hang.
+        assert all(r is not None and r.status == 400 for r in responses)
+        assert all("no-such-pipeline" in str(r.body["error"])
+                   for r in responses)
+        api.close()

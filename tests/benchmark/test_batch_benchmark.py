@@ -71,3 +71,44 @@ class TestBenchmarkBatch:
         for a, b in zip(first, second):
             assert a.name == b.name
             assert (a.to_array() == b.to_array()).all()
+
+
+class TestFusedMode:
+    def test_fused_record_shape_and_tolerance_parity(self):
+        from repro.benchmark import PARITY_ATOL, PARITY_RTOL
+
+        result = benchmark_batch(
+            pipelines=["dense_autoencoder"],
+            signals=default_batch_signals(n_signals=2, length=200),
+            pipeline_options={"dense_autoencoder":
+                              {"window_size": 40, "epochs": 2}},
+            repeats=1, exact=False,
+        )
+        (record,) = result["records"]
+        assert record["status"] == "ok"
+        assert record["exact"] is False
+        assert record["parity"] is True
+        assert record["parity_max_dev"] >= 0.0
+        summary = result["summary"]
+        assert summary["exact"] is False
+        assert summary["parity_rate"] == 1.0
+        assert summary["parity_rtol"] == PARITY_RTOL
+        assert summary["parity_atol"] == PARITY_ATOL
+
+    def test_exact_records_are_tagged(self, quick_result):
+        assert quick_result["records"][0]["exact"] is True
+        assert quick_result["summary"]["exact"] is True
+        assert "parity_rtol" not in quick_result["summary"]
+
+
+class TestToleranceHelper:
+    def test_anomalies_within_tolerance(self):
+        from repro.benchmark import anomalies_within_tolerance
+
+        a = [[(0.0, 10.0, 0.5)], []]
+        close = [[(0.0, 10.0, 0.5 + 1e-9)], []]
+        far = [[(0.0, 10.0, 0.9)], []]
+        assert anomalies_within_tolerance(a, close)
+        assert not anomalies_within_tolerance(a, far)
+        assert not anomalies_within_tolerance(a, [[(0.0, 10.0, 0.5)]])
+        assert not anomalies_within_tolerance(a, [[], []])

@@ -5,8 +5,13 @@ import json
 
 import pytest
 
-from repro.benchmark.cli import main
-from repro.benchmark.regression import compare_results, format_report
+from repro.benchmark.cli import EXIT_QUALITY_FAILURE, EXIT_TIMING_FAILURE, main
+from repro.benchmark.regression import (
+    compare_results,
+    failure_kinds,
+    format_delta_table,
+    format_report,
+)
 from repro.benchmark.results import BenchmarkResult
 
 
@@ -105,7 +110,7 @@ class TestCheckCli:
         assert code == 0
         assert "PASS" in capsys.readouterr().out
 
-    def test_regression_exits_nonzero_and_writes_report(self, bench_files):
+    def test_timing_regression_exits_with_timing_code(self, bench_files):
         slow = _result(fit_time=10.0)
         slow.to_json(bench_files / "slow.json")
         report_path = bench_files / "report.json"
@@ -113,11 +118,80 @@ class TestCheckCli:
                      "--current", str(bench_files / "slow.json"),
                      "--baseline", str(bench_files / "baseline.json"),
                      "--report", str(report_path)])
-        assert code == 1
+        assert code == EXIT_TIMING_FAILURE
         report = json.loads(report_path.read_text())
         assert report["status"] == "fail"
         assert any(c["status"] == "regression" for c in report["checks"])
 
+    def test_quality_failure_exits_with_quality_code(self, bench_files):
+        drifted = _result(f1=0.1)
+        drifted.to_json(bench_files / "drifted.json")
+        code = main(["check",
+                     "--current", str(bench_files / "drifted.json"),
+                     "--baseline", str(bench_files / "baseline.json")])
+        assert code == EXIT_QUALITY_FAILURE
+
+    def test_quality_failure_dominates_timing(self, bench_files):
+        # Both kinds at once: correctness wins the exit code.
+        broken = _result(fit_time=10.0, f1=0.1)
+        broken.to_json(bench_files / "broken.json")
+        code = main(["check",
+                     "--current", str(bench_files / "broken.json"),
+                     "--baseline", str(bench_files / "baseline.json")])
+        assert code == EXIT_QUALITY_FAILURE
+
+    def test_check_prints_delta_table(self, bench_files, capsys):
+        slow = _result(fit_time=2.0)
+        slow.to_json(bench_files / "slow.json")
+        main(["check",
+              "--current", str(bench_files / "slow.json"),
+              "--baseline", str(bench_files / "baseline.json")])
+        out = capsys.readouterr().out
+        # One aligned row per pipeline with the time ratio and quality
+        # verdict.
+        for pipeline in ("azure", "arima"):
+            assert any(line.startswith(pipeline) and "1.67x" in line
+                       and "match" in line for line in out.splitlines())
+
     def test_merge_requires_exactly_one_source(self, tmp_path):
         code = main(["merge", "--output", str(tmp_path / "out.json")])
         assert code == 2
+
+
+class TestDeltaReport:
+    def test_report_carries_per_pipeline_rows(self):
+        report = compare_results(_result(fit_time=1.5), _result(fit_time=1.0),
+                                 time_tolerance=1.0)
+        rows = {row["pipeline"]: row for row in report["pipelines"]}
+        assert set(rows) == {"azure", "arima"}
+        for row in rows.values():
+            assert row["time_ratio"] == pytest.approx(4.0 / 3.0)
+            assert row["time_status"] == "ok"
+            assert row["quality"] == "match"
+
+    def test_quality_mismatches_counted_per_pipeline(self):
+        report = compare_results(_result(f1=0.1), _result(f1=0.5))
+        rows = {row["pipeline"]: row for row in report["pipelines"]}
+        assert rows["azure"]["quality"] == "2 mismatch(es)"
+        assert rows["arima"]["quality"] == "2 mismatch(es)"
+
+    def test_failure_kinds_classification(self):
+        assert failure_kinds(compare_results(_result(), _result())) == set()
+        assert failure_kinds(compare_results(
+            _result(fit_time=10.0), _result())) == {"timing"}
+        assert failure_kinds(compare_results(
+            _result(f1=0.1), _result())) == {"quality"}
+        assert failure_kinds(compare_results(
+            _result(fit_time=10.0, f1=0.1), _result())) == {"quality", "timing"}
+        # Coverage problems are quality failures: the slice itself changed.
+        assert failure_kinds(compare_results(
+            _result(pipelines=("azure",)), _result())) == {"quality"}
+
+    def test_format_delta_table_renders_every_pipeline(self):
+        report = compare_results(_result(fit_time=2.5), _result(fit_time=1.0))
+        table = format_delta_table(report)
+        assert "pipeline" in table.splitlines()[0]
+        for name in ("azure", "arima"):
+            # per-pipeline total = fit + detect: (2.5+0.5)/(1.0+0.5) = 2x
+            assert any(line.startswith(name) and "2.00x" in line
+                       for line in table.splitlines())

@@ -8,7 +8,8 @@ schedules the plan and whether the batch mixes signal lengths.
 
 import pytest
 
-from repro.core.pipeline import Pipeline, _BatchStepPayload
+from repro.core.pipeline import Pipeline
+from repro.core.plan import CompiledStep
 from repro.core.sintel import Sintel
 from repro.data import generate_signal
 from repro.exceptions import NotFittedError, PipelineError
@@ -62,10 +63,11 @@ class TestDetectBatchParity:
         pipeline = Pipeline(get_pipeline_spec("azure"))
         pipeline.fit(batch_signals[0])
         first = pipeline.detect_batch(batch_signals)
-        plan = pipeline._batch_plan
-        assert plan is not None
+        plan = pipeline.compiled_plan("batch")
+        compilations = pipeline.plan_compilations
         assert pipeline.detect_batch(batch_signals) == first
-        assert pipeline._batch_plan is plan
+        assert pipeline.compiled_plan("batch") is plan
+        assert pipeline.plan_compilations == compilations
 
     def test_step_timings_cover_every_step(self, batch_signals):
         pipeline = Pipeline(get_pipeline_spec("azure"))
@@ -94,9 +96,9 @@ class TestDetectBatchEdges:
         pipeline = Pipeline(get_pipeline_spec("azure"))
         pipeline.fit(batch_signals[0])
         pipeline.detect_batch(batch_signals[:2])
-        assert pipeline._batch_plan is not None
+        assert pipeline._compiler is not None
         pipeline.set_hyperparameters({"fixed_threshold": {"k": 4.0}})
-        assert pipeline._batch_plan is None
+        assert pipeline._compiler is None
         with pytest.raises(NotFittedError):
             pipeline.detect_batch(batch_signals[:2])
 
@@ -109,9 +111,10 @@ class TestDetectBatchEdges:
     def test_batch_payload_rejects_fit(self, batch_signals):
         pipeline = Pipeline(get_pipeline_spec("azure"))
         pipeline.fit(batch_signals[0])
-        payload = pipeline._build_batch_plan().nodes[0].payload()
-        assert isinstance(payload, _BatchStepPayload)
-        with pytest.raises(PipelineError, match="detect-only"):
+        payload = pipeline.compiled_plan("batch").nodes[0].payload()
+        assert isinstance(payload, CompiledStep)
+        assert payload.mode == "batch"
+        with pytest.raises(PipelineError, match="produce-only"):
             payload.run({"data": [batch_signals[0]]}, fit=True)
 
     def test_refit_after_batch_detect(self, batch_signals):
@@ -123,6 +126,55 @@ class TestDetectBatchEdges:
         pipeline.fit(batch_signals[1])
         expected = [pipeline.detect(signal) for signal in batch_signals[:2]]
         assert pipeline.detect_batch(batch_signals[:2]) == expected
+
+
+class TestFusedBatchParity:
+    """``exact=False`` lowers NN forwards to fused single-precision passes.
+
+    The contract: exact batches stay bitwise-identical to the loop even on
+    pipelines whose primitives *could* fuse, while fused batches stay
+    within the documented tolerance (``PARITY_RTOL`` / ``PARITY_ATOL``) on
+    every executor.
+    """
+
+    @pytest.fixture(scope="class")
+    def fused_loop_reference(self, batch_signals):
+        sintel = Sintel("dense_autoencoder", window_size=40, epochs=3)
+        sintel.fit(batch_signals[0])
+        return [sintel.detect(signal) for signal in batch_signals]
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_fused_within_tolerance_on_every_executor(
+            self, executor, batch_signals, fused_loop_reference):
+        from repro.benchmark.batch import anomalies_within_tolerance
+
+        sintel = Sintel("dense_autoencoder", executor=executor,
+                        window_size=40, epochs=3)
+        sintel.fit(batch_signals[0])
+        fused = sintel.detect_many(batch_signals, exact=False)
+        assert anomalies_within_tolerance(fused, fused_loop_reference)
+
+    def test_exact_stays_bitwise_on_fused_capable_pipeline(
+            self, batch_signals, fused_loop_reference):
+        sintel = Sintel("dense_autoencoder", window_size=40, epochs=3)
+        sintel.fit(batch_signals[0])
+        assert sintel.detect_many(batch_signals) == fused_loop_reference
+
+    def test_fused_plan_is_namespaced(self, batch_signals):
+        # Exact and fused batch plans are distinct compilations with
+        # distinct cache fingerprints, so a caching executor can never
+        # serve one mode's results for the other.
+        pipeline = Pipeline(get_pipeline_spec("dense_autoencoder",
+                                              window_size=40, epochs=3))
+        pipeline.fit(batch_signals[0])
+        exact_plan = pipeline.compiled_plan("batch", exact=True)
+        fused_plan = pipeline.compiled_plan("batch", exact=False)
+        assert exact_plan is not fused_plan
+        for exact_node, fused_node in zip(exact_plan, fused_plan):
+            assert exact_node.fingerprint.startswith("batch:")
+            assert fused_node.fingerprint.startswith("batch-fused:")
+            assert exact_node.signal_fingerprint != ""
+            assert fused_node.signal_fingerprint == ""
 
 
 class TestBatchViaSignalObjects:

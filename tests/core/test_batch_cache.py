@@ -1,0 +1,188 @@
+"""Batch-aware caching: per-signal memo traffic inside batch plans.
+
+The :class:`~repro.core.executor.CachingExecutor` guarantees under test:
+
+* a batch step serves signals whose per-signal entries are already memoized
+  (warmed by earlier single-signal runs *or* earlier batches) and only runs
+  the remaining signals through the fused batch body;
+* the output slices of a batch run are memoized under the same per-signal
+  keys a single-signal run uses, so batch traffic warms single-signal
+  traffic and vice versa;
+* fused (``exact=False``) batch plans never touch the exact per-signal
+  store — they memoize whole batches under their own namespaced key;
+* ``stats()`` splits hits / misses / evictions by plan mode (``batch`` vs
+  ``single``) and ``clear()`` resets every counter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import CachingExecutor
+from repro.core.pipeline import Pipeline
+from repro.core.primitive import Primitive, register_primitive
+from repro.pipelines import get_pipeline_spec
+
+
+@register_primitive
+class _BatchCountingPrimitive(Primitive):
+    """Counts produce calls; the default produce_batch loops produce."""
+
+    name = "test_batch_cache_counting"
+    engine = "preprocessing"
+    produce_args = ["data"]
+    produce_output = ["anomalies"]
+    calls = 0
+
+    def produce(self, data):
+        type(self).calls += 1
+        total = float(np.sum(data[:, 1]))
+        return {"anomalies": np.array([[0.0, 1.0, total]])}
+
+
+def _spec():
+    return {"name": "batch-cache",
+            "steps": [{"primitive": "test_batch_cache_counting"}]}
+
+
+def _signal(seed: int, rows: int = 64):
+    rng = np.random.default_rng(seed)
+    return np.column_stack([np.arange(rows, dtype=float), rng.normal(size=rows)])
+
+
+@pytest.fixture()
+def signals():
+    return [_signal(seed) for seed in range(4)]
+
+
+@pytest.fixture()
+def fitted(signals):
+    executor = CachingExecutor()
+    pipeline = Pipeline(_spec(), executor=executor)
+    pipeline.fit(signals[0])
+    executor.clear()  # measure only post-fit traffic
+    _BatchCountingPrimitive.calls = 0
+    return pipeline, executor
+
+
+class TestPerSignalHitsInsideBatch:
+    def test_single_signal_runs_warm_the_batch(self, fitted, signals):
+        pipeline, executor = fitted
+        loop = [pipeline.detect(signal) for signal in signals]
+        assert _BatchCountingPrimitive.calls == len(signals)
+        batch = pipeline.detect_batch(signals)
+        assert batch == loop
+        # Every signal of the batch was served from the single-signal
+        # entries: the primitive never ran again.
+        assert _BatchCountingPrimitive.calls == len(signals)
+        stats = executor.stats()
+        assert stats["by_mode"]["batch"]["hits"] == len(signals)
+        assert stats["by_mode"]["batch"]["misses"] == 0
+        assert stats["by_mode"]["single"]["misses"] == len(signals)
+        # A fully cache-served batch step reports itself as cached.
+        assert pipeline.step_timings[
+            "test_batch_cache_counting"]["cached"] is True
+
+    def test_batch_runs_warm_single_signal_detects(self, fitted, signals):
+        pipeline, executor = fitted
+        batch = pipeline.detect_batch(signals)
+        assert _BatchCountingPrimitive.calls == len(signals)
+        for index, signal in enumerate(signals):
+            assert pipeline.detect(signal) == batch[index]
+        # The per-signal slices memoized by the batch served every single
+        # detect; no re-execution.
+        assert _BatchCountingPrimitive.calls == len(signals)
+        stats = executor.stats()
+        assert stats["by_mode"]["single"]["hits"] == len(signals)
+        assert stats["by_mode"]["batch"]["misses"] == len(signals)
+
+    def test_partial_warm_runs_only_missing_signals(self, fitted, signals):
+        pipeline, executor = fitted
+        warmed = signals[:2]
+        loop = [pipeline.detect(signal) for signal in warmed]
+        assert _BatchCountingPrimitive.calls == 2
+        batch = pipeline.detect_batch(signals)
+        assert batch[:2] == loop
+        # Only the two cold signals executed inside the batch.
+        assert _BatchCountingPrimitive.calls == 4
+        stats = executor.stats()
+        assert stats["by_mode"]["batch"]["hits"] == 2
+        assert stats["by_mode"]["batch"]["misses"] == 2
+        # A partially-served batch is NOT reported as a cached step.
+        assert "cached" not in pipeline.step_timings[
+            "test_batch_cache_counting"]
+
+    def test_repeated_batches_hit(self, fitted, signals):
+        pipeline, executor = fitted
+        first = pipeline.detect_batch(signals)
+        assert pipeline.detect_batch(signals) == first
+        assert _BatchCountingPrimitive.calls == len(signals)
+        assert executor.stats()["by_mode"]["batch"]["hits"] == len(signals)
+
+
+class TestFusedBatchIsolation:
+    def test_fused_plans_use_whole_batch_entries(self, fitted, signals):
+        pipeline, executor = fitted
+        first = pipeline.detect_batch(signals, exact=False)
+        # The fused plan memoizes the whole batch, not per-signal slices:
+        # one miss, one entry.
+        stats = executor.stats()
+        assert stats["by_mode"]["batch"]["misses"] == 1
+        assert stats["entries"] == 1
+        assert pipeline.detect_batch(signals, exact=False) == first
+        assert executor.stats()["by_mode"]["batch"]["hits"] == 1
+        # ...and those entries never serve exact single-signal runs.
+        pipeline.detect(signals[0])
+        assert executor.stats()["by_mode"]["single"]["hits"] == 0
+
+
+class TestModeSplitAccounting:
+    def test_totals_are_the_sum_of_modes(self, fitted, signals):
+        pipeline, executor = fitted
+        pipeline.detect(signals[0])
+        pipeline.detect_batch(signals)
+        pipeline.detect_batch(signals)
+        stats = executor.stats()
+        for counter in ("hits", "misses", "evictions"):
+            assert stats[counter] == sum(
+                stats["by_mode"][mode][counter] for mode in ("single", "batch"))
+
+    def test_eviction_attributed_to_storing_mode(self, signals):
+        executor = CachingExecutor(maxsize=2)
+        pipeline = Pipeline(_spec(), executor=executor)
+        pipeline.fit(signals[0])
+        executor.clear()
+        pipeline.detect_batch(signals)  # 4 per-signal entries through a 2-slot LRU
+        stats = executor.stats()
+        assert stats["evictions"] == 2
+        assert stats["by_mode"]["batch"]["evictions"] == 2
+        assert stats["by_mode"]["single"]["evictions"] == 0
+
+    def test_clear_resets_mode_splits(self, fitted, signals):
+        pipeline, executor = fitted
+        pipeline.detect_batch(signals)
+        executor.clear()
+        stats = executor.stats()
+        zero = {"hits": 0, "misses": 0, "evictions": 0}
+        assert stats["by_mode"] == {"single": zero, "batch": zero}
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+
+class TestRealPipelineParityUnderCaching:
+    @pytest.mark.parametrize("pipeline_name,options",
+                             [("azure", {}), ("arima", {"window_size": 30})])
+    def test_mixed_traffic_parity(self, pipeline_name, options, signals):
+        reference = Pipeline(get_pipeline_spec(pipeline_name, **options))
+        data = _signal(99, rows=240)
+        batch = [_signal(seed, rows=240) for seed in range(3)]
+        reference.fit(data)
+        loop = [reference.detect(signal) for signal in batch]
+
+        executor = CachingExecutor()
+        cached = Pipeline(get_pipeline_spec(pipeline_name, **options),
+                          executor=executor)
+        cached.fit(data)
+        cached.detect(batch[0])                       # warm one signal
+        assert cached.detect_batch(batch) == loop     # mixed hit/miss batch
+        assert cached.detect_batch(batch) == loop     # fully-served batch
+        assert [cached.detect(signal) for signal in batch] == loop
+        assert executor.stats()["by_mode"]["batch"]["hits"] > 0

@@ -204,7 +204,7 @@ class TestExecutionPlan:
     def test_diamond_pipeline_dependencies(self):
         pipeline = Pipeline(_diamond_spec())
         pipeline.fit(_data())
-        plan = pipeline._build_plan()
+        plan = pipeline.compiled_plan("detect")
         deps = plan.dependencies
         assert deps["test_executor_split"] == set()
         assert deps["test_executor_left"] == {"test_executor_split"}
@@ -361,8 +361,10 @@ class TestCachingExecutor:
         assert executor.stats()["evictions"] == 1
         executor.clear()
         stats = executor.stats()
+        zero = {"hits": 0, "misses": 0, "evictions": 0}
         assert stats == {"hits": 0, "misses": 0, "evictions": 0,
-                         "entries": 0, "max_entries": 1}
+                         "entries": 0, "max_entries": 1,
+                         "by_mode": {"single": zero, "batch": zero}}
 
     def test_caching_over_threaded_inner(self):
         executor = CachingExecutor(inner="threaded")

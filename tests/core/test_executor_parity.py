@@ -117,7 +117,7 @@ class TestPrimitivePickling:
         data = small_signal.to_array()
         pipeline = Pipeline(get_pipeline_spec("azure"))
         pipeline.fit(data)
-        for node in pipeline._plan:
+        for node in pipeline.compiled_plan("fit"):
             assert node.payload is not None
             payload = pickle.loads(pickle.dumps(node.payload()))
             assert payload.engine in ("preprocessing", "modeling",

@@ -1,0 +1,252 @@
+"""The unified plan IR: PlanCompiler lowering and CompiledStep contracts.
+
+Every execution surface (fit / detect / stream / batch) lowers through one
+:class:`~repro.core.plan.PlanCompiler` into mode-tagged
+:class:`~repro.core.plan.CompiledStep` work units. These tests pin the IR's
+guarantees: mode semantics (produce-only modes reject fit), per-mode cache
+fingerprint namespacing, picklability of every mode's payloads across a
+``spawn`` process boundary, and plan *reuse* — a refit refreshes compiled
+plans in place instead of lowering them again.
+"""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.core.plan import PLAN_MODES, CompiledStep, PlanCompiler
+from repro.exceptions import PipelineError
+from repro.pipelines import get_pipeline_spec
+
+ALL_MODE_PLANS = [("fit", True), ("detect", True), ("stream", True),
+                  ("batch", True), ("batch", False)]
+
+
+def _data(rows: int = 240):
+    timestamps = np.arange(rows, dtype=float)
+    values = np.sin(timestamps / 12.0) + 0.01 * timestamps
+    return np.column_stack([timestamps, values])
+
+
+@pytest.fixture()
+def fitted_pipeline():
+    pipeline = Pipeline(get_pipeline_spec("azure"))
+    pipeline.fit(_data())
+    return pipeline
+
+
+# Module-level on purpose: spawn workers import this module and resolve the
+# function by name, so it must not be a closure.
+def _run_payload_in_child(blob: bytes) -> bytes:
+    payload, context, fit = pickle.loads(blob)
+    updates, state = payload.run(context, fit)
+    return pickle.dumps((updates, state is not None))
+
+
+def _assert_updates_equal(actual: dict, expected: dict) -> None:
+    assert set(actual) == set(expected)
+    for key, value in expected.items():
+        if isinstance(value, np.ndarray):
+            np.testing.assert_array_equal(actual[key], value)
+        elif isinstance(value, list):
+            assert len(actual[key]) == len(value)
+            for got, want in zip(actual[key], value):
+                if isinstance(want, np.ndarray):
+                    np.testing.assert_array_equal(got, want)
+                else:
+                    assert got == want
+        else:
+            assert actual[key] == value
+
+
+class TestCompiledStep:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PipelineError, match="Unknown plan mode"):
+            CompiledStep("training", {"name": "x"}, object())
+
+    @pytest.mark.parametrize("mode", ["detect", "stream", "batch"])
+    def test_produce_only_modes_reject_fit(self, fitted_pipeline, mode):
+        payload = fitted_pipeline.compiled_plan(mode).nodes[0].payload()
+        assert payload.mode == mode
+        with pytest.raises(PipelineError, match="produce-only"):
+            payload.run({"data": _data()}, fit=True)
+
+    def test_fit_mode_payload_fits(self):
+        pipeline = Pipeline(get_pipeline_spec("arima", window_size=30))
+        pipeline.fit(_data())
+        plan = pipeline.compiled_plan("fit")
+        # Replay the plan through bare payloads: every fit-mode payload
+        # must run with fit=True and report mutated state for stateful
+        # steps.
+        context = {"data": _data(), "events": None}
+        mutated = []
+        for node in plan:
+            updates, state = node.payload().run(context, fit=True)
+            context.update(updates)
+            mutated.append(state is not None)
+        assert any(mutated)
+        assert "anomalies" in context
+
+    def test_payload_repr_and_engine(self, fitted_pipeline):
+        payload = fitted_pipeline.compiled_plan("detect").nodes[0].payload()
+        assert payload.engine in ("preprocessing", "modeling", "postprocessing")
+        assert "detect" in repr(payload)
+
+
+class TestModeLowering:
+    @pytest.mark.parametrize("mode,exact", ALL_MODE_PLANS)
+    def test_every_mode_lowers_every_step(self, fitted_pipeline, mode, exact):
+        plan = fitted_pipeline.compiled_plan(mode, exact=exact)
+        assert [node.name for node in plan] == [
+            step["name"] for step in fitted_pipeline.steps]
+        for node in plan:
+            assert node.mode == mode
+            assert node.payload is not None
+
+    def test_modes_share_dependency_structure(self, fitted_pipeline):
+        reference = fitted_pipeline.compiled_plan("detect").dependencies
+        for mode, exact in ALL_MODE_PLANS:
+            assert fitted_pipeline.compiled_plan(
+                mode, exact=exact).dependencies == reference
+
+    def test_fit_and_detect_share_fingerprints(self, fitted_pipeline):
+        # Deliberate: a step cacheable in fit mode is one whose fit is a
+        # no-op, so fit runs warm the cache for detect runs.
+        fit_plan = fitted_pipeline.compiled_plan("fit")
+        detect_plan = fitted_pipeline.compiled_plan("detect")
+        for fit_node, detect_node in zip(fit_plan, detect_plan):
+            assert fit_node.fingerprint == detect_node.fingerprint
+
+    def test_batch_fingerprints_are_namespaced(self, fitted_pipeline):
+        detect = fitted_pipeline.compiled_plan("detect")
+        exact = fitted_pipeline.compiled_plan("batch", exact=True)
+        fused = fitted_pipeline.compiled_plan("batch", exact=False)
+        for d_node, e_node, f_node in zip(detect, exact, fused):
+            assert e_node.fingerprint == "batch:" + d_node.fingerprint
+            assert f_node.fingerprint == "batch-fused:" + d_node.fingerprint
+            # The per-signal handle of an exact batch node IS the
+            # single-signal fingerprint; fused nodes must not have one.
+            assert e_node.signal_fingerprint == d_node.fingerprint
+            assert f_node.signal_fingerprint == ""
+
+    def test_compiler_rejects_unknown_mode(self, fitted_pipeline):
+        with pytest.raises(PipelineError, match="Unknown plan mode"):
+            fitted_pipeline.compiler.compile("training")
+
+    def test_plan_cache_and_compilation_counter(self, fitted_pipeline):
+        compiler = fitted_pipeline.compiler
+        before = compiler.compilations
+        plan = compiler.plan("stream")
+        assert compiler.compilations == before + 1
+        assert compiler.plan("stream") is plan
+        assert compiler.compilations == before + 1
+
+
+class TestPickleRoundTripUnderSpawn:
+    """Satellite guarantee: every mode's payloads cross a spawn boundary.
+
+    For each mode the plan is replayed step by step; every step's payload
+    (plus the exact subcontext it reads) is pickled into a ``spawn``
+    worker, executed there, and the returned updates must equal the
+    parent-side execution bit for bit.
+    """
+
+    @pytest.fixture(scope="class")
+    def spawn_pool(self):
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=1) as pool:
+            yield pool
+
+    @pytest.mark.parametrize("mode,exact", ALL_MODE_PLANS)
+    def test_round_trip(self, spawn_pool, mode, exact):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(_data())
+        plan = pipeline.compiled_plan(mode, exact=exact)
+        fit = mode == "fit"
+        if mode == "batch":
+            context = {"data": [_data(), _data(300)], "events": [None, None]}
+        else:
+            context = {"data": _data(), "events": None}
+        for node in plan:
+            subcontext = {var: context[var] for var in node.reads
+                          if var in context}
+            blob = pickle.dumps((node.payload(), subcontext, fit))
+            child_updates, child_mutated = pickle.loads(
+                spawn_pool.apply(_run_payload_in_child, (blob,)))
+            updates, state = node.payload().run(dict(subcontext), fit)
+            _assert_updates_equal(child_updates, updates)
+            assert child_mutated == (state is not None)
+            context.update(updates)
+
+
+class TestRefitReusesCompiledPlans:
+    def test_refit_keeps_compilation_count_constant(self):
+        pipeline = Pipeline(get_pipeline_spec("arima", window_size=30))
+        pipeline.fit(_data())
+        pipeline.detect(_data())
+        pipeline.detect_batch([_data(), _data(300)])
+        compiled = pipeline.plan_compilations
+        for offset in range(4):
+            pipeline.fit(_data(240 + 16 * offset))
+            pipeline.detect(_data())
+        assert pipeline.plan_compilations == compiled
+
+    def test_refit_results_match_fresh_pipeline(self):
+        data_a, data_b = _data(), _data(320)
+        refitted = Pipeline(get_pipeline_spec("arima", window_size=30))
+        refitted.fit(data_a)
+        refitted.detect(data_a)
+        refitted.fit(data_b)
+        fresh = Pipeline(get_pipeline_spec("arima", window_size=30))
+        fresh.fit(data_b)
+        assert refitted.detect(data_b) == fresh.detect(data_b)
+
+    def test_refit_restamps_stateful_fingerprints(self):
+        pipeline = Pipeline(get_pipeline_spec("arima", window_size=30))
+        pipeline.fit(_data())
+        plan = pipeline.compiled_plan("detect")
+        before = {node.name: node.fingerprint for node in plan}
+        stateful = {node.name for node, cell
+                    in zip(plan.nodes, pipeline._primitives)
+                    if cell[1].fit_args}
+        assert stateful
+        pipeline.fit(_data(300))
+        assert pipeline.compiled_plan("detect") is plan  # same object...
+        for node in plan:
+            if node.name in stateful:  # ...new build token
+                assert node.fingerprint != before[node.name]
+            else:
+                assert node.fingerprint == before[node.name]
+
+    def test_hyperparameter_change_drops_compiler(self):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(_data())
+        assert pipeline.plan_compilations > 0
+        pipeline.set_hyperparameters({"fixed_threshold": {"k": 4.0}})
+        assert pipeline._compiler is None
+        assert pipeline.plan_compilations == 0
+
+    def test_pickled_pipeline_recompiles_lazily(self):
+        pipeline = Pipeline(get_pipeline_spec("azure"))
+        pipeline.fit(_data())
+        expected = pipeline.detect(_data())
+        clone = pickle.loads(pickle.dumps(pipeline))
+        assert clone._compiler is None
+        assert clone.detect(_data()) == expected
+
+
+class TestPlanCompilerStandalone:
+    def test_lowering_plain_cells(self):
+        # The compiler works on bare [step, primitive] cells, independent
+        # of Pipeline plumbing.
+        from repro.core.primitive import get_primitive
+
+        step = {"name": "only", "primitive": "fixed_threshold"}
+        compiler = PlanCompiler([[step, get_primitive("fixed_threshold")]],
+                                build_token="tok")
+        assert set(PLAN_MODES) == {"fit", "detect", "stream", "batch"}
+        plan = compiler.plan("detect")
+        assert plan.nodes[0].name == "only"
+        assert compiler.compilations == 1

@@ -213,3 +213,101 @@ class TestDriftRetrain:
         runner._retrain(data[:0])  # empty snapshot fails inside fit
         assert runner.retrain_error is not None
         assert runner.retrains == 0
+
+
+class TestRefitPlanReuse:
+    """Satellite guarantee: refits reuse compiled fit-mode plans.
+
+    The runner keeps one standby pipeline and ping-pongs it with the
+    serving pipeline on every swap, so after the first retrain cycle no
+    refit ever lowers a plan again — the compilation counters of both
+    pipelines stay frozen no matter how many retrains run.
+    """
+
+    @staticmethod
+    def _rows(start, count):
+        timestamps = np.arange(start, start + count, dtype=float)
+        return np.column_stack([timestamps, np.sin(timestamps / 9.0)])
+
+    def test_compilation_count_constant_across_refits(self):
+        data = self._rows(0, 300)
+        sintel = Sintel("azure")
+        sintel.fit(data)
+        runner = StreamRunner(sintel.pipeline, window_size=64, warmup=32,
+                              drift_detector=None, retrain=True)
+        cursor = 300
+
+        def cycle():
+            nonlocal cursor
+            runner.send(self._rows(cursor, 40))   # stream-mode plan in use
+            cursor += 40
+            runner._retrain(runner._buffer.copy())  # synchronous refit
+
+        # Two warm-up cycles: the standby is created and both pipelines
+        # compile their fit/stream plans once.
+        cycle()
+        cycle()
+        serving, spare = runner.pipeline, runner._spare
+        compiled = (serving.plan_compilations, spare.plan_compilations)
+        for _ in range(3):
+            cycle()
+        assert runner.retrains == 5
+        # The same two pipeline objects keep swapping roles...
+        assert {runner.pipeline, runner._spare} == {serving, spare}
+        # ...and neither ever compiled another plan.
+        assert (serving.plan_compilations, spare.plan_compilations) == compiled
+
+    def test_plan_reuse_holds_under_process_executor(self):
+        # The refit closure is unpicklable on purpose, so the process
+        # backend degrades to its in-process fallback and the standby's
+        # compiled plans survive the refit (a worker-side fit would hand
+        # back a pickled copy with no compiler).
+        data = self._rows(0, 300)
+        sintel = Sintel("azure", executor="process")
+        sintel.fit(data)
+        runner = StreamRunner(sintel.pipeline, window_size=64, warmup=32,
+                              drift_detector=None, retrain=True)
+        runner.send(self._rows(300, 64))
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            runner._retrain(runner._buffer.copy())
+            runner._retrain(runner._buffer.copy())
+        compiled = sorted((runner.pipeline.plan_compilations,
+                           runner._spare.plan_compilations))
+        with pytest.warns(RuntimeWarning, match="unpicklable"):
+            runner._retrain(runner._buffer.copy())
+        assert runner.retrain_error is None
+        # The pair swaps roles every retrain; neither object compiled
+        # another plan.
+        assert sorted((runner.pipeline.plan_compilations,
+                       runner._spare.plan_compilations)) == compiled
+
+    def test_swap_ping_pongs_serving_and_standby(self):
+        data = self._rows(0, 300)
+        sintel = Sintel("azure")
+        sintel.fit(data)
+        runner = StreamRunner(sintel.pipeline, window_size=64, warmup=32,
+                              drift_detector=None, retrain=True)
+        original = runner.pipeline
+        runner.send(self._rows(300, 64))
+        runner._retrain(runner._buffer.copy())
+        first_standby = runner._spare
+        assert first_standby is original  # old serving became the standby
+        assert runner.pipeline is not original
+        runner._retrain(runner._buffer.copy())
+        assert runner.pipeline is original  # swapped straight back
+        assert runner.retrain_error is None
+
+    def test_refitted_stream_still_detects(self):
+        data = self._rows(0, 300)
+        sintel = Sintel("azure")
+        sintel.fit(data)
+        runner = StreamRunner(sintel.pipeline, window_size=64, warmup=32,
+                              drift_detector=None, retrain=True)
+        cursor = 300
+        for _ in range(4):
+            runner.send(self._rows(cursor, 40))
+            cursor += 40
+            runner._retrain(runner._buffer.copy())
+        assert runner.pipeline.fitted
+        runner.send(self._rows(cursor, 40))
+        runner.close()
