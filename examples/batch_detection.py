@@ -8,6 +8,15 @@ per-signal loop inside the same plan. The results are guaranteed
 bitwise-identical to calling ``detect`` once per signal; only the
 scheduling of the floating-point work changes.
 
+The plan compiler additionally *fuses* contiguous runs of compatible
+steps (scaler -> windower -> model forward -> error function) into single
+chain nodes executed in one pass over reusable arena buffers — inspect
+the chains with ``python -m repro.benchmark run --explain-plan``. Fusion
+is transparent on this exact plane; ``detect_many(..., exact=False)``
+additionally runs the NN forwards as single-precision concatenated
+passes (tolerance parity, large recurrent-pipeline speedups), and
+``precision="float32"`` keeps whole fused chains in single precision.
+
 Run with:  python examples/batch_detection.py
 """
 
@@ -51,6 +60,12 @@ def main():
     for signal_index, anomalies in enumerate(batched[:4]):
         spans = ", ".join(f"[{int(s)}..{int(e)}]" for s, e, _ in anomalies)
         print(f"  satellite-{signal_index:02d}: {spans or 'clean'}")
+
+    # 4. The fusion pass at work: the whole azure pipeline collapsed into
+    #    one chain node executing in a single pass.
+    plan = sintel.pipeline.compiled_plan("batch")
+    for group in plan.fusion_groups:
+        print(f"fused chain: {' -> '.join(group['steps'])}")
 
 
 if __name__ == "__main__":

@@ -39,6 +39,8 @@ __all__ = [
     "anomalies_within_tolerance",
     "benchmark_batch",
     "default_batch_signals",
+    "explain_plan",
+    "fusion_report",
     "run_batch_on_pipeline",
 ]
 
@@ -114,6 +116,85 @@ def default_batch_signals(n_signals: int = 8, length: int = 300,
     ]
 
 
+def fusion_report(pipeline) -> dict:
+    """Per-chain fusion report for a pipeline's fused batch plan.
+
+    Returns the chains the fusion pass formed (``groups``: name, member
+    steps, categories, step count) and the state of the plan's arena
+    (allocations, reuses, bytes held/reused, buffer shapes). Run a batch
+    through the fused plane first — the arena is sized lazily from the
+    batch shapes, so a freshly compiled plan reports an empty pool.
+    """
+    plan = pipeline.compiled_plan("batch", exact=False)
+    groups = [dict(group, n_steps=len(group["steps"]))
+              for group in plan.fusion_groups]
+    arena = getattr(plan, "arena", None)
+    return {
+        "groups": groups,
+        "n_chains": len(groups),
+        "n_fused_steps": sum(group["n_steps"] for group in groups),
+        "arena": arena.stats() if arena is not None else None,
+    }
+
+
+def explain_plan(pipeline_name: str,
+                 pipeline_options: Optional[dict] = None,
+                 signals: Optional[Sequence[Signal]] = None) -> str:
+    """Render a pipeline's compiled batch plans with fusion and arena info.
+
+    Fits the pipeline on a small synthetic signal (forcing ``epochs=1``
+    when the spec factory accepts it — plan structure does not depend on
+    training length), runs one fused batch so the arena is sized, and
+    returns a human-readable description of both batch plans: every node
+    in execution order, the fusion chains with their categories, and the
+    arena's buffer shapes and byte counts.
+    """
+    import inspect
+
+    from repro.pipelines import PIPELINE_REGISTRY
+
+    options = dict(pipeline_options or {})
+    factory = PIPELINE_REGISTRY.get(pipeline_name)
+    if factory is not None and "epochs" not in options:
+        if "epochs" in inspect.signature(factory).parameters:
+            options["epochs"] = 1
+    if signals is None:
+        signals = default_batch_signals(n_signals=4, length=240)
+    arrays = [signal.to_array() if isinstance(signal, Signal)
+              else np.asarray(signal, dtype=float) for signal in signals]
+
+    sintel = Sintel(pipeline_name, **options)
+    sintel.fit(arrays[0])
+    sintel.detect_many(arrays, exact=False)  # sizes the fused plan's arena
+    pipeline = sintel.pipeline
+
+    lines = [f"pipeline: {pipeline_name}"]
+    for exact in (True, False):
+        plan = pipeline.compiled_plan("batch", exact=exact)
+        plane = "exact (bitwise)" if exact else "fused (tolerance)"
+        lines.append(f"  batch plan [{plane}]: {len(plan.nodes)} node(s)")
+        for node in plan.nodes:
+            kind = "chain" if node.members else "step "
+            lines.append(f"    {kind}  {node.name}")
+    report = fusion_report(pipeline)
+    lines.append(f"  fusion: {report['n_chains']} chain(s) covering "
+                 f"{report['n_fused_steps']} step(s)")
+    for group in report["groups"]:
+        members = ", ".join(
+            f"{step} ({category})"
+            for step, category in zip(group["steps"], group["categories"]))
+        lines.append(f"    {group['name']}: {members}")
+    arena = report["arena"]
+    if arena is not None:
+        lines.append(
+            f"  arena: {arena['allocations']} allocation(s), "
+            f"{arena['reuses']} reuse(s), {arena['bytes_held']} bytes held, "
+            f"{arena['bytes_reused']} bytes reused")
+        for shape in arena["shapes"]:
+            lines.append(f"    buffer {shape}")
+    return "\n".join(lines)
+
+
 def _best_of(action, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -159,6 +240,7 @@ def run_batch_on_pipeline(pipeline_name: str, signals: Sequence[Signal],
             parity = anomalies_within_tolerance(batch_result, loop_result)
             record["parity_max_dev"] = max_anomaly_deviation(
                 batch_result, loop_result)
+            record["fusion"] = fusion_report(sintel.pipeline)
         record.update({
             "loop_time": loop_time,
             "batch_time": batch_time,

@@ -74,6 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print one line per finished job")
     run.add_argument("--output", default=None,
                      help="also write this slice as a BENCH_*.json")
+    run.add_argument("--explain-plan", action="store_true",
+                     help="print each pipeline's compiled batch plan — "
+                          "fusion chains and arena buffer sizes — instead "
+                          "of benchmarking")
 
     merge = commands.add_parser(
         "merge", help="combine shard checkpoints into one BENCH_*.json")
@@ -109,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    if args.explain_plan:
+        return _command_explain(args)
     from repro.benchmark.runner import benchmark
 
     result = benchmark(
@@ -135,6 +141,21 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.output:
         result.sort_canonical().to_json(args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.benchmark.batch import explain_plan
+
+    pipelines = args.pipelines
+    if pipelines is None:
+        from repro.pipelines import BENCHMARK_PIPELINES
+
+        pipelines = list(BENCHMARK_PIPELINES)
+    for index, name in enumerate(pipelines):
+        if index:
+            print()
+        print(explain_plan(name))
     return 0
 
 

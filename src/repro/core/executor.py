@@ -136,6 +136,11 @@ class StepNode:
     absorb: Optional[Callable[[object], None]] = None
     mode: str = "detect"
     signal_fingerprint: str = ""
+    #: Fused batch nodes only — indices of the compiler cells this node
+    #: covers (a contiguous chain lowered into one FusedStep). ``None``
+    #: for ordinary single-step nodes; the plan compiler's ``refresh``
+    #: uses it to re-stamp combined fingerprints after a refit.
+    members: Optional[Tuple[int, ...]] = None
 
 
 class ExecutionPlan:

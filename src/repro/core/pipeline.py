@@ -277,9 +277,10 @@ class Pipeline:
             self._compiler = PlanCompiler(self._primitives, self._build_token)
         return self._compiler
 
-    def compiled_plan(self, mode: str, exact: bool = True) -> ExecutionPlan:
+    def compiled_plan(self, mode: str, exact: bool = True,
+                      precision: str = None) -> ExecutionPlan:
         """The cached compiled plan for ``mode`` (lowering it on first use)."""
-        return self.compiler.plan(mode, exact=exact)
+        return self.compiler.plan(mode, exact=exact, precision=precision)
 
     @property
     def plan_compilations(self) -> int:
@@ -327,6 +328,7 @@ class Pipeline:
         return anomalies
 
     def detect_batch(self, signals, exact: bool = True, profile: bool = False,
+                     precision: str = None,
                      **context_variables) -> List[List[tuple]]:
         """Detect anomalies in many signals with one batched pipeline pass.
 
@@ -357,6 +359,11 @@ class Pipeline:
                 (``True``) or allow tolerance-parity fused NN forwards
                 (``False``).
             profile: record per-step memory with ``tracemalloc``.
+            precision: ``None`` (default) or ``"float32"`` — opt-in
+                reduced-precision mode: fused chains cast their float64
+                inputs down to single precision, trading a further drop
+                in accuracy (still tolerance-checked by the benchmark)
+                for memory bandwidth. Requires ``exact=False``.
             **context_variables: extra context variables; each value must
                 be a list with one entry per signal.
 
@@ -367,6 +374,16 @@ class Pipeline:
         if not self.fitted:
             raise NotFittedError(
                 f"Pipeline {self.name!r} must be fit before detect_batch"
+            )
+        if precision not in (None, "float32"):
+            raise PipelineError(
+                f"Unknown precision {precision!r}; expected None or "
+                "'float32'"
+            )
+        if precision is not None and exact:
+            raise PipelineError(
+                "precision='float32' is a reduced-precision mode and "
+                "requires exact=False"
             )
         arrays = [np.asarray(data, dtype=float) for data in signals]
         if not arrays:
@@ -381,7 +398,7 @@ class Pipeline:
                     f"entries for {size} signals"
                 )
             context[name] = values
-        plan = self.compiled_plan("batch", exact=exact)
+        plan = self.compiled_plan("batch", exact=exact, precision=precision)
         self.step_timings = {}
         context, self.step_timings = self._executor.run_plan(
             plan, context, fit=False, profile=profile

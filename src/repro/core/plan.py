@@ -26,27 +26,50 @@ a closure by the compiler) and the picklable work unit
 there is exactly one implementation of argument collection, output
 mapping, and mode dispatch for all four modes and all executors.
 
+Batch plans additionally run a **step-fusion pass**: contiguous runs of
+steps whose primitives declare a ``fuse_category`` (elementwise / window /
+forward) lower into a single :class:`FusedStep` work unit — one node that
+executes the whole chain in one pass, threading intermediate ndarrays
+straight from member to member and leasing NN scratch space from the
+plan's :class:`~repro.core.arena.ArenaPool` instead of re-entering the
+executor (and its allocation, dependency and cache machinery) per step.
+Fusion is transparent to all four executors: a ``FusedStep`` is picklable
+like any ``CompiledStep``, and its cache fingerprints combine *every*
+member's fingerprint while its memoized values are the chain-tail
+outputs, so the caching executor's semantics are unchanged. Setting the
+``REPRO_NO_FUSION`` environment variable disables the pass (each step
+lowers to its own node, the pre-fusion behaviour) — the benchmark uses
+this to attribute speedups.
+
 The compiler also owns the plan cache: plans are compiled lazily per
-``(mode, exact)`` key and *refreshed* — not recompiled — when a refit
-replaces the primitive instances (the fingerprints absorb the new build
-token while the node closures keep reading the live primitive through the
-shared ``[step, primitive]`` cell). ``compilations`` counts actual
-lowering passes, which is what the streaming layer's refit-reuse
+``(mode, exact, precision)`` key and *refreshed* — not recompiled — when
+a refit replaces the primitive instances (the fingerprints absorb the new
+build token while the node closures keep reading the live primitive
+through the shared ``[step, primitive]`` cell). ``compilations`` counts
+actual lowering passes, which is what the streaming layer's refit-reuse
 regression test pins.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.arena import ArenaPool
 from repro.core.executor import ExecutionPlan, StepNode
 from repro.exceptions import PipelineError
 
-__all__ = ["PLAN_MODES", "CompiledStep", "PlanCompiler", "collect_args"]
+__all__ = ["PLAN_MODES", "CompiledStep", "FusedStep", "PlanCompiler",
+           "collect_args"]
 
 #: The four execution modes a template lowers into.
 PLAN_MODES = ("fit", "detect", "stream", "batch")
+
+#: ``fuse_category`` values the fusion pass accepts into chains.
+FUSABLE_CATEGORIES = ("elementwise", "window", "forward")
 
 
 def collect_args(context: dict, args, inputs: dict, step: dict) -> dict:
@@ -148,6 +171,104 @@ class CompiledStep:
                 f"step={self.step.get('name')!r}, exact={self.exact})")
 
 
+def _downcast_batch(value):
+    """Cast float64 payloads to float32 for the reduced-precision plane."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == np.float64:
+            return value.astype(np.float32)
+        return value
+    if isinstance(value, list):
+        return [_downcast_batch(entry) for entry in value]
+    return value
+
+
+class FusedStep:
+    """A contiguous chain of batch steps executed as one work unit.
+
+    The fusion pass lowers runs of fusable :class:`CompiledStep`s into one
+    ``FusedStep``: :meth:`run` pushes the batch through every member in a
+    single pass, threading intermediate variables through a chain-local
+    context instead of returning to the executor between steps. The
+    returned updates are the union of every member's mapped outputs, so
+    the post-run context is identical to the unfused plan's — fusion
+    changes scheduling, never results (bitwise on the exact plane).
+
+    Like :class:`CompiledStep` it is simultaneously the in-process step
+    body and the picklable work unit shipped to process-pool workers. The
+    arena is deliberately *not* part of the pickled state: the plan owns
+    it on the parent side (:class:`PlanCompiler` attaches it after
+    construction), and workers lease from a private per-run pool.
+
+    Args:
+        mode: must be ``"batch"`` — the only mode the fusion pass runs on.
+        steps: the member :class:`CompiledStep`s, in chain order.
+        precision: ``None`` or ``"float32"`` — the reduced-precision
+            plane casts every member's float64 ndarray inputs down before
+            the call, keeping the whole chain in single precision.
+    """
+
+    __slots__ = ("mode", "steps", "precision", "arena")
+
+    def __init__(self, mode: str, steps, precision: Optional[str] = None):
+        if mode != "batch":
+            raise PipelineError(
+                f"FusedStep only exists in batch mode, not {mode!r}")
+        self.mode = mode
+        self.steps = list(steps)
+        self.precision = precision
+        self.arena = None
+
+    def __getstate__(self):
+        return (self.mode, self.steps, self.precision)
+
+    def __setstate__(self, state):
+        self.mode, self.steps, self.precision = state
+        self.arena = None
+
+    @property
+    def engine(self) -> str:
+        # The chain's dominant engine: modeling if any member models,
+        # otherwise the first member's engine.
+        engines = [compiled.engine for compiled in self.steps]
+        return "modeling" if "modeling" in engines else engines[0]
+
+    def run(self, context: dict, fit: bool):
+        if fit:
+            raise PipelineError(
+                "batch-mode plans are produce-only; compile a fit-mode "
+                "plan to fit"
+            )
+        arena = self.arena if self.arena is not None else ArenaPool()
+        local = dict(context)
+        updates = {}
+        for compiled in self.steps:
+            primitive = compiled.primitive
+            step = compiled.step
+            kwargs = collect_args(local, primitive.produce_args,
+                                  step.get("inputs", {}), step)
+            if self.precision == "float32":
+                kwargs = {key: _downcast_batch(value)
+                          for key, value in kwargs.items()}
+            if not compiled.exact and primitive.supports_fused_batch:
+                if primitive.fused_accepts_arena:
+                    produced = primitive.produce_batch_fused(
+                        arena=arena, **kwargs)
+                else:
+                    produced = primitive.produce_batch_fused(**kwargs)
+            else:
+                produced = primitive.produce_batch(**kwargs)
+            mapped = compiled._map_outputs(produced)
+            local.update(mapped)
+            updates.update(mapped)
+        return updates, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        names = "+".join(compiled.step.get("name", "?")
+                         for compiled in self.steps)
+        return (f"FusedStep(mode={self.mode!r}, steps={names!r}, "
+                f"precision={self.precision!r})")
+
+
 class PlanCompiler:
     """Lower template steps into mode-tagged execution plans, once.
 
@@ -181,27 +302,58 @@ class PlanCompiler:
             identity["build"] = self.build_token
         return json.dumps(identity, sort_keys=True, default=repr)
 
-    def _fingerprints(self, step: dict, primitive, mode: str,
-                      exact: bool) -> Tuple[str, str]:
-        """``(fingerprint, signal_fingerprint)`` for one node.
+    @staticmethod
+    def _batch_namespace(exact: bool, precision: Optional[str]) -> str:
+        if precision is not None:
+            # Reduced precision changes every value flowing through the
+            # plan, so the whole plan gets its own cache namespace.
+            return f"batch-fused-{precision}:"
+        return "batch:" if exact else "batch-fused:"
+
+    def _fingerprints(self, step: dict, primitive, mode: str, exact: bool,
+                      precision: Optional[str] = None) -> Tuple[str, str]:
+        """``(fingerprint, signal_fingerprint)`` for one single-step node.
 
         fit / detect / stream share the base fingerprint on purpose: a
         step cacheable in fit mode is one whose fitting is a no-op, so a
         fit run warms the cache for subsequent detect runs. Batch plans
-        are namespaced (``batch:`` / ``batch-fused:``) so a whole-batch
-        memo entry can never collide with a single-signal one, and exact
-        batch nodes additionally expose the *single-signal* fingerprint —
-        the handle the caching executor uses to serve and memoize
-        per-signal slices from inside the batch. Fused nodes do not: their
-        outputs are only tolerance-equal to per-signal results, and must
-        never poison (or be served from) the exact per-signal cache.
+        are namespaced (``batch:`` / ``batch-fused:`` /
+        ``batch-fused-float32:``) so a whole-batch memo entry can never
+        collide with a single-signal one, and exact batch nodes
+        additionally expose the *single-signal* fingerprint — the handle
+        the caching executor uses to serve and memoize per-signal slices
+        from inside the batch. Fused-plane and reduced-precision nodes do
+        not: their outputs are only tolerance-equal to per-signal
+        results, and must never poison (or be served from) the exact
+        per-signal cache.
         """
         base = self._base_fingerprint(step, primitive)
         if mode != "batch":
             return base, ""
-        if exact:
-            return "batch:" + base, base
-        return "batch-fused:" + base, ""
+        namespace = self._batch_namespace(exact, precision)
+        if exact and precision is None:
+            return namespace + base, base
+        return namespace + base, ""
+
+    def _chain_fingerprints(self, indices: Tuple[int, ...], exact: bool,
+                            precision: Optional[str]) -> Tuple[str, str]:
+        """``(fingerprint, signal_fingerprint)`` for one fused chain node.
+
+        The fingerprint combines **every** member's base fingerprint, not
+        just the tail's: the memoized *values* are the chain-tail outputs,
+        but keying them on the tail alone would let two pipelines whose
+        chains differ mid-stream (say, different scaler hyperparameters
+        feeding the same NN step) serve each other stale results. On the
+        exact plane the combined string doubles as the per-signal handle,
+        so repeat batches are served slice-by-slice at chain granularity.
+        """
+        bases = [self._base_fingerprint(self.cells[i][0], self.cells[i][1])
+                 for i in indices]
+        combined = json.dumps(bases)
+        namespace = self._batch_namespace(exact, precision)
+        if exact and precision is None:
+            return namespace + combined, combined
+        return namespace + combined, ""
 
     # ------------------------------------------------------------------ #
     # lowering
@@ -231,11 +383,12 @@ class PlanCompiler:
         stateful = bool(primitive.fit_args)
         return lambda fit, stateful=stateful: not (fit and stateful)
 
-    def _lower_node(self, entry: list, mode: str, exact: bool) -> StepNode:
+    def _lower_node(self, entry: list, mode: str, exact: bool,
+                    precision: Optional[str] = None) -> StepNode:
         step, primitive = entry
         reads, writes = self._io_sets(step, primitive)
         fingerprint, signal_fingerprint = self._fingerprints(
-            step, primitive, mode, exact)
+            step, primitive, mode, exact, precision)
 
         def execute(context: dict, fit: bool, entry=entry) -> dict:
             # The primitive is read through the cell at call time, and runs
@@ -264,21 +417,140 @@ class PlanCompiler:
             signal_fingerprint=signal_fingerprint,
         )
 
-    def compile(self, mode: str, exact: bool = True) -> ExecutionPlan:
-        """Lower every step into a fresh mode-tagged :class:`ExecutionPlan`."""
+    # ------------------------------------------------------------------ #
+    # the step-fusion pass (batch mode only)
+    # ------------------------------------------------------------------ #
+    def _fusion_chains(self) -> List[Tuple[int, ...]]:
+        """Contiguous runs (length >= 2) of fusable cells, as index tuples.
+
+        A cell is fusable when its primitive declares one of the
+        :data:`FUSABLE_CATEGORIES`. Single fusable steps between
+        non-fusable neighbours stay plain ``CompiledStep`` nodes — a
+        one-step "chain" has no step boundary to eliminate, and keeping
+        it plain preserves the per-step cache granularity.
+        """
+        chains: List[Tuple[int, ...]] = []
+        run: List[int] = []
+        for index, (_, primitive) in enumerate(self.cells):
+            if primitive.fuse_category in FUSABLE_CATEGORIES:
+                run.append(index)
+                continue
+            if len(run) >= 2:
+                chains.append(tuple(run))
+            run = []
+        if len(run) >= 2:
+            chains.append(tuple(run))
+        return chains
+
+    def _build_fused_step(self, indices: Tuple[int, ...], exact: bool,
+                          precision: Optional[str]) -> FusedStep:
+        return FusedStep(
+            "batch",
+            [CompiledStep("batch", self.cells[i][0], self.cells[i][1], exact)
+             for i in indices],
+            precision=precision,
+        )
+
+    def _lower_fused_node(self, indices: Tuple[int, ...], exact: bool,
+                          precision: Optional[str], arena) -> StepNode:
+        entries = [self.cells[i] for i in indices]
+        # External reads: variables a member consumes that no earlier
+        # member of the same chain produced. Writes keep every member's
+        # outputs (in order) so the post-run context matches the unfused
+        # plan exactly and dependency hazards against neighbouring nodes
+        # are computed on the same variables.
+        internal: set = set()
+        reads: List[str] = []
+        writes: List[str] = []
+        for step, primitive in entries:
+            step_reads, step_writes = self._io_sets(step, primitive)
+            for variable in step_reads:
+                if variable not in internal and variable not in reads:
+                    reads.append(variable)
+            for variable in step_writes:
+                internal.add(variable)
+                if variable not in writes:
+                    writes.append(variable)
+        fingerprint, signal_fingerprint = self._chain_fingerprints(
+            indices, exact, precision)
+
+        def execute(context: dict, fit: bool) -> dict:
+            fused = self._build_fused_step(indices, exact, precision)
+            fused.arena = arena
+            updates, _ = fused.run(context, fit)
+            return updates
+
+        return StepNode(
+            name="fused:" + "+".join(entry[0]["name"] for entry in entries),
+            engine=("modeling" if any(
+                entry[1].engine == "modeling" for entry in entries)
+                else entries[0][1].engine),
+            reads=tuple(sorted(reads)),
+            writes=tuple(writes),
+            execute=execute,
+            fingerprint=fingerprint,
+            cacheable=lambda fit: not fit,
+            payload=(lambda: self._build_fused_step(indices, exact,
+                                                    precision)),
+            absorb=None,
+            mode="batch",
+            signal_fingerprint=signal_fingerprint,
+            members=tuple(indices),
+        )
+
+    def compile(self, mode: str, exact: bool = True,
+                precision: Optional[str] = None) -> ExecutionPlan:
+        """Lower every step into a fresh mode-tagged :class:`ExecutionPlan`.
+
+        Batch-mode plans additionally run the step-fusion pass (unless
+        the ``REPRO_NO_FUSION`` environment variable is set): contiguous
+        fusable chains become single :class:`FusedStep` nodes sharing the
+        plan's :class:`~repro.core.arena.ArenaPool`, exposed on the
+        returned plan as ``plan.arena`` alongside ``plan.fusion_groups``.
+        """
         if mode not in PLAN_MODES:
             raise PipelineError(f"Unknown plan mode {mode!r}; expected one "
                                 f"of {PLAN_MODES}")
         self.compilations += 1
-        return ExecutionPlan([
-            self._lower_node(entry, mode, exact) for entry in self.cells
-        ])
+        fuse = mode == "batch" and not os.environ.get("REPRO_NO_FUSION")
+        chains = self._fusion_chains() if fuse else []
+        arena = ArenaPool() if mode == "batch" else None
+        chain_start = {chain[0]: chain for chain in chains}
+        fused_indices = {index for chain in chains for index in chain}
 
-    def plan(self, mode: str, exact: bool = True) -> ExecutionPlan:
-        """The cached plan for ``(mode, exact)``, compiling it on first use."""
-        key = (mode, bool(exact))
+        nodes: List[StepNode] = []
+        groups: List[dict] = []
+        index = 0
+        while index < len(self.cells):
+            if index in chain_start:
+                chain = chain_start[index]
+                nodes.append(self._lower_fused_node(
+                    chain, exact, precision, arena))
+                groups.append({
+                    "name": nodes[-1].name,
+                    "steps": [self.cells[i][0]["name"] for i in chain],
+                    "categories": [self.cells[i][1].fuse_category
+                                   for i in chain],
+                })
+                index = chain[-1] + 1
+                continue
+            assert index not in fused_indices
+            nodes.append(self._lower_node(
+                self.cells[index], mode, exact, precision))
+            index += 1
+
+        plan = ExecutionPlan(nodes)
+        plan.arena = arena
+        plan.fusion_groups = groups
+        return plan
+
+    def plan(self, mode: str, exact: bool = True,
+             precision: Optional[str] = None) -> ExecutionPlan:
+        """The cached plan for ``(mode, exact, precision)``, compiled lazily."""
+        key = (mode, bool(exact), precision)
         if key not in self._plans:
-            self._plans[key] = self.compile(mode, exact=exact)
+            self._plans[key] = self.compile(mode, exact=exact,
+                                            precision=precision)
         return self._plans[key]
 
     # ------------------------------------------------------------------ #
@@ -290,13 +562,25 @@ class PlanCompiler:
         A refit replaces every cell's primitive in place; the compiled
         node closures keep working (they read through the cell), but the
         fingerprints of stateful steps must absorb the new build token so
-        caching executors never serve the previous fit's outputs. This is
-        the cheap path that makes refits reuse compiled plans instead of
-        lowering them again.
+        caching executors never serve the previous fit's outputs. Fused
+        nodes carry the indices of the cells they cover (``members``), so
+        their combined fingerprints are recomputed from the same cells
+        the chain executes. This is the cheap path that makes refits
+        reuse compiled plans instead of lowering them again.
         """
         if build_token is not None:
             self.build_token = build_token
-        for (mode, exact), plan in self._plans.items():
-            for node, entry in zip(plan.nodes, self.cells):
-                node.fingerprint, node.signal_fingerprint = \
-                    self._fingerprints(entry[0], entry[1], mode, exact)
+        for (mode, exact, precision), plan in self._plans.items():
+            index = 0
+            for node in plan.nodes:
+                if node.members:
+                    node.fingerprint, node.signal_fingerprint = \
+                        self._chain_fingerprints(node.members, exact,
+                                                 precision)
+                    index = node.members[-1] + 1
+                else:
+                    entry = self.cells[index]
+                    node.fingerprint, node.signal_fingerprint = \
+                        self._fingerprints(entry[0], entry[1], mode, exact,
+                                           precision)
+                    index += 1

@@ -74,6 +74,24 @@ class Primitive:
     #: GEMM shape — so they are reachable only through ``exact=False``
     #: batch plans, never through the bitwise-exact plane.
     supports_fused_batch: bool = False
+    #: Step-fusion category consumed by the plan compiler's fusion pass
+    #: (``repro.core.plan``). Contiguous batch-mode steps whose categories
+    #: are all non-``None`` lower into a single
+    #: :class:`~repro.core.plan.FusedStep` executed in one pass:
+    #:
+    #: * ``"elementwise"`` — per-sample transforms (imputers, scalers,
+    #:   error functions, thresholds);
+    #: * ``"window"``      — windowing / aggregation reshapes;
+    #: * ``"forward"``     — model forwards (NN inference, spectral).
+    #:
+    #: ``None`` (the default) keeps the step out of every fused chain —
+    #: the right value for event-assembly postprocessors and for models
+    #: whose per-signal state makes chaining pointless.
+    fuse_category: Optional[str] = None
+    #: Whether :meth:`produce_batch_fused` accepts an ``arena=`` keyword
+    #: (an :class:`~repro.core.arena.ArenaPool`) for scratch buffers. Only
+    #: consulted on the fused batch plane inside fused chains.
+    fused_accepts_arena: bool = False
 
     def __init__(self, **hyperparameters):
         defaults = self.get_default_hyperparameters()
@@ -124,6 +142,7 @@ class Primitive:
             "supports_stream": bool(cls.supports_stream),
             "supports_batch": bool(cls.supports_batch),
             "supports_fused_batch": bool(cls.supports_fused_batch),
+            "fuse_category": cls.fuse_category,
         }
 
     # ------------------------------------------------------------------ #

@@ -117,7 +117,7 @@ class Sintel:
             self._to_array(data), visualization=visualization, **context_variables
         )
 
-    def detect_many(self, signals, exact: bool = True,
+    def detect_many(self, signals, exact: bool = True, precision: str = None,
                     **context_variables) -> List[AnomalyList]:
         """Detect anomalies in many signals with one batched pipeline pass.
 
@@ -128,14 +128,18 @@ class Sintel:
         signals]`` but substantially faster for batches of similar signals.
 
         ``exact=False`` opts into the fused batch plan: NN forwards run as
-        concatenated batched matmuls, trading bitwise parity for
-        tolerance parity and a large speedup on recurrent pipelines (see
-        :meth:`~repro.core.pipeline.Pipeline.detect_batch`).
+        concatenated batched matmuls and contiguous step chains execute
+        as single fused passes over arena buffers, trading bitwise parity
+        for tolerance parity and a large speedup on recurrent pipelines
+        (see :meth:`~repro.core.pipeline.Pipeline.detect_batch`).
+        ``precision="float32"`` (requires ``exact=False``) additionally
+        keeps fused chains in single precision end to end.
         """
         if not self.fitted:
             raise NotFittedError("Sintel.detect_many called before Sintel.fit")
         arrays = [self._to_array(signal) for signal in signals]
         return self._pipeline.detect_batch(arrays, exact=exact,
+                                           precision=precision,
                                            **context_variables)
 
     def fit_detect(self, data, **context_variables) -> AnomalyList:

@@ -90,7 +90,9 @@ class Sigmoid(Activation):
     name = "sigmoid"
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        out = np.empty_like(x, dtype=float)
+        # dtype-preserving: float32 inputs (the fused/reduced-precision
+        # training planes) stay float32 instead of promoting to float64.
+        out = np.empty_like(x)
         positive = x >= 0
         out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
         exp_x = np.exp(x[~positive])

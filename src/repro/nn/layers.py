@@ -9,6 +9,17 @@ The layers follow a small Keras-like contract:
 * ``backward(grad)`` receives the gradient with respect to the layer output,
   accumulates parameter gradients into ``self.grads`` and returns the
   gradient with respect to the layer input.
+
+Layers additionally expose a **time-major** fused-inference plane used by
+the step-fusion compiler pass: ``fused_forward_tm(x, take)`` operates on
+arrays laid out ``(timesteps, features, batch)`` for sequences and
+``(features, batch)`` for flat activations, leasing scratch buffers from
+an arena through ``take(shape, dtype)``. The transposed layout makes the
+recurrent hot loops contiguous (gate blocks become contiguous row bands,
+per-step GEMMs fold the input projection, recurrent matmul and bias into
+one ``matmul``), which is where the fused plane's speedup comes from.
+Layers flag support with ``supports_time_major``; ``Sequential`` falls
+back to the batch-major ``fused_forward`` plane when any layer opts out.
 """
 
 from __future__ import annotations
@@ -36,6 +47,11 @@ _layer_counter = itertools.count()
 
 class Layer:
     """Base class for all layers."""
+
+    #: Whether this layer implements :meth:`fused_forward_tm`, the
+    #: time-major fused-inference kernel. ``Sequential`` only takes the
+    #: transposed fast path when every layer in the stack supports it.
+    supports_time_major = False
 
     def __init__(self, name: str = None):
         self.name = name or f"{self.__class__.__name__.lower()}_{next(_layer_counter)}"
@@ -73,6 +89,18 @@ class Layer:
         """
         return self.forward(x, training=False)
 
+    def fused_forward_tm(self, x: np.ndarray, take) -> np.ndarray:
+        """Time-major fused inference: ``x`` is ``(T, F, N)`` or ``(F, N)``.
+
+        ``take(shape, dtype)`` leases scratch/output buffers from the
+        executing plan's arena (or plain ``np.empty`` when no arena is
+        attached). Returned arrays may alias leased buffers — the caller
+        copies escaping results out of the arena scope. Only layers with
+        ``supports_time_major`` implement this.
+        """
+        raise NotImplementedError(
+            f"{self.__class__.__name__} has no time-major kernel")
+
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
@@ -108,6 +136,8 @@ class Layer:
 class Dense(Layer):
     """Fully-connected layer applied to the last axis of the input."""
 
+    supports_time_major = True
+
     def __init__(self, units: int, activation=None, kernel_initializer="glorot_uniform",
                  name: str = None):
         super().__init__(name)
@@ -141,6 +171,20 @@ class Dense(Layer):
             + self.params["b"].astype(x.dtype, copy=False)
         return self.activation.forward(z)
 
+    def fused_forward_tm(self, x, take):
+        dtype = x.dtype
+        weights = self.params["W"].astype(dtype, copy=False)
+        bias = self.params["b"].astype(dtype, copy=False)
+        if x.ndim == 2:  # (F, N) -> (units, N)
+            out = take((self.units, x.shape[1]), dtype)
+            np.matmul(weights.T, x, out=out)
+            out += bias[:, None]
+        else:  # (T, F, N) -> (T, units, N): one batched GEMM per timestep
+            out = take((x.shape[0], self.units, x.shape[2]), dtype)
+            np.matmul(weights.T[None], x, out=out)
+            out += bias[None, :, None]
+        return self.activation.forward(out)
+
     def backward(self, grad):
         x, out = self._cache
         grad = self.activation.backward(out, grad)
@@ -154,6 +198,8 @@ class Dense(Layer):
 
 class Dropout(Layer):
     """Inverted dropout: active only during training."""
+
+    supports_time_major = True
 
     def __init__(self, rate: float, name: str = None, seed: int = None):
         super().__init__(name)
@@ -172,10 +218,16 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # astype keeps reduced-precision training in the input's dtype
+        # (float64 masks are returned unchanged).
+        self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(
+            x.dtype, copy=False)
         return x * self._mask
 
     def fused_forward(self, x):
+        return x  # inference: dropout is the identity
+
+    def fused_forward_tm(self, x, take):
         return x  # inference: dropout is the identity
 
     def backward(self, grad):
@@ -186,6 +238,8 @@ class Dropout(Layer):
 
 class Flatten(Layer):
     """Flatten every axis but the batch axis."""
+
+    supports_time_major = True
 
     def __init__(self, name: str = None):
         super().__init__(name)
@@ -198,12 +252,20 @@ class Flatten(Layer):
         self._input_full_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
+    def fused_forward_tm(self, x, take):
+        # (T, C, N) -> (T*C, N): with the batch axis last, flattening the
+        # leading axes is a plain reshape that preserves the same
+        # feature order as the batch-major ``reshape(N, -1)``.
+        return np.ascontiguousarray(x).reshape(-1, x.shape[-1])
+
     def backward(self, grad):
         return grad.reshape(self._input_full_shape)
 
 
 class Reshape(Layer):
     """Reshape the non-batch axes to ``target_shape``."""
+
+    supports_time_major = True
 
     def __init__(self, target_shape, name: str = None):
         super().__init__(name)
@@ -224,12 +286,19 @@ class Reshape(Layer):
         self._input_full_shape = x.shape
         return x.reshape((x.shape[0],) + self.target_shape)
 
+    def fused_forward_tm(self, x, take):
+        # Batch axis last: the non-batch axes are the leading ones.
+        return np.ascontiguousarray(x).reshape(
+            self.target_shape + (x.shape[-1],))
+
     def backward(self, grad):
         return grad.reshape(self._input_full_shape)
 
 
 class RepeatVector(Layer):
     """Repeat a 2D input ``n`` times along a new time axis."""
+
+    supports_time_major = True
 
     def __init__(self, n: int, name: str = None):
         super().__init__(name)
@@ -242,6 +311,11 @@ class RepeatVector(Layer):
 
     def forward(self, x, training=False):
         return np.repeat(x[:, np.newaxis, :], self.n, axis=1)
+
+    def fused_forward_tm(self, x, take):
+        # (F, N) -> (n, F, N) as a zero-copy broadcast view; downstream
+        # time loops read per-step slices, which all alias the input.
+        return np.broadcast_to(x, (self.n,) + x.shape)
 
     def backward(self, grad):
         return grad.sum(axis=1)
@@ -258,6 +332,10 @@ class TimeDistributed(Layer):
     def __init__(self, layer: Layer, name: str = None):
         super().__init__(name)
         self.layer = layer
+        # Instance-level: the wrapper is only time-major-able when the
+        # wrapped layer is.
+        self.supports_time_major = bool(
+            getattr(layer, "supports_time_major", False))
 
     def build(self, input_shape, rng):
         self.layer.build(input_shape[1:], rng)
@@ -279,6 +357,9 @@ class TimeDistributed(Layer):
     def fused_forward(self, x):
         return self.layer.fused_forward(x)
 
+    def fused_forward_tm(self, x, take):
+        return self.layer.fused_forward_tm(x, take)
+
     def backward(self, grad):
         out = self.layer.backward(grad)
         self.grads = self.layer.grads
@@ -291,6 +372,8 @@ class LSTM(Layer):
     Parameters follow the standard formulation with a single stacked kernel
     for the four gates in the order input, forget, cell, output.
     """
+
+    supports_time_major = True
 
     def __init__(self, units: int, return_sequences: bool = False,
                  kernel_initializer="glorot_uniform",
@@ -333,10 +416,12 @@ class LSTM(Layer):
         units = self.units
         weights, recurrent, bias = self.params["W"], self.params["U"], self.params["b"]
 
-        h_prev = np.zeros((batch, units))
-        c_prev = np.zeros((batch, units))
+        # State dtype follows the input so reduced-precision training
+        # (float32 params + inputs) does not silently promote to float64.
+        h_prev = np.zeros((batch, units), dtype=x.dtype)
+        c_prev = np.zeros((batch, units), dtype=x.dtype)
         cache = []
-        outputs = np.zeros((batch, timesteps, units))
+        outputs = np.zeros((batch, timesteps, units), dtype=x.dtype)
 
         for t in range(timesteps):
             x_t = x[:, t, :]
@@ -404,6 +489,84 @@ class LSTM(Layer):
                 outputs[:, t, :] = h
         return outputs if outputs is not None else h
 
+    def _step_matrix(self, dtype):
+        """Augmented, gate-permuted step matrix of the time-major kernel.
+
+        One GEMM per timestep computes ``z = M @ [h; x_t; 1]``, folding
+        the recurrent matmul, the input projection and the bias into a
+        single contraction. The gate rows are permuted from the stored
+        ``[i, f, g, o]`` order to ``[i, f, o, g]`` so the three
+        sigmoid-activated gates form one contiguous row band and the
+        tanh-activated candidate the other — each transcendental then
+        runs once over contiguous memory.
+        """
+        units = self.units
+        perm = np.concatenate([
+            np.arange(0, 2 * units),          # i, f
+            np.arange(3 * units, 4 * units),  # o
+            np.arange(2 * units, 3 * units),  # g
+        ])
+        stacked = np.concatenate(
+            [self.params["U"].T, self.params["W"].T,
+             self.params["b"][:, np.newaxis]], axis=1)
+        return np.ascontiguousarray(stacked[perm].astype(dtype, copy=False))
+
+    @staticmethod
+    def _sigmoid_inplace(a):
+        # sig(z) = (tanh(z / 2) + 1) / 2 — one transcendental plus three
+        # cheap in-place passes; matches the exp form to ~1e-7, inside
+        # the fused plane's tolerance contract.
+        np.multiply(a, 0.5, out=a)
+        np.tanh(a, out=a)
+        np.add(a, 1.0, out=a)
+        np.multiply(a, 0.5, out=a)
+
+    def fused_forward_tm(self, x, take):
+        """Time-major recurrent inference: ``(T, F, N) -> (T, U, N)``.
+
+        The hidden state lives inside the GEMM's right-hand-side buffer
+        ``[h; x_t; 1]``, so each step is: copy ``x_t`` into the RHS, one
+        ``matmul`` into the gate buffer, two in-place transcendentals
+        over contiguous row bands, and in-place state updates. All
+        scratch comes from the arena via ``take``.
+        """
+        dtype = x.dtype
+        units = self.units
+        timesteps, features, n = x.shape
+        step_matrix = self._step_matrix(dtype)
+
+        rhs = take((units + features + 1, n), dtype)
+        gates = take((4 * units, n), dtype)
+        cell = take((units, n), dtype)
+        scratch = take((units, n), dtype)
+
+        hidden = rhs[:units]
+        hidden.fill(0.0)
+        cell.fill(0.0)
+        rhs[units + features].fill(1.0)
+
+        sig_band = gates[:3 * units].reshape(-1)
+        gate_i = gates[:units]
+        gate_f = gates[units:2 * units]
+        gate_o = gates[2 * units:3 * units]
+        gate_g = gates[3 * units:]
+        outputs = (take((timesteps, units, n), dtype)
+                   if self.return_sequences else None)
+
+        for t in range(timesteps):
+            rhs[units:units + features] = x[t]
+            np.matmul(step_matrix, rhs, out=gates)
+            self._sigmoid_inplace(sig_band)
+            np.tanh(gate_g, out=gate_g)
+            np.multiply(cell, gate_f, out=cell)
+            np.multiply(gate_i, gate_g, out=scratch)
+            np.add(cell, scratch, out=cell)
+            np.tanh(cell, out=scratch)
+            np.multiply(gate_o, scratch, out=hidden)
+            if outputs is not None:
+                outputs[t] = hidden
+        return outputs if outputs is not None else hidden
+
     def backward(self, grad):
         x_shape, cache = self._cache
         batch, timesteps, features = x_shape
@@ -413,12 +576,12 @@ class LSTM(Layer):
         if self.return_sequences:
             grad_seq = grad
         else:
-            grad_seq = np.zeros((batch, timesteps, units))
+            grad_seq = np.zeros((batch, timesteps, units), dtype=grad.dtype)
             grad_seq[:, -1, :] = grad
 
-        dx = np.zeros(x_shape)
-        dh_next = np.zeros((batch, units))
-        dc_next = np.zeros((batch, units))
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        dh_next = np.zeros((batch, units), dtype=grad.dtype)
+        dc_next = np.zeros((batch, units), dtype=grad.dtype)
         dW = np.zeros_like(self.grads["W"])
         dU = np.zeros_like(self.grads["U"])
         db = np.zeros_like(self.grads["b"])

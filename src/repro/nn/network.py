@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.nn.callbacks import History
@@ -114,8 +116,8 @@ class Sequential:
         Returns:
             A :class:`History` callback with per-epoch metrics.
         """
-        x = np.asarray(x, dtype=float)
-        y = np.asarray(y, dtype=float)
+        x = _as_training_array(x)
+        y = _as_training_array(y)
         if len(x) != len(y):
             raise ValueError("x and y must contain the same number of samples")
         if not self.layers:
@@ -170,38 +172,108 @@ class Sequential:
 
         return history
 
-    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
-        """Run inference in batches and return the stacked predictions."""
+    def predict(self, x: np.ndarray, batch_size: int = None) -> np.ndarray:
+        """Run inference and return the stacked predictions.
+
+        ``batch_size=None`` (the default) runs one full forward pass over
+        every sample — the plan-driven batch size: callers that already
+        hold a batch sized by the execution plan should not pay per-chunk
+        overhead on top. Passing an integer restores chunked inference
+        for memory-bound workloads.
+        """
         x = np.asarray(x, dtype=float)
         if not self.built:
             self.build(x.shape[1:])
+        if len(x) == 0:
+            shape = self.layers[-1].output_shape if self.layers else ()
+            return np.zeros((0,) + tuple(shape))
+        if batch_size is None:
+            return self.forward(x, training=False)
         outputs = []
         for start in range(0, len(x), batch_size):
             outputs.append(self.forward(x[start:start + batch_size], training=False))
-        if not outputs:
-            shape = self.layers[-1].output_shape if self.layers else ()
-            return np.zeros((0,) + tuple(shape))
         return np.concatenate(outputs, axis=0)
 
-    def predict_fused(self, x: np.ndarray) -> np.ndarray:
+    def predict_fused(self, x: np.ndarray, arena=None) -> np.ndarray:
         """Single-precision, cache-free inference over the whole batch.
 
         The fused batch plane's forward: the input is cast to ``float32``
-        and pushed through every layer's :meth:`~repro.nn.layers.Layer.
-        fused_forward` in one pass (no 256-row chunking, no backward
-        caches, recurrent input projections hoisted into single GEMMs).
-        The result is cast back to ``float64`` for downstream numerics but
-        is only tolerance-equal to :meth:`predict` — reduced precision and
-        changed summation order are the price of the speedup, which is why
-        only ``exact=False`` batch plans reach this path.
+        and, when every layer supports it, pushed through the stack in
+        **time-major** layout — one transpose in, one transpose out, with
+        each recurrent step folded into a single GEMM over arena-leased
+        scratch buffers (see ``Layer.fused_forward_tm``). Stacks with a
+        layer that lacks a time-major kernel fall back to the batch-major
+        per-layer ``fused_forward`` plane. The result is cast back to
+        ``float64`` for downstream numerics but is only tolerance-equal
+        to :meth:`predict` — reduced precision and changed summation
+        order are the price of the speedup, which is why only
+        ``exact=False`` batch plans reach this path.
+
+        Args:
+            x: input samples, batch axis first.
+            arena: optional :class:`~repro.core.arena.ArenaPool` whose
+                buffers back the time-major scratch space; without one,
+                scratch is freshly allocated per call.
         """
         x = np.asarray(x, dtype=np.float32)
         if not self.built:
             self.build(x.shape[1:])
+        time_major = (
+            len(x) > 0
+            and all(getattr(layer, "supports_time_major", False)
+                    for layer in self.layers)
+            and not os.environ.get("REPRO_FUSED_LEGACY")
+        )
+        if time_major:
+            if arena is not None:
+                with arena.scope() as take:
+                    return self._forward_time_major(x, take)
+            return self._forward_time_major(
+                x, lambda shape, dtype: np.empty(shape, dtype))
         out = x
         for layer in self.layers:
             out = layer.fused_forward(out)
         return np.asarray(out, dtype=float)
+
+    def _forward_time_major(self, x, take):
+        """Run the stack in ``(T, F, N)`` / ``(F, N)`` layout.
+
+        The final cast back to float64 always copies, so no arena-leased
+        buffer escapes the caller's scope.
+        """
+        if x.ndim >= 3:
+            out = np.ascontiguousarray(np.moveaxis(x, 0, -1))
+        else:
+            out = np.ascontiguousarray(x.T)
+        for layer in self.layers:
+            out = layer.fused_forward_tm(out, take)
+        return np.asarray(np.moveaxis(out, -1, 0), dtype=np.float64)
+
+    def fit_fused(self, x: np.ndarray, y: np.ndarray, **fit_kwargs):
+        """Reduced-precision training: the standard fit loop in float32.
+
+        Parameters are cast to float32 for the duration of training — so
+        every batched forward, backward and optimizer update (moments
+        included, via ``zeros_like``) runs in single precision — and cast
+        back to float64 afterwards for the exact inference planes.
+        Accepts the same keyword arguments as :meth:`fit` and returns its
+        :class:`~repro.nn.callbacks.History`.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        y = np.asarray(y, dtype=np.float32)
+        if not self.built:
+            self.build(x.shape[1:])
+        self._cast_params(np.float32)
+        try:
+            return self.fit(x, y, **fit_kwargs)
+        finally:
+            self._cast_params(np.float64)
+
+    def _cast_params(self, dtype) -> None:
+        for layer in self.layers:
+            for key in layer.params:
+                layer.params[key] = layer.params[key].astype(dtype)
+            layer.zero_grads()
 
     def get_weights(self):
         """Return a list with each layer's parameter dictionary."""
@@ -226,6 +298,19 @@ class Sequential:
         lines.append("-" * len(lines[0]))
         lines.append(f"Total params: {self.parameter_count}")
         return "\n".join(lines)
+
+
+def _as_training_array(a):
+    """float64 by default; float32 passes through untouched.
+
+    :meth:`Sequential.fit_fused` feeds float32 arrays — promoting them
+    back to float64 here would silently undo the reduced-precision mode.
+    Every other dtype keeps the historical float64 cast.
+    """
+    a = np.asarray(a)
+    if a.dtype == np.float32:
+        return a
+    return np.asarray(a, dtype=float)
 
 
 def _split_validation(x, y, validation_split):

@@ -44,7 +44,9 @@ class _WindowAutoencoder(Primitive):
         self._model = self._build(X.shape[1:])
         callbacks = [EarlyStopping(monitor="val_loss", patience=int(self.patience))]
         target = X if self._reconstruct_3d else X.reshape(len(X), -1)
-        self._model.fit(
+        trainer = self._model.fit_fused if bool(self.fused_training) \
+            else self._model.fit
+        trainer(
             X, target,
             epochs=int(self.epochs),
             batch_size=int(self.batch_size),
@@ -54,6 +56,8 @@ class _WindowAutoencoder(Primitive):
         )
 
     supports_fused_batch = True
+    fuse_category = "forward"
+    fused_accepts_arena = True
 
     def produce(self, X):
         if self._model is None:
@@ -65,14 +69,16 @@ class _WindowAutoencoder(Primitive):
         reconstruction = reconstruction.reshape((len(X),) + self._window_shape)
         return {"y_hat": reconstruction}
 
-    def produce_batch_fused(self, X):
+    def produce_batch_fused(self, X, arena=None):
         """One concatenated reconstruction pass over the whole batch.
 
         The ``exact=False`` batch contract: every signal's windows are
         stacked into a single array and reconstructed in one network
         forward (one recurrent time-step loop / one set of dense matmuls
         for the entire batch). Results are tolerance-equal, not bitwise,
-        to the per-signal loop.
+        to the per-signal loop. Inside a fused chain the plan's arena
+        supplies the forward's scratch buffers, so repeat batches
+        allocate nothing.
         """
         if self._model is None:
             raise NotFittedError(f"{self.name} must be fit before produce")
@@ -84,7 +90,8 @@ class _WindowAutoencoder(Primitive):
             arrays.append(x)
         if not arrays:
             return {"y_hat": []}
-        fused = self._model.predict_fused(np.concatenate(arrays, axis=0))
+        fused = self._model.predict_fused(np.concatenate(arrays, axis=0),
+                                          arena=arena)
         fused = fused.reshape((len(fused),) + self._window_shape)
         splits = np.cumsum([len(array) for array in arrays])[:-1]
         return {"y_hat": np.split(fused, splits, axis=0)}
@@ -107,6 +114,7 @@ class LSTMAutoencoder(_WindowAutoencoder):
         "verbose": False,
         "random_state": 0,
         "patience": 5,
+        "fused_training": False,
     }
     tunable_hyperparameters = {
         "lstm_units": {"type": "int", "default": 24, "range": [8, 128]},
@@ -144,6 +152,7 @@ class DenseAutoencoder(_WindowAutoencoder):
         "verbose": False,
         "random_state": 0,
         "patience": 5,
+        "fused_training": False,
     }
     tunable_hyperparameters = {
         "hidden_units": {"type": "int", "default": 64, "range": [16, 256]},

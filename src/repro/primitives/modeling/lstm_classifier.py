@@ -31,6 +31,7 @@ class LSTMTimeSeriesClassifier(Primitive):
         "verbose": False,
         "random_state": 0,
         "patience": 5,
+        "fused_training": False,
     }
     tunable_hyperparameters = {
         "lstm_units": {"type": "int", "default": 24, "range": [8, 128]},
@@ -59,7 +60,8 @@ class LSTMTimeSeriesClassifier(Primitive):
         model.build(X.shape[1:])
 
         callbacks = [EarlyStopping(monitor="val_loss", patience=int(self.patience))]
-        model.fit(
+        trainer = model.fit_fused if bool(self.fused_training) else model.fit
+        trainer(
             X, y,
             epochs=int(self.epochs),
             batch_size=int(self.batch_size),
@@ -69,6 +71,10 @@ class LSTMTimeSeriesClassifier(Primitive):
         )
         self._model = model
 
+    supports_fused_batch = True
+    fuse_category = "forward"
+    fused_accepts_arena = True
+
     def produce(self, X):
         if self._model is None:
             raise NotFittedError("LSTMTimeSeriesClassifier must be fit before produce")
@@ -76,3 +82,28 @@ class LSTMTimeSeriesClassifier(Primitive):
         if X.ndim == 2:
             X = X[..., np.newaxis]
         return {"y_hat": self._model.predict(X).ravel()}
+
+    def produce_batch_fused(self, X, arena=None):
+        """Score every signal's windows in one concatenated forward pass.
+
+        The ``exact=False`` batch contract: all signals' trailing windows
+        are stacked into a single array and scored in one network forward
+        (one recurrent time-step loop for the whole batch). Results are
+        tolerance-equal, not bitwise, to the per-signal loop. Inside a
+        fused chain the plan's arena supplies the forward's scratch
+        buffers, so repeat batches allocate nothing.
+        """
+        if self._model is None:
+            raise NotFittedError("LSTMTimeSeriesClassifier must be fit before produce")
+        arrays = []
+        for x in X:
+            x = np.asarray(x, dtype=float)
+            if x.ndim == 2:
+                x = x[..., np.newaxis]
+            arrays.append(x)
+        if not arrays:
+            return {"y_hat": []}
+        fused = self._model.predict_fused(np.concatenate(arrays, axis=0),
+                                          arena=arena).ravel()
+        splits = np.cumsum([len(array) for array in arrays])[:-1]
+        return {"y_hat": np.split(fused, splits)}

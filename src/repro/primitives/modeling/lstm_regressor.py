@@ -32,6 +32,7 @@ class LSTMTimeSeriesRegressor(Primitive):
         "verbose": False,
         "random_state": 0,
         "patience": 5,
+        "fused_training": False,
     }
     tunable_hyperparameters = {
         "lstm_units": {"type": "int", "default": 32, "range": [8, 128]},
@@ -65,7 +66,9 @@ class LSTMTimeSeriesRegressor(Primitive):
             y = y.reshape(-1, 1)
         self._model = self._build(X.shape[1:], y.shape[1])
         callbacks = [EarlyStopping(monitor="val_loss", patience=int(self.patience))]
-        self._model.fit(
+        trainer = self._model.fit_fused if bool(self.fused_training) \
+            else self._model.fit
+        trainer(
             X, y,
             epochs=int(self.epochs),
             batch_size=int(self.batch_size),
@@ -75,6 +78,8 @@ class LSTMTimeSeriesRegressor(Primitive):
         )
 
     supports_fused_batch = True
+    fuse_category = "forward"
+    fused_accepts_arena = True
 
     def produce(self, X):
         if self._model is None:
@@ -82,7 +87,7 @@ class LSTMTimeSeriesRegressor(Primitive):
         X = np.asarray(X, dtype=float)
         return {"y_hat": self._model.predict(X)}
 
-    def produce_batch_fused(self, X):
+    def produce_batch_fused(self, X, arena=None):
         """One concatenated forward pass over every signal's windows.
 
         The ``exact=False`` batch contract: all signals' rolling windows
@@ -91,12 +96,15 @@ class LSTMTimeSeriesRegressor(Primitive):
         time-step loop runs once for the whole batch instead of once per
         signal/chunk, and every per-step matmul covers the full batch.
         Results are tolerance-equal (not bitwise) to the per-signal loop.
+        Inside a fused chain the plan's arena supplies the forward's
+        scratch buffers, so repeat batches allocate nothing.
         """
         if self._model is None:
             raise NotFittedError("LSTMTimeSeriesRegressor must be fit before produce")
         arrays = [np.asarray(x, dtype=float) for x in X]
         if not arrays:
             return {"y_hat": []}
-        fused = self._model.predict_fused(np.concatenate(arrays, axis=0))
+        fused = self._model.predict_fused(np.concatenate(arrays, axis=0),
+                                          arena=arena)
         splits = np.cumsum([len(array) for array in arrays])[:-1]
         return {"y_hat": np.split(fused, splits, axis=0)}

@@ -35,6 +35,7 @@ class SpectralResidual(Primitive):
         "score_window": {"type": "int", "default": 21, "range": [3, 100]},
     }
     supports_batch = True
+    fuse_category = "forward"
 
     def produce(self, X, index):
         X = np.asarray(X, dtype=float)

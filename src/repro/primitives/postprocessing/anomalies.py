@@ -222,6 +222,7 @@ class FixedThreshold(Primitive):
     }
     supports_stream = True
     supports_batch = True
+    fuse_category = "elementwise"
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)

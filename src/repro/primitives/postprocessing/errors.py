@@ -46,6 +46,7 @@ class RegressionErrors(Primitive):
         "smoothing_window": {"type": "int", "default": 10, "range": [1, 200]},
     }
     supports_batch = True
+    fuse_category = "elementwise"
 
     def produce(self, y, y_hat):
         y = np.asarray(y, dtype=float)
@@ -101,6 +102,7 @@ class ReconstructionErrors(Primitive):
         "smoothing_window": {"type": "int", "default": 10, "range": [1, 200]},
     }
     supports_batch = True
+    fuse_category = "elementwise"
 
     def produce(self, y, y_hat, index):
         y = np.asarray(y, dtype=float)

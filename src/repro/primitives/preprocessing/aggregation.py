@@ -30,6 +30,7 @@ class TimeSegmentsAggregate(Primitive):
     fixed_hyperparameters = {"interval": None, "method": "mean"}
     tunable_hyperparameters = {}
     supports_batch = True
+    fuse_category = "window"
 
     _METHODS = {
         "mean": np.nanmean,

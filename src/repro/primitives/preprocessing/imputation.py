@@ -31,6 +31,7 @@ class SimpleImputer(Primitive):
     fixed_hyperparameters = {"strategy": "mean", "fill_value": 0.0}
     tunable_hyperparameters = {}
     supports_batch = True
+    fuse_category = "elementwise"
 
     _STRATEGIES = ("mean", "median", "constant")
 

@@ -32,6 +32,7 @@ class MinMaxScaler(Primitive):
     tunable_hyperparameters = {}
     supports_stream = True
     supports_batch = True
+    fuse_category = "elementwise"
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)
@@ -115,6 +116,7 @@ class StandardScaler(Primitive):
     tunable_hyperparameters = {}
     supports_stream = True
     supports_batch = True
+    fuse_category = "elementwise"
 
     def __init__(self, **hyperparameters):
         super().__init__(**hyperparameters)

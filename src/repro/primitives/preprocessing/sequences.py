@@ -53,6 +53,7 @@ class RollingWindowSequences(Primitive):
         "target_size": {"type": "int", "default": 1, "range": [1, 10]},
     }
     supports_batch = True
+    fuse_category = "window"
 
     def produce(self, X, index):
         X = np.asarray(X, dtype=float)
@@ -145,6 +146,7 @@ class CutoffWindowSequences(Primitive):
         "window_size": {"type": "int", "default": 50, "range": [10, 300]},
     }
     supports_batch = True
+    fuse_category = "window"
 
     def produce(self, X, index):
         X = np.asarray(X, dtype=float)

@@ -98,18 +98,39 @@ class TestCompiledStep:
 class TestModeLowering:
     @pytest.mark.parametrize("mode,exact", ALL_MODE_PLANS)
     def test_every_mode_lowers_every_step(self, fitted_pipeline, mode, exact):
+        # Batch plans run the fusion pass, so a node may cover a whole
+        # chain of steps (named ``fused:<a+b+...>``); every step must
+        # still be covered exactly once, in order.
         plan = fitted_pipeline.compiled_plan(mode, exact=exact)
-        assert [node.name for node in plan] == [
-            step["name"] for step in fitted_pipeline.steps]
+        covered = []
+        for node in plan:
+            if node.name.startswith("fused:"):
+                covered.extend(node.name[len("fused:"):].split("+"))
+            else:
+                covered.append(node.name)
+        assert covered == [step["name"] for step in fitted_pipeline.steps]
         for node in plan:
             assert node.mode == mode
             assert node.payload is not None
 
-    def test_modes_share_dependency_structure(self, fitted_pipeline):
+    def test_modes_share_dependency_structure(self, fitted_pipeline,
+                                              monkeypatch):
+        # With fusion disabled every mode lowers 1:1, so the dependency
+        # structure must be identical across all of them. The fused batch
+        # plan merges chain members into one node but must still write
+        # the same set of context variables.
+        monkeypatch.setenv("REPRO_NO_FUSION", "1")
         reference = fitted_pipeline.compiled_plan("detect").dependencies
         for mode, exact in ALL_MODE_PLANS:
             assert fitted_pipeline.compiled_plan(
                 mode, exact=exact).dependencies == reference
+
+    def test_fused_plan_writes_the_same_variables(self, fitted_pipeline):
+        unfused = fitted_pipeline.compiled_plan("detect")
+        fused = fitted_pipeline.compiled_plan("batch", exact=True)
+        assert len(fused.nodes) < len(unfused.nodes)
+        assert {var for node in fused for var in node.writes} == {
+            var for node in unfused for var in node.writes}
 
     def test_fit_and_detect_share_fingerprints(self, fitted_pipeline):
         # Deliberate: a step cacheable in fit mode is one whose fit is a
@@ -119,7 +140,9 @@ class TestModeLowering:
         for fit_node, detect_node in zip(fit_plan, detect_plan):
             assert fit_node.fingerprint == detect_node.fingerprint
 
-    def test_batch_fingerprints_are_namespaced(self, fitted_pipeline):
+    def test_batch_fingerprints_are_namespaced(self, fitted_pipeline,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FUSION", "1")
         detect = fitted_pipeline.compiled_plan("detect")
         exact = fitted_pipeline.compiled_plan("batch", exact=True)
         fused = fitted_pipeline.compiled_plan("batch", exact=False)
