@@ -1,0 +1,73 @@
+"""E10 — Distributed fleet: aggregate throughput vs worker count.
+
+``benchmark_distributed`` runs one deterministic job list three ways —
+serially (the trusted baseline), then through ``executor="distributed"``
+with 1 and 2 stateless ``python -m repro.worker`` processes draining a
+shared durable queue — and records aggregate throughput (jobs per second
+of wall time) against fleet size.
+
+The hard CI gate is **parity**, not speed: every fleet run must produce
+a quality view (metrics, detection counts, status — everything except
+per-run timings) bitwise equal to the serial baseline's. On the
+single-core CI runner the workers multiplex one CPU and pay queue plus
+subprocess-spawn overhead, so fleet wall time *exceeds* serial there;
+the committed JSON records the measured numbers honestly and the scaling
+claim (linear throughput with worker count) is only meaningful on
+multi-core hosts. The speedup floor below is therefore deliberately
+absent — parity and completion are what CI verifies.
+"""
+
+import json
+
+from bench_utils import FAST_PIPELINE_OPTIONS, SCALE, write_output
+
+from repro.benchmark import benchmark_distributed
+
+WORKER_COUNTS = (1, 2)
+
+
+def _render(outcome):
+    records = outcome["records"]
+    summary = outcome["summary"]
+    lines = [
+        f"E10 - Distributed fleet throughput ({summary['n_jobs']} jobs)",
+        f"{'executor':<14} {'workers':>7} {'wall':>9} {'jobs/s':>8} "
+        f"{'speedup':>8} {'parity':>7}",
+    ]
+    for record in records:
+        speedup = (f"{record['speedup']:>7.2f}x"
+                   if "speedup" in record else f"{'-':>8}")
+        lines.append(
+            f"{record['executor']:<14} {record['workers']:>7} "
+            f"{record['wall_time']:>8.2f}s {record['throughput']:>8.2f} "
+            f"{speedup} {str(record['parity']):>7}"
+        )
+    lines.append(
+        f"parity_all={summary['parity_all']} "
+        f"serial={summary['serial_throughput']:.2f} jobs/s"
+    )
+    return lines
+
+
+def test_distributed_throughput_and_parity():
+    outcome = benchmark_distributed(
+        worker_counts=WORKER_COUNTS,
+        pipelines=["azure", "arima"],
+        datasets=["NAB"],
+        scale=SCALE,
+        max_signals=2,
+        pipeline_options=FAST_PIPELINE_OPTIONS,
+    )
+    records = outcome["records"]
+    summary = outcome["summary"]
+
+    # Every configuration ran the full job list, and every fleet run is
+    # bitwise-identical to the serial baseline — the CI gate.
+    assert summary["n_jobs"] == 4
+    assert all(record["n_jobs"] == summary["n_jobs"] for record in records)
+    assert summary["parity_all"] is True
+    assert all(record["throughput"] > 0 for record in records)
+    assert set(summary["speedups"]) == {str(n) for n in WORKER_COUNTS}
+
+    write_output("distributed_throughput.txt", "\n".join(_render(outcome)))
+    write_output("BENCH_distributed.json", json.dumps(outcome, indent=2))

@@ -8,8 +8,10 @@ has finished, its result.
 
 Jobs themselves may fan further out: a detect job's ``executor`` and a
 benchmark job's ``executor`` / ``pipeline_executor`` accept any registered
-executor name — including ``"process"``, which schedules the work across a
-multiprocessing pool — and benchmark jobs take ``shard_index`` /
+executor name — ``"process"`` schedules the work across a multiprocessing
+pool, ``"distributed"`` enqueues it into a durable work queue served by
+stateless ``python -m repro.worker`` processes (benchmark jobs then also
+honour ``queue_path``) — and benchmark jobs take ``shard_index`` /
 ``shard_count`` / ``checkpoint_dir`` / ``resume`` for sharded, resumable
 sweeps (see :mod:`repro.benchmark.runner`).
 

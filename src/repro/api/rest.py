@@ -448,7 +448,8 @@ class SintelAPI:
             for key in ("pipelines", "datasets", "method", "scale",
                         "max_signals", "pipeline_options", "workers",
                         "executor", "pipeline_executor", "shard_index",
-                        "shard_count", "checkpoint_dir", "resume")
+                        "shard_count", "checkpoint_dir", "resume",
+                        "queue_path")
             if key in body
         }
         options.setdefault("profile_memory", False)

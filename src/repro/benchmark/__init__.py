@@ -8,6 +8,11 @@ from repro.benchmark.batch import (
     default_batch_signals,
     run_batch_on_pipeline,
 )
+from repro.benchmark.distributed import (
+    DETERMINISTIC_FIELDS,
+    benchmark_distributed,
+    quality_view,
+)
 from repro.benchmark.comparison import (
     FEATURE_MATRIX,
     FEATURES,
@@ -58,6 +63,9 @@ __all__ = [
     "anomalies_within_tolerance",
     "PARITY_RTOL",
     "PARITY_ATOL",
+    "benchmark_distributed",
+    "quality_view",
+    "DETERMINISTIC_FIELDS",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

@@ -65,7 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="concurrent benchmark jobs (default: 1)")
     run.add_argument("--executor", default=None,
                      help="job fan-out executor name (serial, threaded, "
-                          "process, caching)")
+                          "process, caching, distributed)")
+    run.add_argument("--queue-path", default=None,
+                     help="distributed executor only: durable work-queue "
+                          "file shared by the worker fleet (default: a "
+                          "temporary queue discarded after the run)")
     run.add_argument("--pipeline-executor", default=None,
                      help="executor name for each pipeline's internal steps")
     run.add_argument("--no-memory", action="store_true",
@@ -88,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "to --checkpoint-dir)")
     merge.add_argument("--allow-partial", action="store_true",
                        help="merge even when some shards are missing")
+    merge.add_argument("--dedupe", action="store_true",
+                       help="keep the first record for a duplicated job "
+                            "key instead of failing — required when "
+                            "merging the fleet's worker-*.jsonl "
+                            "checkpoints, where a crashed worker leaves "
+                            "a duplicate for its redelivered unit")
+    merge.add_argument("--tolerate-corrupt", action="store_true",
+                       help="log and skip unparseable checkpoint lines "
+                            "(crashed-worker files) instead of failing")
     merge.add_argument("--output", required=True,
                        help="path of the merged BENCH_*.json")
 
@@ -133,6 +146,7 @@ def _command_run(args: argparse.Namespace) -> int:
         shard_count=args.shard_count,
         checkpoint_dir=args.checkpoint_dir,
         resume=not args.no_resume,
+        queue_path=args.queue_path,
     )
     shard = (f"shard {args.shard_index}/{args.shard_count}"
              if args.shard_count is not None else "full run")
@@ -169,6 +183,8 @@ def _command_merge(args: argparse.Namespace) -> int:
     result = merge_shard_checkpoints(
         args.checkpoint_dir if args.checkpoint_dir is not None else args.shards,
         expect_complete=not args.allow_partial,
+        dedupe=args.dedupe,
+        on_corrupt="skip" if args.tolerate_corrupt else "raise",
     )
     result.to_json(args.output)
     print(f"merged {len(result)} records into {args.output}")

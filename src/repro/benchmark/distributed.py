@@ -1,0 +1,142 @@
+"""Distributed benchmark: fleet throughput scaling and serial parity (E10).
+
+``benchmark_distributed`` runs the same deterministic benchmark job list
+once serially (the trusted baseline) and once per requested worker count
+through ``executor="distributed"`` — a durable work queue plus N
+stateless ``python -m repro.worker`` processes — recording aggregate
+throughput (jobs per second of wall time) against fleet size and gating
+every fleet run on **bitwise quality parity** with the serial baseline:
+the deterministic record fields (quality metrics, detection counts,
+status) must be identical, job for job. Timing fields are measured
+per-run and excluded from the comparison.
+
+On a single-core host the fleet cannot beat serial wall time (the
+workers multiplex one CPU and pay queue + subprocess overhead); the
+benchmark is still meaningful there because parity, durability and the
+scaling *trajectory* — not the absolute speedup — are what CI verifies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.benchmark.runner import benchmark
+from repro.exceptions import BenchmarkError
+
+__all__ = [
+    "benchmark_distributed",
+    "quality_view",
+    "DETERMINISTIC_FIELDS",
+]
+
+#: Record fields that must be bit-identical between a serial run and any
+#: fleet run over the same jobs: everything except the per-run timings
+#: (``fit_time`` / ``detect_time`` vary run to run) and ``memory``
+#: (profiling is per-process).
+DETERMINISTIC_FIELDS = (
+    "dataset", "pipeline", "signal", "status",
+    "f1", "precision", "recall", "n_detected", "n_truth",
+)
+
+
+def quality_view(records: Sequence[dict]) -> List[tuple]:
+    """The deterministic projection of benchmark records, sorted.
+
+    Two runs of the same job list — whatever the executor, worker count or
+    completion order — must produce equal views; any difference means the
+    distributed tier changed *what* was computed, not just how fast.
+    """
+    return sorted(
+        tuple((field, record.get(field)) for field in DETERMINISTIC_FIELDS)
+        for record in records
+    )
+
+
+def benchmark_distributed(
+        worker_counts: Sequence[int] = (1, 2),
+        pipelines: Optional[Sequence[str]] = None,
+        datasets=None,
+        scale: float = 0.02,
+        max_signals: Optional[int] = None,
+        pipeline_options: Optional[Dict[str, dict]] = None,
+        random_state: int = 0,
+        verbose: bool = False) -> dict:
+    """Measure fleet throughput vs worker count, parity-gated on serial.
+
+    Args:
+        worker_counts: fleet sizes to measure (each spawns that many
+            ``python -m repro.worker`` processes against a shared queue).
+        pipelines / datasets / scale / max_signals / pipeline_options /
+            random_state: forwarded to :func:`repro.benchmark.runner
+            .benchmark`; defaults mirror the quality benchmark.
+        verbose: print one line per measured configuration.
+
+    Returns:
+        ``{"records": [...], "summary": {...}}``. One record per
+        configuration (``workers=0`` is the serial baseline) with
+        ``wall_time``, ``n_jobs``, ``throughput`` (jobs/s) and ``parity``
+        (quality view identical to the serial baseline). The summary
+        carries the baseline wall time, the per-fleet-size speedups, and
+        ``parity_all``.
+    """
+    worker_counts = list(worker_counts)
+    if not worker_counts or any(count < 1 for count in worker_counts):
+        raise BenchmarkError("worker_counts must be positive integers")
+
+    common = dict(
+        pipelines=pipelines, datasets=datasets, scale=scale,
+        max_signals=max_signals, pipeline_options=pipeline_options,
+        random_state=random_state, profile_memory=False,
+    )
+
+    def run(executor, workers) -> Tuple[dict, list]:
+        started = time.perf_counter()
+        if executor is None:
+            result = benchmark(**common)
+        else:
+            result = benchmark(executor=executor, workers=workers, **common)
+        wall = time.perf_counter() - started
+        n_jobs = len(result.records)
+        record = {
+            "executor": executor or "serial",
+            "workers": workers,
+            "wall_time": wall,
+            "n_jobs": n_jobs,
+            "throughput": n_jobs / wall if wall > 0 else float("inf"),
+        }
+        return record, quality_view(result.records)
+
+    records: List[dict] = []
+    baseline, baseline_view = run(None, 0)
+    baseline["parity"] = True
+    records.append(baseline)
+    if verbose:  # pragma: no cover - console output
+        print(f"serial baseline: {baseline['n_jobs']} jobs in "
+              f"{baseline['wall_time']:.2f}s")
+
+    for count in worker_counts:
+        record, view = run("distributed", count)
+        record["parity"] = view == baseline_view
+        record["speedup"] = (baseline["wall_time"] / record["wall_time"]
+                             if record["wall_time"] > 0 else float("inf"))
+        records.append(record)
+        if verbose:  # pragma: no cover - console output
+            print(f"workers={count}: {record['wall_time']:.2f}s "
+                  f"({record['throughput']:.2f} jobs/s, "
+                  f"speedup {record['speedup']:.2f}x, "
+                  f"parity={record['parity']})")
+
+    fleet = records[1:]
+    summary = {
+        "n_jobs": baseline["n_jobs"],
+        "serial_wall_time": baseline["wall_time"],
+        "serial_throughput": baseline["throughput"],
+        "worker_counts": worker_counts,
+        "speedups": {str(record["workers"]): record["speedup"]
+                     for record in fleet},
+        "throughputs": {str(record["workers"]): record["throughput"]
+                        for record in fleet},
+        "parity_all": all(record["parity"] for record in fleet),
+    }
+    return {"records": records, "summary": summary}

@@ -274,7 +274,8 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
               shard_index: Optional[int] = None,
               shard_count: Optional[int] = None,
               checkpoint_dir: Optional[str] = None,
-              resume: bool = True) -> BenchmarkResult:
+              resume: bool = True,
+              queue_path: Optional[str] = None) -> BenchmarkResult:
     """Run the full quality + computational benchmark (Table 3 / Figure 7a).
 
     Args:
@@ -299,7 +300,12 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
         executor: executor name, class or instance for the job fan-out.
             ``"process"`` schedules jobs across a multiprocessing pool of
             ``workers`` processes — the fastest option for the CPU-bound
-            Figure 7 sweep.
+            Figure 7 sweep. ``"distributed"`` enqueues the jobs into a
+            durable work queue and spawns ``workers`` stateless worker
+            processes (``python -m repro.worker``) against it — slower to
+            start than ``"process"`` but crash-survivable: a killed
+            worker costs one lease timeout, and a re-run against the same
+            ``queue_path`` resumes from the finished jobs.
         pipeline_executor: optional executor forwarded to each pipeline for
             its internal step scheduling. With ``executor="process"`` this
             must be a registry *name* (it crosses the process boundary).
@@ -313,6 +319,11 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
         resume: when a checkpoint for this shard exists, skip its finished
             jobs and only run the remainder (default). ``False`` discards
             the existing checkpoint and recomputes the whole shard.
+        queue_path: ``executor="distributed"`` only — path of the durable
+            work-queue file the worker fleet shares. ``None`` uses a
+            temporary queue discarded after the run; an explicit path
+            makes the fan-out itself resumable and lets externally
+            started workers (other hosts sharing the filesystem) join.
 
     Returns:
         A :class:`BenchmarkResult` with one record per (pipeline, signal)
@@ -411,7 +422,15 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
     pending = [job for job in jobs if job["key"] not in completed]
 
     if executor is not None:
-        if isinstance(executor, str) and workers > 1 \
+        if isinstance(executor, str) and executor == "distributed":
+            # The fleet executor always honours the worker count (one
+            # worker is still a durable, crash-survivable subprocess) and
+            # shares the benchmark's checkpoint directory so workers
+            # leave worker-*.jsonl audit trails beside the shard files.
+            job_executor = get_executor(
+                executor, max_workers=workers, queue_path=queue_path,
+                checkpoint_dir=checkpoint_dir)
+        elif isinstance(executor, str) and workers > 1 \
                 and executor in (ThreadedExecutor.name, ProcessExecutor.name):
             job_executor = get_executor(executor, max_workers=workers)
         else:
@@ -432,9 +451,11 @@ def benchmark(pipelines: Optional[Sequence[str]] = None,
     # With a concurrent in-process job executor, hold one tracemalloc trace
     # across the whole fan-out: individual jobs then measure snapshot deltas
     # instead of racing to stop a trace their siblings are still reading.
-    # Process workers own their traces, so the parent holds nothing.
-    hold_trace = profile_memory and not isinstance(
-        job_executor, (SerialExecutor, ProcessExecutor))
+    # Process and distributed workers own their traces (jobs run in other
+    # processes), so the parent holds nothing.
+    hold_trace = profile_memory \
+        and not isinstance(job_executor, (SerialExecutor, ProcessExecutor)) \
+        and getattr(job_executor, "name", "") != "distributed"
     try:
         with trace_memory(hold_trace):
             records = job_executor.map(_execute_benchmark_job, pending,

@@ -64,7 +64,9 @@ __all__ = [
     "get_executor",
     "list_executors",
     "trace_memory",
+    "sweep_orphan_segments",
     "SHM_MIN_BYTES",
+    "SHM_NAME_PREFIX",
     "MP_START_ENV",
 ]
 
@@ -257,6 +259,75 @@ def _run_measured(action: Callable[[], dict], profile: bool) -> Tuple[dict, floa
 #: being pickled through the worker pipe.
 SHM_MIN_BYTES = 1 << 18
 
+#: Naming scheme of the segments this module creates:
+#: ``repro_<creator-pid>_<random>``. Embedding the creator pid makes
+#: orphans attributable — :func:`sweep_orphan_segments` reclaims segments
+#: whose creator died without unlinking (SIGKILL between allocation and
+#: cleanup), while never touching segments of live processes.
+SHM_NAME_PREFIX = "repro_"
+
+#: Where POSIX shared memory is mounted on Linux; the sweep is a no-op on
+#: platforms without it (macOS exposes no listable shm directory).
+_SHM_DIR = "/dev/shm"
+
+
+def _create_segment(nbytes: int):
+    """Allocate a fresh ``repro_<pid>_<random>`` shared-memory segment."""
+    for _ in range(8):
+        name = f"{SHM_NAME_PREFIX}{os.getpid()}_{os.urandom(4).hex()}"
+        try:
+            return _shared_memory.SharedMemory(name=name, create=True,
+                                               size=nbytes)
+        except FileExistsError:  # pragma: no cover - 1-in-2^32 collision
+            continue
+    # Collision storm (or a platform rejecting our names): let the stdlib
+    # pick its own anonymous name rather than fail the transfer.
+    return _shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with ``pid`` currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
+
+
+def sweep_orphan_segments(directory: str = _SHM_DIR) -> int:
+    """Unlink ``repro_*`` shared-memory segments whose creators died.
+
+    A worker hard-killed (SIGKILL, OOM) between allocating a transfer
+    segment and handing ownership to the parent strands the segment in
+    ``/dev/shm`` until reboot. Every pool start — :class:`ProcessExecutor`
+    spinning up, a ``python -m repro.worker`` fleet worker booting — calls
+    this sweep: any segment following the :data:`SHM_NAME_PREFIX` naming
+    scheme whose embedded creator pid no longer exists is reclaimed.
+    Segments of live processes (including this one) are never touched, and
+    foreign ``/dev/shm`` entries are ignored. Returns how many segments
+    were unlinked.
+    """
+    if _shared_memory is None or not os.path.isdir(directory):
+        return 0
+    swept = 0
+    for entry in os.listdir(directory):
+        if not entry.startswith(SHM_NAME_PREFIX):
+            continue
+        pid_part = entry[len(SHM_NAME_PREFIX):].split("_", 1)[0]
+        if not pid_part.isdigit():
+            continue
+        pid = int(pid_part)
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        with contextlib.suppress(Exception):
+            segment = _shared_memory.SharedMemory(name=entry)
+            segment.unlink()
+            segment.close()
+            swept += 1
+    return swept
+
 
 class _ShmRef:
     """Picklable handle to a numpy array parked in POSIX shared memory."""
@@ -297,7 +368,7 @@ def encode_for_transfer(value, segments: list):
     """
     if _shm_eligible(value):
         try:
-            segment = _shared_memory.SharedMemory(create=True, size=value.nbytes)
+            segment = _create_segment(value.nbytes)
         except OSError:  # no /dev/shm, or it is full: pickle fallback
             return value
         mirror = np.ndarray(value.shape, dtype=value.dtype, buffer=segment.buf)
@@ -986,6 +1057,7 @@ class ProcessExecutor(Executor):
         failure: List[BaseException] = []
         in_flight: Dict[object, Tuple[str, list]] = {}
 
+        sweep_orphan_segments()
         with ProcessPoolExecutor(max_workers=self._pool_size(len(plan)),
                                  mp_context=_mp_context()) as pool:
             def dispatch(name: str) -> None:
@@ -1064,6 +1136,7 @@ class ProcessExecutor(Executor):
         results: List = [None] * len(items)
         in_flight: Dict[object, Tuple[int, list]] = {}
         pool_size = self._pool_size(len(items))
+        sweep_orphan_segments()
         # Encode lazily, a bounded window at a time: shared-memory segments
         # (a finite system resource — /dev/shm) exist only for items that
         # are running or next in line, not for the whole job list.
@@ -1131,10 +1204,26 @@ EXECUTORS: Dict[str, type] = {
     ProcessExecutor.name: ProcessExecutor,
 }
 
+#: Executors that live in heavier subsystems and register themselves into
+#: :data:`EXECUTORS` when their module first loads. Resolved lazily so
+#: this core module never imports them at load time (the distributed tier
+#: imports *this* module — eager registration would be a cycle).
+_LAZY_EXECUTORS: Dict[str, str] = {
+    "distributed": "repro.distributed.executor",
+}
+
+
+def _load_lazy_executor(name: str) -> None:
+    if name in EXECUTORS or name not in _LAZY_EXECUTORS:
+        return
+    import importlib
+
+    importlib.import_module(_LAZY_EXECUTORS[name])
+
 
 def list_executors() -> List[str]:
     """Names of the registered executor strategies."""
-    return sorted(EXECUTORS)
+    return sorted(set(EXECUTORS) | set(_LAZY_EXECUTORS))
 
 
 def get_executor(executor: Optional[Union[str, Executor, type]] = None,
@@ -1151,6 +1240,7 @@ def get_executor(executor: Optional[Union[str, Executor, type]] = None,
     if isinstance(executor, type) and issubclass(executor, Executor):
         return executor(**options)
     if isinstance(executor, str):
+        _load_lazy_executor(executor)
         if executor not in EXECUTORS:
             raise ExecutorError(
                 f"Unknown executor {executor!r}. Registered: {list_executors()}"

@@ -22,8 +22,8 @@ from typing import Dict, List
 
 from repro.exceptions import DatabaseError
 
-__all__ = ["COLLECTIONS", "EVENT_SOURCES", "ANNOTATION_TAGS", "validate_document",
-           "new_document"]
+__all__ = ["COLLECTIONS", "EVENT_SOURCES", "ANNOTATION_TAGS",
+           "WORK_QUEUE_STATES", "validate_document", "new_document"]
 
 #: Collection name -> required fields (besides ``_id`` and ``created_at``).
 COLLECTIONS: Dict[str, List[str]] = {
@@ -42,10 +42,21 @@ COLLECTIONS: Dict[str, List[str]] = {
     # stream; its emitted anomalies are stored as events whose
     # ``signalrun_id`` is the stream document id.
     "streams": ["pipeline", "status"],
+    # Distributed work queue (fleet tier): one document per durable work
+    # unit. The authoritative store is the SQLite file behind
+    # :class:`repro.distributed.queue.WorkQueue` (document views come
+    # from ``WorkQueue.to_documents``); this entry pins the shared
+    # document shape and the allowed lease states.
+    "work_queue": ["key", "kind", "status"],
 }
 
 #: Allowed values of the ``source`` field on events (Figure 6 legend).
 EVENT_SOURCES = ("machine", "human", "both")
+
+#: Lease lifecycle states of a distributed work unit: ``ready`` (claimable),
+#: ``leased`` (invisible under a visibility timeout), ``done`` (result
+#: stored), ``dead`` (retries exhausted — the dead-letter state).
+WORK_QUEUE_STATES = ("ready", "leased", "done", "dead")
 
 #: Tag taxonomy used in the real-world study (Figure 8b / Table 4).
 ANNOTATION_TAGS = ("normal", "problematic", "investigate", "anomaly", "eclipse")
@@ -69,6 +80,12 @@ def validate_document(collection: str, document: dict) -> None:
         )
     if collection == "events" and document["stop_time"] < document["start_time"]:
         raise DatabaseError("Event stop_time must not precede start_time")
+    if collection == "work_queue" \
+            and document.get("status") not in WORK_QUEUE_STATES:
+        raise DatabaseError(
+            f"Work-queue status must be one of {WORK_QUEUE_STATES}, "
+            f"got {document.get('status')!r}"
+        )
 
 
 def new_document(collection: str, **fields) -> dict:

@@ -1,0 +1,452 @@
+"""A durable, broker-less work queue with lease semantics.
+
+The queue is one SQLite file: every producer and worker opens its own
+short-lived connection, so any number of processes — on one host via a
+shared filesystem path — coordinate without a message broker. SQLite's
+file locking provides the atomicity; ``BEGIN IMMEDIATE`` transactions
+make claim/complete/fail single winner-takes-all operations.
+
+Delivery contract (at-least-once with fencing):
+
+* ``put`` enqueues a picklable work unit under a unique ``key``;
+  re-enqueuing an existing key is a no-op, so producers are idempotent.
+* ``claim`` atomically leases the oldest ready unit to a worker for
+  ``visibility_timeout`` seconds and increments its delivery ``attempts``
+  counter. A worker that stops heartbeating (crash, SIGKILL, network
+  partition) simply lets the lease expire: the next ``claim`` sweep
+  returns the unit to ``ready`` — after a linear backoff — or moves it
+  to ``dead`` once ``max_attempts`` deliveries are spent.
+* ``heartbeat`` extends a live lease; it returns ``False`` once the
+  lease was lost (expired and redelivered), telling the worker its
+  result will be discarded.
+* ``complete`` / ``fail`` are fenced by the lease id: a stale worker —
+  one whose lease expired and whose unit was redelivered — cannot
+  overwrite the outcome of the redelivery, so a unit is **done exactly
+  once** even though it may be *executed* more than once.
+
+Lease states (also mirrored in :data:`repro.db.schema.COLLECTIONS` as
+the ``work_queue`` collection):
+
+``ready`` → ``leased`` → ``done``
+                      ↘ ``ready`` (failure / expiry, attempts left)
+                      ↘ ``dead``  (failure / expiry, attempts spent)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.db.schema import WORK_QUEUE_STATES, new_document
+from repro.exceptions import ExecutorError
+
+__all__ = ["WorkQueue", "Lease", "QueueError"]
+
+
+class QueueError(ExecutorError):
+    """A work-queue operation failed."""
+
+
+@dataclass
+class Lease:
+    """A claimed work unit: the worker's handle for heartbeat/ack calls.
+
+    ``lease_id`` is the fencing token: every queue mutation a worker
+    performs carries it, and the queue rejects mutations whose token no
+    longer matches the row — the signature of an expired-and-redelivered
+    lease.
+    """
+
+    job_id: int
+    key: str
+    kind: str
+    unit: dict
+    lease_id: str
+    attempts: int
+    expires_at: float
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS work_queue (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    key TEXT NOT NULL UNIQUE,
+    kind TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    status TEXT NOT NULL DEFAULT 'ready',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    lease_id TEXT,
+    lease_expires REAL,
+    not_before REAL NOT NULL DEFAULT 0,
+    worker TEXT,
+    result BLOB,
+    error TEXT,
+    enqueued_at REAL NOT NULL,
+    finished_at REAL
+);
+CREATE INDEX IF NOT EXISTS ix_work_queue_ready
+    ON work_queue (status, not_before, id);
+CREATE TABLE IF NOT EXISTS queue_meta (
+    field TEXT PRIMARY KEY,
+    value REAL NOT NULL
+);
+"""
+
+
+class WorkQueue:
+    """A durable lease/retry work queue backed by one SQLite file.
+
+    Args:
+        path: the queue database file. Created (with parents) on first
+            use; every process sharing the path shares the queue.
+        visibility_timeout: seconds a claimed unit stays invisible to
+            other workers before it is considered abandoned. Long jobs
+            keep their lease alive through :meth:`heartbeat` instead of
+            raising this number.
+        max_attempts: total deliveries (first claim + redeliveries) a
+            unit gets before it is dead-lettered.
+        retry_backoff: base of the linear redelivery backoff — a unit
+            failed or expired on its N-th attempt becomes claimable
+            again ``retry_backoff * N`` seconds later.
+
+    The three tuning knobs are persisted in the queue file when it is
+    created, so workers that open the queue later (``None`` arguments)
+    inherit the creator's configuration rather than their own defaults.
+    """
+
+    #: Lease lifecycle states, in the order of the happy path.
+    STATES = WORK_QUEUE_STATES
+
+    def __init__(self, path: str,
+                 visibility_timeout: Optional[float] = None,
+                 max_attempts: Optional[int] = None,
+                 retry_backoff: Optional[float] = None):
+        if visibility_timeout is not None and visibility_timeout <= 0:
+            raise QueueError("visibility_timeout must be positive")
+        if max_attempts is not None and max_attempts < 1:
+            raise QueueError("max_attempts must be at least 1")
+        if retry_backoff is not None and retry_backoff < 0:
+            raise QueueError("retry_backoff must be non-negative")
+        self.path = str(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._initialize(visibility_timeout, max_attempts, retry_backoff)
+
+    # ------------------------------------------------------------------ #
+    # connections and setup
+    # ------------------------------------------------------------------ #
+    @contextlib.contextmanager
+    def _connect(self):
+        # One short-lived connection per operation: SQLite connections
+        # must not cross fork boundaries, and the queue's callers are
+        # exactly the processes that fork/spawn freely.
+        connection = sqlite3.connect(self.path, timeout=30.0,
+                                     isolation_level=None)
+        try:
+            connection.execute("PRAGMA busy_timeout = 30000")
+            yield connection
+        finally:
+            connection.close()
+
+    def _initialize(self, visibility_timeout, max_attempts, retry_backoff):
+        defaults = {"visibility_timeout": 30.0, "max_attempts": 3,
+                    "retry_backoff": 0.1}
+        requested = {"visibility_timeout": visibility_timeout,
+                     "max_attempts": max_attempts,
+                     "retry_backoff": retry_backoff}
+        with self._connect() as connection:
+            # executescript autocommits, so the idempotent DDL runs outside
+            # the meta transaction.
+            connection.executescript(_SCHEMA)
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                stored = dict(connection.execute(
+                    "SELECT field, value FROM queue_meta"))
+                for field, value in requested.items():
+                    if value is None:
+                        value = stored.get(field, defaults[field])
+                    connection.execute(
+                        "INSERT OR REPLACE INTO queue_meta (field, value) "
+                        "VALUES (?, ?)", (field, float(value)))
+                    setattr(self, field, type(defaults[field])(value))
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+
+    # ------------------------------------------------------------------ #
+    # producing
+    # ------------------------------------------------------------------ #
+    def put(self, kind: str, unit: dict, key: Optional[str] = None,
+            max_attempts: Optional[int] = None) -> str:
+        """Enqueue one picklable work unit; returns its key.
+
+        ``key`` defaults to a fresh UUID. Enqueuing a key that already
+        exists — whatever its state — is a no-op returning the existing
+        key, so producers may re-submit a whole batch after a crash
+        without duplicating work ("exactly-once enqueue" by idempotence).
+        """
+        key = key or uuid.uuid4().hex
+        # Validate the document shape against the shared db schema so the
+        # queue rows stay interchangeable with `work_queue` documents.
+        new_document("work_queue", kind=kind, status="ready", key=key)
+        payload = sqlite3.Binary(pickle.dumps(unit))
+        limit = int(max_attempts or self.max_attempts)
+        with self._connect() as connection:
+            connection.execute(
+                "INSERT OR IGNORE INTO work_queue "
+                "(key, kind, payload, status, max_attempts, enqueued_at) "
+                "VALUES (?, ?, ?, 'ready', ?, ?)",
+                (key, kind, payload, limit, time.time()))
+        return key
+
+    # ------------------------------------------------------------------ #
+    # the lease lifecycle
+    # ------------------------------------------------------------------ #
+    def _sweep_expired(self, connection, now: float) -> None:
+        """Requeue or dead-letter every expired lease (tx held)."""
+        connection.execute(
+            "UPDATE work_queue SET status = 'dead', lease_id = NULL, "
+            "worker = NULL, finished_at = ?, "
+            "error = COALESCE(error, 'lease expired') "
+            "WHERE status = 'leased' AND lease_expires < ? "
+            "AND attempts >= max_attempts",
+            (now, now))
+        connection.execute(
+            "UPDATE work_queue SET status = 'ready', lease_id = NULL, "
+            "worker = NULL, error = 'lease expired', "
+            "not_before = ? + ? * attempts "
+            "WHERE status = 'leased' AND lease_expires < ?",
+            (now, self.retry_backoff, now))
+
+    def requeue_expired(self) -> None:
+        """Sweep expired leases outside a claim (e.g. a waiting parent).
+
+        ``claim`` sweeps automatically; this standalone entry point lets
+        a process that only *watches* the queue (the executor's drain
+        loop) keep redelivery moving even when no worker is claiming.
+        """
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                self._sweep_expired(connection, time.time())
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+
+    def claim(self, worker: str = "") -> Optional[Lease]:
+        """Atomically lease the oldest ready unit, or return ``None``.
+
+        The claim also performs the expiry sweep, so abandoned leases are
+        redelivered by whichever worker polls next — exactly once, since
+        the sweep and the re-claim happen in one transaction.
+        """
+        now = time.time()
+        lease_id = uuid.uuid4().hex
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                self._sweep_expired(connection, now)
+                row = connection.execute(
+                    "SELECT id, key, kind, payload, attempts FROM work_queue "
+                    "WHERE status = 'ready' AND not_before <= ? "
+                    "ORDER BY id LIMIT 1", (now,)).fetchone()
+                if row is None:
+                    connection.execute("COMMIT")
+                    return None
+                job_id, key, kind, payload, attempts = row
+                expires = now + self.visibility_timeout
+                connection.execute(
+                    "UPDATE work_queue SET status = 'leased', "
+                    "attempts = attempts + 1, lease_id = ?, "
+                    "lease_expires = ?, worker = ? WHERE id = ?",
+                    (lease_id, expires, worker, job_id))
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+        return Lease(job_id=job_id, key=key, kind=kind,
+                     unit=pickle.loads(payload), lease_id=lease_id,
+                     attempts=attempts + 1, expires_at=expires)
+
+    def heartbeat(self, lease: Lease) -> bool:
+        """Extend a live lease by ``visibility_timeout`` from now.
+
+        Returns ``False`` when the lease was lost — it expired and the
+        unit was redelivered (or finished) elsewhere. The worker should
+        abandon the unit: its eventual ``complete`` would be rejected
+        anyway.
+        """
+        now = time.time()
+        with self._connect() as connection:
+            updated = connection.execute(
+                "UPDATE work_queue SET lease_expires = ? "
+                "WHERE id = ? AND lease_id = ? AND status = 'leased'",
+                (now + self.visibility_timeout, lease.job_id,
+                 lease.lease_id)).rowcount
+        if updated:
+            lease.expires_at = now + self.visibility_timeout
+        return bool(updated)
+
+    def complete(self, lease: Lease, result: object = None) -> bool:
+        """Acknowledge a finished unit, storing its picklable result.
+
+        Fenced by the lease id: returns ``False`` (and stores nothing)
+        when the lease is stale, so a unit that was redelivered after an
+        expiry is counted exactly once no matter how many executions
+        eventually report back.
+        """
+        payload = sqlite3.Binary(pickle.dumps(result))
+        with self._connect() as connection:
+            updated = connection.execute(
+                "UPDATE work_queue SET status = 'done', result = ?, "
+                "finished_at = ?, lease_id = NULL, error = NULL "
+                "WHERE id = ? AND lease_id = ? AND status = 'leased'",
+                (payload, time.time(), lease.job_id, lease.lease_id)
+            ).rowcount
+        return bool(updated)
+
+    def fail(self, lease: Lease, error: str) -> str:
+        """Report a failed execution; returns the unit's new status.
+
+        The unit goes back to ``ready`` behind a linear backoff while
+        deliveries remain, to ``dead`` once ``max_attempts`` are spent,
+        and the call is ignored (``"stale"``) when the lease was lost.
+        """
+        now = time.time()
+        with self._connect() as connection:
+            connection.execute("BEGIN IMMEDIATE")
+            try:
+                row = connection.execute(
+                    "SELECT attempts, max_attempts FROM work_queue "
+                    "WHERE id = ? AND lease_id = ? AND status = 'leased'",
+                    (lease.job_id, lease.lease_id)).fetchone()
+                if row is None:
+                    connection.execute("COMMIT")
+                    return "stale"
+                attempts, max_attempts = row
+                if attempts >= max_attempts:
+                    connection.execute(
+                        "UPDATE work_queue SET status = 'dead', "
+                        "lease_id = NULL, worker = NULL, error = ?, "
+                        "finished_at = ? WHERE id = ?",
+                        (error, now, lease.job_id))
+                    status = "dead"
+                else:
+                    connection.execute(
+                        "UPDATE work_queue SET status = 'ready', "
+                        "lease_id = NULL, worker = NULL, error = ?, "
+                        "not_before = ? + ? * attempts WHERE id = ?",
+                        (error, now, self.retry_backoff, lease.job_id))
+                    status = "ready"
+                connection.execute("COMMIT")
+            except BaseException:
+                connection.execute("ROLLBACK")
+                raise
+        return status
+
+    # ------------------------------------------------------------------ #
+    # observing
+    # ------------------------------------------------------------------ #
+    def counts(self) -> Dict[str, int]:
+        """``{state: number_of_units}`` with every state present."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT status, COUNT(*) FROM work_queue "
+                "GROUP BY status").fetchall()
+        counts = {state: 0 for state in self.STATES}
+        counts.update(dict(rows))
+        return counts
+
+    def unfinished(self, sweep: bool = True) -> int:
+        """Units still to be resolved (``ready`` + ``leased``).
+
+        With ``sweep`` (the default) expired leases are requeued first,
+        so a parent polling ``unfinished()`` keeps redelivery moving even
+        while every worker is dead.
+        """
+        if sweep:
+            self.requeue_expired()
+        counts = self.counts()
+        return counts["ready"] + counts["leased"]
+
+    def attempts(self, key: str) -> int:
+        """Delivery count of one unit (0 = never claimed)."""
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT attempts FROM work_queue WHERE key = ?",
+                (key,)).fetchone()
+        if row is None:
+            raise QueueError(f"Unknown work unit {key!r}")
+        return int(row[0])
+
+    def finished_keys(self) -> List[str]:
+        """Keys of every ``done`` unit, in completion-insensitive id order."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key FROM work_queue WHERE status = 'done' "
+                "ORDER BY id").fetchall()
+        return [row[0] for row in rows]
+
+    def result(self, key: str) -> object:
+        """The stored result of one ``done`` unit."""
+        with self._connect() as connection:
+            row = connection.execute(
+                "SELECT status, result FROM work_queue WHERE key = ?",
+                (key,)).fetchone()
+        if row is None:
+            raise QueueError(f"Unknown work unit {key!r}")
+        status, payload = row
+        if status != "done":
+            raise QueueError(f"Work unit {key!r} is {status}, not done")
+        return pickle.loads(payload)
+
+    def results(self) -> Dict[str, object]:
+        """``{key: result}`` over every ``done`` unit."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key, result FROM work_queue "
+                "WHERE status = 'done'").fetchall()
+        return {key: pickle.loads(payload) for key, payload in rows}
+
+    def dead_letters(self) -> List[dict]:
+        """Every dead-lettered unit: key, kind, attempts and last error."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key, kind, attempts, error FROM work_queue "
+                "WHERE status = 'dead' ORDER BY id").fetchall()
+        return [{"key": key, "kind": kind, "attempts": attempts,
+                 "error": error}
+                for key, kind, attempts, error in rows]
+
+    def to_documents(self) -> List[dict]:
+        """Every unit as a ``work_queue``-collection document view."""
+        with self._connect() as connection:
+            rows = connection.execute(
+                "SELECT key, kind, status, attempts, max_attempts, worker, "
+                "error, enqueued_at, finished_at FROM work_queue "
+                "ORDER BY id").fetchall()
+        return [
+            {"key": key, "kind": kind, "status": status,
+             "attempts": attempts, "max_attempts": max_attempts,
+             "worker": worker, "error": error, "created_at": enqueued_at,
+             "finished_at": finished_at}
+            for (key, kind, status, attempts, max_attempts, worker, error,
+                 enqueued_at, finished_at) in rows
+        ]
+
+    def __len__(self) -> int:
+        with self._connect() as connection:
+            return connection.execute(
+                "SELECT COUNT(*) FROM work_queue").fetchone()[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"WorkQueue(path={self.path!r}, counts={self.counts()})"

@@ -1,0 +1,13 @@
+"""``python -m repro.worker`` — the distributed fleet worker entry point.
+
+A thin alias for :mod:`repro.distributed.worker` so the operational
+command stays short and stable even if the distributed package moves
+internally. See that module for the worker's behaviour and flags.
+"""
+
+from repro.distributed.worker import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

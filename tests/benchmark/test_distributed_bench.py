@@ -1,0 +1,166 @@
+"""Distributed benchmark integration: parity, checkpoints, the E10 harness."""
+
+import json
+
+import pytest
+
+from repro.benchmark import (
+    benchmark,
+    benchmark_distributed,
+    merge_shard_checkpoints,
+    quality_view,
+)
+from repro.data import Dataset, generate_signal
+
+
+@pytest.fixture(scope="module")
+def tiny_datasets():
+    dataset = Dataset("NAB", metadata={"scale": 0.01})
+    for i in range(2):
+        dataset.add_signal(generate_signal(
+            f"nab-{i}", length=250, n_anomalies=2, random_state=20 + i,
+            flavour="traffic", metadata={"dataset": "NAB"},
+        ))
+    return {"NAB": dataset}
+
+
+class TestBenchmarkParity:
+    def test_distributed_matches_serial_bitwise(self, tiny_datasets):
+        serial = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False)
+        fleet = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                          profile_memory=False,
+                          executor="distributed", workers=2)
+        assert quality_view(fleet.records) == quality_view(serial.records)
+        assert len(fleet) == len(serial) == 2
+
+    def test_distributed_writes_both_checkpoint_kinds(self, tiny_datasets,
+                                                      tmp_path):
+        benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                  profile_memory=False, executor="distributed", workers=1,
+                  checkpoint_dir=str(tmp_path))
+        # The parent writes the shard checkpoint (merge/resume contract),
+        # the workers leave their own audit files beside it.
+        assert (tmp_path / "shard-000-of-001.jsonl").exists()
+        worker_files = list(tmp_path.glob("worker-*.jsonl"))
+        assert worker_files, "fleet workers wrote no checkpoints"
+        records = [json.loads(line)
+                   for path in worker_files
+                   for line in path.read_text().splitlines()]
+        assert sum(1 for entry in records if entry["kind"] == "record") == 2
+        # Worker files never collide with the shard merge: the directory
+        # glob only picks up shard-*.jsonl.
+        merged = merge_shard_checkpoints(str(tmp_path))
+        assert len(merged) == 2
+
+    def test_durable_queue_resume_returns_stored_records(self, tiny_datasets,
+                                                         tmp_path):
+        queue_path = str(tmp_path / "bench.queue.sqlite")
+        first = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                          profile_memory=False, executor="distributed",
+                          workers=1, queue_path=queue_path)
+        # Same queue, same jobs: served from the stored results.
+        second = benchmark(pipelines=["azure"], datasets=tiny_datasets,
+                           profile_memory=False, executor="distributed",
+                           workers=1, queue_path=queue_path)
+        assert quality_view(second.records) == quality_view(first.records)
+        from repro.distributed.queue import WorkQueue
+
+        queue = WorkQueue(queue_path)
+        assert all(queue.attempts(key) == 1 for key in queue.finished_keys())
+
+
+class TestWorkerCheckpointMerge:
+    """Fleet worker files merge idempotently despite crash duplicates."""
+
+    def _worker_file(self, tmp_path, name, entries, truncate=0):
+        path = tmp_path / name
+        text = "\n".join(json.dumps(entry) for entry in entries) + "\n"
+        if truncate:
+            text = text[:-truncate]
+        path.write_text(text)
+        return str(path)
+
+    def test_duplicate_records_dedupe_first_wins(self, tmp_path):
+        record_a = {"dataset": "NAB", "pipeline": "azure", "signal": "s0",
+                    "status": "ok", "f1": 0.5, "fit_time": 1.0}
+        record_a_retry = dict(record_a, fit_time=2.0)  # timings differ
+        record_b = {"dataset": "NAB", "pipeline": "azure", "signal": "s1",
+                    "status": "ok", "f1": 0.25, "fit_time": 1.0}
+        paths = [
+            self._worker_file(tmp_path, "worker-w0.jsonl", [
+                {"kind": "record", "key": "NAB::azure::s0",
+                 "record": record_a},
+            ]),
+            self._worker_file(tmp_path, "worker-w1.jsonl", [
+                {"kind": "record", "key": "NAB::azure::s0",
+                 "record": record_a_retry},
+                {"kind": "record", "key": "NAB::azure::s1",
+                 "record": record_b},
+            ]),
+        ]
+        merged = merge_shard_checkpoints(paths, expect_complete=False,
+                                         dedupe=True)
+        assert len(merged) == 2
+        by_signal = {record["signal"]: record for record in merged.records}
+        assert by_signal["s0"]["fit_time"] == 1.0  # first record won
+
+    def test_duplicates_still_rejected_without_dedupe(self, tmp_path):
+        entry = {"kind": "record", "key": "NAB::azure::s0",
+                 "record": {"dataset": "NAB", "pipeline": "azure",
+                            "signal": "s0"}}
+        paths = [
+            self._worker_file(tmp_path, "worker-w0.jsonl", [entry]),
+            self._worker_file(tmp_path, "worker-w1.jsonl", [entry]),
+        ]
+        with pytest.raises(ValueError, match="more than one"):
+            merge_shard_checkpoints(paths, expect_complete=False)
+
+    def test_truncated_and_empty_worker_files_tolerated(self, tmp_path):
+        good = {"kind": "record", "key": "NAB::azure::s0",
+                "record": {"dataset": "NAB", "pipeline": "azure",
+                           "signal": "s0"}}
+        torn = {"kind": "record", "key": "NAB::azure::s1",
+                "record": {"dataset": "NAB", "pipeline": "azure",
+                           "signal": "s1"}}
+        paths = [
+            # A worker SIGKILL'd mid-append, file appended to afterwards:
+            # the tear sits mid-file.
+            self._worker_file(tmp_path, "worker-w0.jsonl",
+                              [torn, good], truncate=0),
+            self._worker_file(tmp_path, "worker-w1.jsonl", [], truncate=0),
+        ]
+        # Damage the first line of worker-w0 in place.
+        first = tmp_path / "worker-w0.jsonl"
+        lines = first.read_text().splitlines()
+        lines[0] = lines[0][:25]
+        first.write_text("\n".join(lines) + "\n")
+        (tmp_path / "worker-w1.jsonl").write_text("")
+
+        merged = merge_shard_checkpoints(paths, expect_complete=False,
+                                         dedupe=True, on_corrupt="skip")
+        assert [record["signal"] for record in merged.records] == ["s0"]
+
+
+class TestThroughputHarness:
+    def test_benchmark_distributed_summary(self, tiny_datasets):
+        outcome = benchmark_distributed(worker_counts=(1,),
+                                        pipelines=["azure"],
+                                        datasets=tiny_datasets)
+        records = outcome["records"]
+        summary = outcome["summary"]
+        assert [record["workers"] for record in records] == [0, 1]
+        assert records[0]["executor"] == "serial"
+        assert records[1]["executor"] == "distributed"
+        assert summary["parity_all"] is True
+        assert summary["n_jobs"] == 2
+        assert set(summary["speedups"]) == {"1"}
+        assert all(record["throughput"] > 0 for record in records)
+
+    def test_invalid_worker_counts_rejected(self):
+        from repro.exceptions import BenchmarkError
+
+        with pytest.raises(BenchmarkError):
+            benchmark_distributed(worker_counts=())
+        with pytest.raises(BenchmarkError):
+            benchmark_distributed(worker_counts=(0,))

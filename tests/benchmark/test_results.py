@@ -1,8 +1,12 @@
-"""Tests for BenchmarkResult aggregation."""
+"""Tests for BenchmarkResult aggregation and checkpoint reading."""
+
+import json
+import logging
 
 import pytest
 
 from repro.benchmark import BenchmarkResult
+from repro.benchmark.results import read_checkpoint_lines
 
 
 def _record(pipeline, dataset, f1, fit_time=1.0, status="ok"):
@@ -66,3 +70,51 @@ class TestAggregation:
     def test_empty_csv_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             BenchmarkResult().to_csv(tmp_path / "empty.csv")
+
+
+class TestReadCheckpointLines:
+    def _jsonl(self, tmp_path, lines):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_torn_trailing_line_always_dropped(self, tmp_path):
+        path = tmp_path / "ckpt.jsonl"
+        path.write_text(json.dumps({"kind": "record", "key": "a",
+                                    "record": {}}) + "\n" + '{"kind": "rec')
+        assert len(read_checkpoint_lines(str(path))) == 1
+
+    def test_corrupt_middle_line_raises_by_default(self, tmp_path):
+        path = self._jsonl(tmp_path, ['{"kind": "header"}', "{broken",
+                                      '{"kind": "record", "key": "a", '
+                                      '"record": {}}'])
+        with pytest.raises(ValueError, match="line 2"):
+            read_checkpoint_lines(path)
+
+    def test_corrupt_middle_line_skipped_and_logged(self, tmp_path, caplog):
+        path = self._jsonl(tmp_path, ['{"kind": "header"}', "{broken",
+                                      '{"kind": "record", "key": "a", '
+                                      '"record": {}}'])
+        with caplog.at_level(logging.WARNING, "repro.benchmark.results"):
+            entries = read_checkpoint_lines(path, on_corrupt="skip")
+        assert [entry["kind"] for entry in entries] == ["header", "record"]
+        assert "corrupt checkpoint line 2" in caplog.text.lower()
+
+    def test_missing_file_skip_returns_empty(self, tmp_path, caplog):
+        missing = str(tmp_path / "never-written.jsonl")
+        with pytest.raises(FileNotFoundError):
+            read_checkpoint_lines(missing)
+        with caplog.at_level(logging.WARNING, "repro.benchmark.results"):
+            assert read_checkpoint_lines(missing, on_corrupt="skip") == []
+        assert "missing" in caplog.text
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = self._jsonl(tmp_path, ['{"kind": "header"}', "",
+                                      '{"kind": "record", "key": "a", '
+                                      '"record": {}}'])
+        assert len(read_checkpoint_lines(path)) == 2
+
+    def test_invalid_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_corrupt"):
+            read_checkpoint_lines(str(tmp_path / "x.jsonl"),
+                                  on_corrupt="ignore")

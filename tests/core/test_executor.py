@@ -154,7 +154,8 @@ class TestRegistry:
             get_executor(42)
 
     def test_list_executors(self):
-        assert list_executors() == ["caching", "process", "serial", "threaded"]
+        assert list_executors() == ["caching", "distributed", "process",
+                                    "serial", "threaded"]
 
     def test_invalid_worker_counts_rejected(self):
         with pytest.raises(ExecutorError):

@@ -1,0 +1,252 @@
+"""Tests for the durable lease/retry work queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db.schema import new_document
+from repro.db.store import DocumentStore
+from repro.distributed.queue import QueueError, WorkQueue
+from repro.exceptions import DatabaseError
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    return str(tmp_path / "queue.sqlite")
+
+
+class TestEnqueue:
+    def test_put_returns_key_and_persists(self, queue_path):
+        queue = WorkQueue(queue_path)
+        key = queue.put("mapped", {"item": 1}, key="a")
+        assert key == "a"
+        assert len(queue) == 1
+        assert queue.counts()["ready"] == 1
+
+    def test_put_is_idempotent_by_key(self, queue_path):
+        queue = WorkQueue(queue_path)
+        queue.put("mapped", {"item": 1}, key="a")
+        queue.put("mapped", {"item": 999}, key="a")
+        assert len(queue) == 1
+        lease = queue.claim()
+        assert lease.unit == {"item": 1}  # the first enqueue wins
+
+    def test_put_generates_unique_keys(self, queue_path):
+        queue = WorkQueue(queue_path)
+        keys = {queue.put("mapped", {}) for _ in range(5)}
+        assert len(keys) == 5
+
+    def test_invalid_config_rejected(self, queue_path):
+        with pytest.raises(QueueError):
+            WorkQueue(queue_path, visibility_timeout=0)
+        with pytest.raises(QueueError):
+            WorkQueue(queue_path, max_attempts=0)
+        with pytest.raises(QueueError):
+            WorkQueue(queue_path, retry_backoff=-1)
+
+    def test_config_persisted_and_inherited_on_reopen(self, queue_path):
+        WorkQueue(queue_path, visibility_timeout=7.5, max_attempts=5,
+                  retry_backoff=0.25)
+        reopened = WorkQueue(queue_path)
+        assert reopened.visibility_timeout == 7.5
+        assert reopened.max_attempts == 5
+        assert reopened.retry_backoff == 0.25
+
+
+class TestLeaseLifecycle:
+    def test_claimed_unit_invisible_to_other_workers(self, queue_path):
+        queue = WorkQueue(queue_path)
+        queue.put("mapped", {}, key="a")
+        lease = queue.claim(worker="w1")
+        assert lease.key == "a" and lease.attempts == 1
+        assert queue.claim(worker="w2") is None
+
+    def test_lease_expiry_redelivers_exactly_once(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.15,
+                          max_attempts=3, retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        first = queue.claim(worker="w1")
+        time.sleep(0.2)
+        second = queue.claim(worker="w2")
+        assert second is not None and second.attempts == 2
+        # exactly once: the sweep and re-claim are one transaction, so a
+        # third claimant sees nothing.
+        assert queue.claim(worker="w3") is None
+        # and the original lease is fenced out.
+        assert queue.complete(first, "stale") is False
+
+    def test_stale_complete_does_not_overwrite_redelivery(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.15,
+                          retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        stale = queue.claim(worker="w1")
+        time.sleep(0.2)
+        fresh = queue.claim(worker="w2")
+        assert queue.complete(fresh, "fresh-result") is True
+        assert queue.complete(stale, "stale-result") is False
+        assert queue.result("a") == "fresh-result"
+        assert queue.counts()["done"] == 1
+
+    def test_heartbeat_keeps_slow_job_leased(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.2)
+        queue.put("mapped", {}, key="slow")
+        lease = queue.claim(worker="w1")
+        # Renew well past the original expiry: the unit must never be
+        # redelivered while the worker is demonstrably alive.
+        for _ in range(4):
+            time.sleep(0.1)
+            assert queue.heartbeat(lease) is True
+            assert queue.claim(worker="w2") is None
+        assert queue.complete(lease, "done") is True
+
+    def test_heartbeat_reports_lost_lease(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.15,
+                          retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        lease = queue.claim(worker="w1")
+        time.sleep(0.2)
+        queue.claim(worker="w2")
+        assert queue.heartbeat(lease) is False
+
+
+class TestRetryAndDeadLetter:
+    def test_fail_requeues_with_backoff(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=5,
+                          max_attempts=3, retry_backoff=0.15)
+        queue.put("mapped", {}, key="a")
+        lease = queue.claim()
+        assert queue.fail(lease, "boom") == "ready"
+        assert queue.claim() is None  # inside the backoff window
+        time.sleep(0.2)
+        retried = queue.claim()
+        assert retried is not None and retried.attempts == 2
+        assert queue.attempts("a") == 2
+
+    def test_dead_letter_after_max_attempts_failures(self, queue_path):
+        queue = WorkQueue(queue_path, max_attempts=3, retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        outcomes = []
+        for _ in range(3):
+            lease = queue.claim()
+            assert lease is not None
+            outcomes.append(queue.fail(lease, "boom"))
+        assert outcomes == ["ready", "ready", "dead"]
+        assert queue.claim() is None
+        letters = queue.dead_letters()
+        assert letters == [{"key": "a", "kind": "mapped", "attempts": 3,
+                            "error": "boom"}]
+
+    def test_dead_letter_via_expiry_on_last_attempt(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.1,
+                          max_attempts=2, retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        queue.claim(worker="w1")
+        time.sleep(0.15)
+        queue.claim(worker="w2")  # second (= last) delivery
+        time.sleep(0.15)
+        assert queue.claim(worker="w3") is None  # sweep dead-letters it
+        assert queue.counts()["dead"] == 1
+        assert queue.unfinished() == 0
+
+    def test_stale_fail_ignored(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.15,
+                          retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        stale = queue.claim(worker="w1")
+        time.sleep(0.2)
+        fresh = queue.claim(worker="w2")
+        assert queue.fail(stale, "late failure") == "stale"
+        assert queue.complete(fresh, "ok") is True
+
+
+class TestConcurrency:
+    def test_parallel_claimants_get_disjoint_units(self, queue_path):
+        queue = WorkQueue(queue_path)
+        for index in range(20):
+            queue.put("mapped", {"i": index}, key=f"u{index:02d}")
+        claimed = []
+        lock = threading.Lock()
+
+        def worker(worker_id):
+            local = WorkQueue(queue_path)
+            while True:
+                lease = local.claim(worker=worker_id)
+                if lease is None:
+                    return
+                with lock:
+                    claimed.append(lease.key)
+                local.complete(lease, lease.unit["i"])
+
+        threads = [threading.Thread(target=worker, args=(f"w{n}",))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == [f"u{index:02d}" for index in range(20)]
+        assert len(set(claimed)) == 20  # no double delivery
+        assert queue.counts()["done"] == 20
+
+
+class TestObservation:
+    def test_results_and_finished_keys(self, queue_path):
+        queue = WorkQueue(queue_path)
+        queue.put("mapped", {}, key="a")
+        queue.put("mapped", {}, key="b")
+        lease = queue.claim()
+        queue.complete(lease, {"value": 1})
+        assert queue.finished_keys() == ["a"]
+        assert queue.results() == {"a": {"value": 1}}
+        assert queue.unfinished() == 1
+
+    def test_result_of_unknown_or_unfinished_unit_raises(self, queue_path):
+        queue = WorkQueue(queue_path)
+        queue.put("mapped", {}, key="a")
+        with pytest.raises(QueueError):
+            queue.result("a")
+        with pytest.raises(QueueError):
+            queue.result("missing")
+        with pytest.raises(QueueError):
+            queue.attempts("missing")
+
+
+class TestSchemaIntegration:
+    def test_document_views_follow_work_queue_schema(self, queue_path):
+        queue = WorkQueue(queue_path, max_attempts=1, retry_backoff=0.0)
+        queue.put("mapped", {}, key="a")
+        queue.put("benchmark_job", {}, key="b")
+        queue.complete(queue.claim(), "ok")
+        queue.fail(queue.claim(), "boom")
+        documents = queue.to_documents()
+        for document in documents:
+            new_document("work_queue", **document)  # validates
+        assert [doc["status"] for doc in documents] == ["done", "dead"]
+
+    def test_invalid_status_rejected_by_schema(self):
+        with pytest.raises(DatabaseError):
+            new_document("work_queue", key="a", kind="mapped",
+                         status="exploded")
+
+    def test_store_work_queue_lands_next_to_store_file(self, tmp_path):
+        store = DocumentStore(str(tmp_path / "db.json"))
+        queue = store.work_queue()
+        assert queue.path == str(tmp_path / "db.queue.sqlite")
+
+    def test_store_without_path_needs_explicit_queue_path(self, tmp_path):
+        store = DocumentStore()
+        with pytest.raises(DatabaseError):
+            store.work_queue()
+        queue = store.work_queue(path=str(tmp_path / "q.sqlite"))
+        assert queue.counts()["ready"] == 0
+
+    def test_snapshot_work_queue_mirrors_rows(self, tmp_path):
+        store = DocumentStore(str(tmp_path / "db.json"))
+        queue = store.work_queue()
+        queue.put("mapped", {}, key="a")
+        queue.complete(queue.claim(), "ok")
+        queue.put("mapped", {}, key="b")
+        assert store.snapshot_work_queue(queue) == 2
+        collection = store["work_queue"]
+        assert collection.count({"status": "done"}) == 1
+        assert collection.find_one({"key": "b"})["status"] == "ready"

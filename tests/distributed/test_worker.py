@@ -1,0 +1,192 @@
+"""Tests for the stateless worker: drain loop, dispatch, crash recovery."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.distributed.queue import WorkQueue
+from repro.distributed.worker import drain_queue, execute_work_unit
+
+
+def _double(value):
+    return value * 2
+
+
+def _boom(value):
+    raise ValueError(f"no good: {value}")
+
+
+@pytest.fixture
+def queue_path(tmp_path):
+    return str(tmp_path / "queue.sqlite")
+
+
+def _worker_command(queue_path, *extra):
+    return [sys.executable, "-m", "repro.worker",
+            "--queue", queue_path, *extra]
+
+
+def _worker_env():
+    env = dict(os.environ)
+    src_root = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_root, env.get("PYTHONPATH", "")) if part)
+    return env
+
+
+class TestExecuteWorkUnit:
+    def test_mapped_dispatch(self):
+        unit = {"task": "mapped", "function": _double, "item": 21}
+        assert execute_work_unit(unit) == 42
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            execute_work_unit({"task": "teleport"})
+
+    def test_detect_batch_dispatch(self, small_signal):
+        data = small_signal.to_array()
+        unit = {"task": "detect_batch",
+                "body": {"pipeline": "azure",
+                         "signals": [data.tolist()]}}
+        result = execute_work_unit(unit)
+        assert result["n_signals"] == 1
+        assert isinstance(result["anomalies"], list)
+
+
+class TestDrainQueue:
+    def test_drains_to_empty_and_reports_completions(self, queue_path):
+        queue = WorkQueue(queue_path)
+        for index in range(5):
+            queue.put("mapped", {"task": "mapped", "function": _double,
+                                 "item": index}, key=f"u{index}")
+        completed = drain_queue(queue, worker_id="t")
+        assert completed == 5
+        assert queue.unfinished() == 0
+        assert queue.results() == {f"u{i}": i * 2 for i in range(5)}
+
+    def test_execution_error_retries_then_dead_letters(self, queue_path):
+        queue = WorkQueue(queue_path, max_attempts=2, retry_backoff=0.0)
+        queue.put("mapped", {"task": "mapped", "function": _boom,
+                             "item": 1}, key="bad")
+        queue.put("mapped", {"task": "mapped", "function": _double,
+                             "item": 2}, key="good")
+        completed = drain_queue(queue, worker_id="t")
+        assert completed == 1
+        letters = queue.dead_letters()
+        assert len(letters) == 1 and letters[0]["key"] == "bad"
+        assert letters[0]["attempts"] == 2
+        assert "ValueError" in letters[0]["error"]
+
+    def test_max_jobs_stops_early(self, queue_path):
+        queue = WorkQueue(queue_path)
+        for index in range(4):
+            queue.put("mapped", {"task": "mapped", "function": _double,
+                                 "item": index})
+        assert drain_queue(queue, worker_id="t", max_jobs=2) == 2
+        assert queue.unfinished() == 2
+
+    def test_checkpoint_lines_written_for_record_results(self, queue_path,
+                                                         tmp_path):
+        queue = WorkQueue(queue_path)
+        queue.put("mapped", {"task": "mapped", "function": dict,
+                             "item": [("f1", 0.5)]}, key="rec")
+        queue.put("mapped", {"task": "mapped", "function": _double,
+                             "item": 3}, key="scalar")
+        checkpoints = tmp_path / "ckpt"
+        drain_queue(queue, worker_id="wid", checkpoint_dir=str(checkpoints))
+        lines = [json.loads(line) for line in
+                 (checkpoints / "worker-wid.jsonl").read_text().splitlines()]
+        # dict results are checkpointed, scalar results are not
+        assert lines == [{"kind": "record", "key": "rec",
+                          "record": {"f1": 0.5}}]
+
+
+class TestWorkerProcess:
+    def test_subprocess_drains_queue_and_exits_zero(self, queue_path):
+        queue = WorkQueue(queue_path)
+        for index in range(-4, 0):
+            queue.put("mapped", {"task": "mapped", "function": abs,
+                                 "item": index}, key=f"u{-index}")
+        process = subprocess.run(
+            _worker_command(queue_path), env=_worker_env(),
+            capture_output=True, text=True, timeout=60)
+        assert process.returncode == 0, process.stderr
+        assert "completed=4" in process.stdout
+        assert queue.counts()["done"] == 4
+
+    def test_sigkilled_worker_recovers_via_redelivery(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=0.3,
+                          max_attempts=3, retry_backoff=0.0)
+        # One slow unit the victim will be killed inside, plus quick ones.
+        queue.put("mapped", {"task": "mapped", "function": time.sleep,
+                             "item": 30.0}, key="slow")
+        process = subprocess.Popen(
+            _worker_command(queue_path), env=_worker_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.time() + 30
+            while queue.counts()["leased"] == 0:
+                assert time.time() < deadline, "worker never claimed"
+                time.sleep(0.05)
+            os.kill(process.pid, signal.SIGKILL)
+            process.wait(timeout=10)
+            # Replace the eternal sleep with a finishable unit *result*: a
+            # redelivery of the same payload would sleep 30s, so instead
+            # verify the lease expires and the unit becomes claimable.
+            deadline = time.time() + 10
+            lease = None
+            while lease is None and time.time() < deadline:
+                time.sleep(0.1)
+                lease = queue.claim(worker="survivor")
+            assert lease is not None, "expired lease never redelivered"
+            assert lease.key == "slow" and lease.attempts == 2
+            assert queue.complete(lease, "recovered") is True
+            assert queue.result("slow") == "recovered"
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+    def test_sigterm_finishes_current_job_then_exits_cleanly(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=5.0)
+        queue.put("mapped", {"task": "mapped", "function": time.sleep,
+                             "item": 1.0}, key="inflight")
+        queue.put("mapped", {"task": "mapped", "function": time.sleep,
+                             "item": 0.01}, key="afterwards")
+        process = subprocess.Popen(
+            _worker_command(queue_path), env=_worker_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        try:
+            deadline = time.time() + 30
+            while queue.counts()["leased"] == 0:
+                assert time.time() < deadline, "worker never claimed"
+                time.sleep(0.05)
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, stderr
+            # The in-flight job was finished and acknowledged, the queued
+            # one was left for another worker.
+            assert queue.counts()["done"] == 1
+            assert queue.finished_keys() == ["inflight"]
+            assert queue.counts()["ready"] == 1
+        finally:
+            if process.poll() is None:  # pragma: no cover - cleanup
+                process.kill()
+                process.wait()
+
+    def test_crash_after_claims_flag_kills_with_lease_held(self, queue_path):
+        queue = WorkQueue(queue_path, visibility_timeout=30.0)
+        queue.put("mapped", {"task": "mapped", "function": abs,
+                             "item": -1}, key="victim")
+        process = subprocess.run(
+            _worker_command(queue_path, "--crash-after-claims", "1"),
+            env=_worker_env(), capture_output=True, timeout=60)
+        assert process.returncode == 137
+        counts = queue.counts()
+        assert counts["leased"] == 1 and counts["done"] == 0
