@@ -75,7 +75,7 @@ def main():
     confirmed = 0
     for signal in signals:
         signal_id = signal_ids[signal.name]
-        events = api.get("/events", query={"signal_id": signal_id}).body["events"]
+        events = api.get("/events", query={"signal_id": signal_id}).body["items"]
         detected = [(event["start_time"], event["stop_time"]) for event in events]
         reviews = experts.review_signal(signal, detected, missed_fraction=0.5)
         for event, review in zip(events, reviews):

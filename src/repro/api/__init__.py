@@ -1,6 +1,22 @@
-"""``repro.api``: REST-style API over the knowledge base."""
+"""``repro.api``: REST-style API over the knowledge base, fronted by a
+multi-tenant production gateway (``repro.api.gateway``)."""
 
+from repro.api.gateway import AdmissionController, Gateway
 from repro.api.jobs import Job, JobManager
-from repro.api.rest import Response, SintelAPI
+from repro.api.metrics import MetricsRegistry, parse_prometheus
+from repro.api.rest import Response, SintelAPI, error_envelope
+from repro.api.tenants import TenantRegistry, TokenBucket
 
-__all__ = ["SintelAPI", "Response", "Job", "JobManager"]
+__all__ = [
+    "SintelAPI",
+    "Response",
+    "Job",
+    "JobManager",
+    "Gateway",
+    "AdmissionController",
+    "TenantRegistry",
+    "TokenBucket",
+    "MetricsRegistry",
+    "parse_prometheus",
+    "error_envelope",
+]

@@ -26,7 +26,11 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional
 
-from repro.exceptions import NotFoundError
+from repro.exceptions import (
+    CapacityError,
+    NotFoundError,
+    ServiceUnavailableError,
+)
 
 __all__ = ["Job", "JobManager", "RequestCoalescer"]
 
@@ -261,15 +265,16 @@ class JobManager:
         """Queue ``function`` for execution and return its :class:`Job`.
 
         Raises:
-            ValueError: when ``max_active`` jobs are already pending or
-                running (capacity rejection), or after :meth:`shutdown`.
+            CapacityError: when ``max_active`` jobs are already pending or
+                running (capacity rejection — HTTP 429).
+            ServiceUnavailableError: after :meth:`shutdown` (HTTP 503).
         """
         with self._lock:
             if self.max_active is not None:
                 active = sum(1 for job in self._jobs.values()
                              if job.status in ("pending", "running"))
                 if active >= self.max_active:
-                    raise ValueError(
+                    raise CapacityError(
                         f"Job capacity reached ({self.max_active} active "
                         "jobs); retry once one finishes"
                     )
@@ -297,8 +302,9 @@ class JobManager:
             # a client-level error instead of leaking the RuntimeError.
             with self._lock:
                 del self._jobs[job.job_id]
-            raise ValueError("The job manager is shut down; "
-                             "no new jobs are accepted") from error
+            raise ServiceUnavailableError(
+                "The job manager is shut down; no new jobs are accepted"
+            ) from error
         return job
 
     def get(self, job_id: str) -> Job:

@@ -10,24 +10,37 @@ a network stack or a web framework.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import re
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.api.jobs import JobManager, RequestCoalescer
 from repro.api.streams import StreamManager
 from repro.db.explorer import SintelExplorer
-from repro.exceptions import NotFoundError, ReproError
+from repro.exceptions import (
+    CapacityError,
+    DuplicateKeyError,
+    NotFoundError,
+    ReproError,
+    ServiceUnavailableError,
+)
 
-__all__ = ["Response", "SintelAPI"]
+__all__ = ["Response", "SintelAPI", "error_envelope",
+           "DEFAULT_PAGE_LIMIT", "MAX_PAGE_LIMIT"]
+
+#: Default and maximum ``limit`` accepted by paginated list endpoints.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 1000
 
 
 class Response:
     """A minimal HTTP-like response object."""
 
-    def __init__(self, status: int, body):
+    def __init__(self, status: int, body, headers: Optional[dict] = None):
         self.status = status
         self.body = body
+        self.headers: Dict[str, str] = dict(headers or {})
 
     @property
     def ok(self) -> bool:
@@ -42,8 +55,30 @@ class Response:
         return f"Response(status={self.status})"
 
 
+def error_envelope(code: str, message: str, request_id: Optional[str] = None,
+                   details: Optional[dict] = None) -> dict:
+    """The one error body shape every handler returns.
+
+    ``{"error": {"code", "message", "details", "request_id"}}`` — ``code``
+    is a stable machine-readable slug (clients switch on it), ``message``
+    is human-readable, ``details`` carries structured context, and
+    ``request_id`` correlates the response with the gateway's log line.
+    """
+    return {"error": {
+        "code": code,
+        "message": message,
+        "details": details or {},
+        "request_id": request_id,
+    }}
+
+
 class SintelAPI:
     """Route table + handlers for the Sintel REST API.
+
+    This is the transport-agnostic core; production deployments wrap it
+    in :class:`repro.api.gateway.Gateway`, which adds the ``/v1``
+    versioned surface, authentication, per-tenant rate limiting,
+    admission control and ``GET /metrics``.
 
     Routes (mirroring the open-source sintel API):
 
@@ -71,6 +106,14 @@ class SintelAPI:
     * ``POST /streams/<id>/data``        — push a micro-batch (``202``)
     * ``GET  /streams/<id>``             — poll state + incremental anomalies
     * ``DELETE /streams/<id>``           — close a stream session
+
+    Every handler failure maps to one error envelope —
+    ``{"error": {"code", "message", "details", "request_id"}}`` — and a
+    matched path with the wrong method answers ``405`` with an ``Allow``
+    header. The list routes (``/datasets``, ``/signals``, ``/events``)
+    paginate: bounded ``limit``/``offset`` query parameters (default
+    ``100``) over a stable sort, returning
+    ``{"items", "total", "limit", "offset", "next_offset"}``.
 
     Long-running work (detection, benchmarks) goes through the ``/jobs``
     resource: ``POST /jobs`` returns ``202 Accepted`` immediately with a job
@@ -133,6 +176,7 @@ class SintelAPI:
                                           window=coalesce_window,
                                           max_batch=coalesce_max_batch)
         self._routes: List[Tuple[str, re.Pattern, Callable]] = []
+        self._request_counter = itertools.count(1)
         self._register_routes()
 
     # ------------------------------------------------------------------ #
@@ -174,26 +218,75 @@ class SintelAPI:
         ]
 
     def handle(self, method: str, path: str, body: Optional[dict] = None,
-               query: Optional[dict] = None) -> Response:
-        """Dispatch a request to the matching handler."""
+               query: Optional[dict] = None,
+               request_id: Optional[str] = None) -> Response:
+        """Dispatch a request to the matching handler.
+
+        Every error response uses the unified envelope (see
+        :func:`error_envelope`); ``request_id`` is stamped into the
+        envelope and the ``X-Request-ID`` response header. The gateway
+        passes its own id; direct callers get a generated one.
+        """
         method = method.upper()
-        matched_path = False
+        if request_id is None:
+            request_id = f"req-{next(self._request_counter)}"
+        response = self._dispatch(method, path, body, query, request_id)
+        response.headers.setdefault("X-Request-ID", request_id)
+        return response
+
+    def _dispatch(self, method: str, path: str, body, query,
+                  request_id: str) -> Response:
+        allowed: List[str] = []
         for route_method, pattern, handler in self._routes:
             match = pattern.match(path)
             if not match:
                 continue
-            matched_path = True
             if route_method != method:
+                allowed.append(route_method)
                 continue
             try:
                 return handler(body or {}, query or {}, **match.groupdict())
             except NotFoundError as error:
-                return Response(404, {"error": str(error)})
-            except (ReproError, ValueError, KeyError) as error:
-                return Response(400, {"error": str(error)})
-        if matched_path:
-            return Response(405, {"error": f"Method {method} not allowed for {path}"})
-        return Response(404, {"error": f"Unknown route {path}"})
+                return Response(404, error_envelope(
+                    "not_found", str(error), request_id))
+            except DuplicateKeyError as error:
+                return Response(409, error_envelope(
+                    "conflict", str(error), request_id))
+            except CapacityError as error:
+                return Response(
+                    429,
+                    error_envelope("capacity_exhausted", str(error),
+                                   request_id),
+                    headers={"Retry-After": f"{error.retry_after:g}"},
+                )
+            except ServiceUnavailableError as error:
+                return Response(
+                    503,
+                    error_envelope("service_unavailable", str(error),
+                                   request_id),
+                    headers={"Retry-After": "1"},
+                )
+            except KeyError as error:
+                field = error.args[0] if error.args else str(error)
+                return Response(400, error_envelope(
+                    "bad_request", f"Missing required field {field!r}",
+                    request_id, details={"missing_field": str(field)}))
+            except (ReproError, ValueError) as error:
+                return Response(400, error_envelope(
+                    "bad_request", str(error), request_id))
+        if allowed:
+            return Response(
+                405,
+                error_envelope(
+                    "method_not_allowed",
+                    f"Method {method} not allowed for {path}",
+                    request_id,
+                    details={"allowed": sorted(set(allowed))},
+                ),
+                headers={"Allow": ", ".join(sorted(set(allowed)))},
+            )
+        return Response(404, error_envelope(
+            "not_found", f"Unknown route {path}", request_id))
 
     # Lifecycle ----------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
@@ -229,8 +322,43 @@ class SintelAPI:
     # ------------------------------------------------------------------ #
     # handlers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _doc_sort_key(document: dict) -> tuple:
+        # Stable sort for paginated listings: creation time, then id —
+        # ids share a ``<kind>-<n>`` shape, so split the numeric suffix
+        # to keep e.g. doc-10 after doc-9.
+        doc_id = str(document.get("_id", ""))
+        prefix, _, suffix = doc_id.rpartition("-")
+        number = int(suffix) if suffix.isdigit() else 0
+        return (document.get("created_at", 0), prefix, number, doc_id)
+
+    @classmethod
+    def _paginate(cls, items: List[dict], query: dict) -> dict:
+        """Bounded ``limit``/``offset`` pagination with a stable sort.
+
+        Returns ``{"items", "total", "limit", "offset", "next_offset"}``;
+        ``next_offset`` is ``None`` on the last page.
+        """
+        try:
+            limit = int(query.get("limit", DEFAULT_PAGE_LIMIT))
+            offset = int(query.get("offset", 0))
+        except (TypeError, ValueError):
+            raise ValueError("limit and offset must be integers")
+        if limit < 1 or limit > MAX_PAGE_LIMIT:
+            raise ValueError(
+                f"limit must be between 1 and {MAX_PAGE_LIMIT}, got {limit}")
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative, got {offset}")
+        ordered = sorted(items, key=cls._doc_sort_key)
+        total = len(ordered)
+        page = ordered[offset:offset + limit]
+        next_offset = offset + limit if offset + limit < total else None
+        return {"items": page, "total": total, "limit": limit,
+                "offset": offset, "next_offset": next_offset}
+
     def _list_datasets(self, body, query) -> Response:
-        return Response(200, {"datasets": self.explorer.store["datasets"].find()})
+        datasets = self.explorer.store["datasets"].find()
+        return Response(200, self._paginate(datasets, query))
 
     def _create_dataset(self, body, query) -> Response:
         dataset_id = self.explorer.add_dataset(body["name"],
@@ -239,13 +367,13 @@ class SintelAPI:
 
     def _list_signals(self, body, query) -> Response:
         signals = self.explorer.get_signals(dataset_id=query.get("dataset_id"))
-        return Response(200, {"signals": signals})
+        return Response(200, self._paginate(signals, query))
 
     def _list_events(self, body, query) -> Response:
         events = self.explorer.get_events(
             signal_id=query.get("signal_id"), source=query.get("source")
         )
-        return Response(200, {"events": events})
+        return Response(200, self._paginate(events, query))
 
     def _create_event(self, body, query) -> Response:
         event_id = self.explorer.add_event(

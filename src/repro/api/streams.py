@@ -23,7 +23,13 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional
 
-from repro.exceptions import DatabaseError, NotFoundError, StreamError
+from repro.exceptions import (
+    CapacityError,
+    DatabaseError,
+    NotFoundError,
+    ServiceUnavailableError,
+    StreamError,
+)
 
 __all__ = ["StreamSession", "StreamManager", "build_drift_detector"]
 
@@ -158,7 +164,7 @@ class StreamManager:
             open_count = sum(1 for session in self._sessions.values()
                              if session.status == "open")
             if open_count >= self.max_sessions:
-                raise ValueError(
+                raise CapacityError(
                     f"Stream capacity reached ({self.max_sessions} open "
                     "sessions); close one before opening another"
                 )
@@ -279,8 +285,9 @@ class StreamManager:
             with session._lock:
                 session._draining = False
                 session._idle.set()
-            raise ValueError("The stream manager is shut down; "
-                             "no new batches are accepted") from error
+            raise ServiceUnavailableError(
+                "The stream manager is shut down; no new batches are accepted"
+            ) from error
 
     def _drain(self, session: StreamSession) -> None:
         # Single active drainer per session: batches are processed strictly

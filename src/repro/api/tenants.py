@@ -1,0 +1,258 @@
+"""Multi-tenant identity, API keys and per-tenant rate limits.
+
+The gateway's tenant model: a *tenant* is one paying/consuming principal
+with an API key, a token-bucket rate allowance, and a lifecycle status.
+Keys are opaque random strings; only a SHA-256 hash is retained (in memory
+and in the optional ``tenants`` knowledge-base collection), so a leaked
+database snapshot never leaks credentials — the cleartext key is returned
+exactly once, at provisioning time.
+
+Rate limiting uses the classic token bucket: a bucket holds up to
+``burst`` tokens and refills at ``rate`` tokens per second; each admitted
+request spends one token. The bucket is per tenant, so one tenant
+saturating its allowance can never spend another tenant's tokens — the
+isolation property the gateway test suite asserts under concurrent mixed
+traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import secrets
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import AuthenticationError, NotFoundError
+
+__all__ = ["Tenant", "TokenBucket", "TenantRegistry", "hash_key"]
+
+#: Sentinel distinguishing "not passed" from an explicit ``None``
+#: (= unlimited) in :meth:`TenantRegistry.create`.
+_DEFAULT = object()
+
+
+def hash_key(api_key: str) -> str:
+    """Digest an API key for storage and lookup."""
+    return hashlib.sha256(api_key.encode()).hexdigest()
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``burst`` capacity, ``rate``/s refill.
+
+    ``try_acquire`` never blocks — the gateway sheds instead of queueing
+    rate-limited requests — and reports how long until the next token
+    when it refuses, which becomes the ``Retry-After`` header.
+
+    Args:
+        rate: sustained tokens per second. ``None`` disables limiting.
+        burst: bucket capacity (defaults to ``max(1, rate)``).
+        clock: monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(self, rate: Optional[float], burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None for unlimited)")
+        self.rate = rate
+        self.burst = float(burst if burst is not None
+                           else max(1.0, rate or 1.0))
+        if self.burst < 1:
+            raise ValueError("burst must be at least 1")
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``tokens`` if available.
+
+        Returns ``(True, 0.0)`` on success, else ``(False, retry_after)``
+        where ``retry_after`` is the seconds until the deficit refills.
+        """
+        if self.rate is None:
+            return True, 0.0
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True, 0.0
+            deficit = tokens - self._tokens
+            return False, deficit / self.rate
+
+    @property
+    def available(self) -> float:
+        """Tokens currently in the bucket (refreshes the refill first)."""
+        if self.rate is None:
+            return float("inf")
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class Tenant:
+    """One API principal: identity, hashed credential, rate allowance."""
+
+    def __init__(self, tenant_id: str, name: str, key_hash: str,
+                 rate: Optional[float], burst: Optional[float],
+                 status: str = "active"):
+        self.tenant_id = tenant_id
+        self.name = name
+        self.key_hash = key_hash
+        self.rate = rate
+        self.burst = burst
+        self.status = status
+        self.created_at = time.time()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (never includes key material)."""
+        return {
+            "id": self.tenant_id,
+            "name": self.name,
+            "rate": self.rate,
+            "burst": self.burst,
+            "status": self.status,
+            "created_at": self.created_at,
+        }
+
+
+class TenantRegistry:
+    """Provision, authenticate and revoke tenants; own their buckets.
+
+    When constructed over a :class:`~repro.db.store.DocumentStore`, every
+    tenant is persisted as a document in the ``tenants`` collection (key
+    *hash* only) and previously persisted tenants are loaded back, so a
+    restarted gateway keeps honouring issued keys.
+
+    Args:
+        store: optional knowledge-base store for persistence.
+        default_rate: bucket refill rate for tenants created without one.
+        default_burst: bucket capacity for tenants created without one.
+        clock: monotonic time source shared by every bucket (test hook).
+    """
+
+    def __init__(self, store=None, default_rate: Optional[float] = 50.0,
+                 default_burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.store = store
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, Tenant] = {}
+        self._by_hash: Dict[str, str] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._counter = itertools.count(1)
+        if store is not None:
+            self._load()
+
+    def _load(self) -> None:
+        for document in self.store["tenants"].find():
+            tenant = Tenant(
+                document.get("tenant_id", document["_id"]),
+                document["name"],
+                document["key_hash"],
+                document.get("rate"),
+                document.get("burst"),
+                status=document.get("status", "active"),
+            )
+            self._tenants[tenant.tenant_id] = tenant
+            if tenant.status == "active":
+                self._by_hash[tenant.key_hash] = tenant.tenant_id
+
+    def _persist(self, tenant: Tenant) -> None:
+        if self.store is None:
+            return
+        collection = self.store["tenants"]
+        existing = collection.find_one({"tenant_id": tenant.tenant_id})
+        if existing is None:
+            from repro.db.schema import new_document
+
+            collection.insert(new_document(
+                "tenants", tenant_id=tenant.tenant_id, name=tenant.name,
+                key_hash=tenant.key_hash, rate=tenant.rate,
+                burst=tenant.burst, status=tenant.status,
+            ))
+        else:
+            collection.update({"tenant_id": tenant.tenant_id},
+                              {"status": tenant.status})
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def create(self, name: str, rate=_DEFAULT, burst=_DEFAULT
+               ) -> Tuple[Tenant, str]:
+        """Provision a tenant; returns ``(tenant, api_key)``.
+
+        The cleartext ``api_key`` is returned here and never again.
+        ``rate``/``burst`` default to the registry-wide settings; an
+        explicit ``None`` rate means unlimited.
+        """
+        if rate is _DEFAULT:
+            rate = self.default_rate
+        if burst is _DEFAULT:
+            burst = self.default_burst
+        api_key = f"sk-{secrets.token_hex(16)}"
+        with self._lock:
+            tenant = Tenant(f"tenant-{next(self._counter)}", name,
+                            hash_key(api_key), rate, burst)
+            self._tenants[tenant.tenant_id] = tenant
+            self._by_hash[tenant.key_hash] = tenant.tenant_id
+            self._buckets[tenant.tenant_id] = TokenBucket(
+                rate, burst, clock=self._clock)
+        self._persist(tenant)
+        return tenant, api_key
+
+    def authenticate(self, api_key: Optional[str]) -> Tenant:
+        """Resolve an API key to its active tenant or raise 401."""
+        if not api_key:
+            raise AuthenticationError("Missing API key")
+        with self._lock:
+            tenant_id = self._by_hash.get(hash_key(api_key))
+            tenant = self._tenants.get(tenant_id) if tenant_id else None
+        if tenant is None or tenant.status != "active":
+            raise AuthenticationError("Unknown or revoked API key")
+        return tenant
+
+    def revoke(self, tenant_id: str) -> Tenant:
+        """Deactivate a tenant; its key stops authenticating immediately."""
+        with self._lock:
+            if tenant_id not in self._tenants:
+                raise NotFoundError(f"Unknown tenant {tenant_id!r}")
+            tenant = self._tenants[tenant_id]
+            tenant.status = "revoked"
+            self._by_hash.pop(tenant.key_hash, None)
+        self._persist(tenant)
+        return tenant
+
+    def get(self, tenant_id: str) -> Tenant:
+        """Return the tenant with ``tenant_id`` or raise NotFoundError."""
+        with self._lock:
+            if tenant_id not in self._tenants:
+                raise NotFoundError(f"Unknown tenant {tenant_id!r}")
+            return self._tenants[tenant_id]
+
+    def list(self) -> List[Tenant]:
+        """All known tenants in creation order."""
+        with self._lock:
+            return list(self._tenants.values())
+
+    def bucket(self, tenant_id: str) -> TokenBucket:
+        """The tenant's token bucket (created lazily for loaded tenants)."""
+        with self._lock:
+            if tenant_id not in self._tenants:
+                raise NotFoundError(f"Unknown tenant {tenant_id!r}")
+            if tenant_id not in self._buckets:
+                tenant = self._tenants[tenant_id]
+                self._buckets[tenant_id] = TokenBucket(
+                    tenant.rate, tenant.burst, clock=self._clock)
+            return self._buckets[tenant_id]

@@ -1,5 +1,11 @@
 """``repro.benchmark``: the standardized benchmarking framework (paper §3.4)."""
 
+from repro.benchmark.api import (
+    DEFAULT_ROUTES,
+    benchmark_api,
+    overload_proof,
+    percentile,
+)
 from repro.benchmark.batch import (
     PARITY_ATOL,
     PARITY_RTOL,
@@ -66,6 +72,10 @@ __all__ = [
     "benchmark_distributed",
     "quality_view",
     "DETERMINISTIC_FIELDS",
+    "benchmark_api",
+    "overload_proof",
+    "percentile",
+    "DEFAULT_ROUTES",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

@@ -1,0 +1,284 @@
+"""Gateway benchmark: closed-loop multi-tenant load with an overload proof.
+
+``benchmark_api`` drives the production :class:`repro.api.Gateway` with N
+concurrent closed-loop tenant clients (each thread issues its next request
+only after the previous one returns) over cheap read routes, in two
+phases:
+
+* **baseline** — every tenant runs with a generous token bucket; the
+  per-tenant latency percentiles and error rates recorded here are the
+  reference band.
+* **overload** — one additional "hog" tenant fires ``hog_factor``× its
+  admitted budget as fast as it can while the quiet tenants repeat their
+  baseline traffic.
+
+The claim CI verifies is the *no-noisy-neighbour* property: under
+overload the hog is shed (429s from its token bucket and the admission
+queue) while the quiet tenants' goodput, error rate and p95 stay inside
+the baseline band. ``overload_proof`` evaluates that claim and — when
+``disable_gating=True`` — re-runs with the hog's bucket and the admission
+gate opened wide, which must make the proof FAIL; the CI leg uses that as
+a negative control proving the check has teeth.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Sequence
+
+from repro.api.gateway import Gateway
+from repro.api.rest import SintelAPI
+from repro.api.tenants import TenantRegistry
+from repro.db import SintelExplorer
+from repro.exceptions import BenchmarkError
+
+__all__ = [
+    "benchmark_api",
+    "overload_proof",
+    "percentile",
+    "DEFAULT_ROUTES",
+]
+
+#: Cheap read routes exercised by the closed-loop clients.
+DEFAULT_ROUTES = ("/v1/pipelines", "/v1/events", "/v1/datasets")
+
+#: p95 band for the overload proof: quiet-tenant p95 under overload must
+#: stay below ``max(baseline_p95 * P95_TOLERANCE, P95_FLOOR_MS)``. The
+#: absolute floor keeps the check meaningful when the baseline is
+#: sub-millisecond (where a 10x ratio is measurement noise).
+P95_TOLERANCE = 10.0
+P95_FLOOR_MS = 50.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of ``values``."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+    return ordered[index]
+
+
+def _seed_knowledge_base(api: SintelAPI, n_events: int = 20) -> None:
+    """Populate the explorer so list routes return non-trivial pages."""
+    from repro.data import generate_signal
+
+    explorer = api.explorer
+    dataset_id = explorer.add_dataset("bench")
+    signal = generate_signal("bench-1", length=60, n_anomalies=1,
+                             random_state=0)
+    signal_id = explorer.add_signal(dataset_id, signal)
+    for index in range(n_events):
+        explorer.add_event(signal_id=signal_id, signalrun_id="run-bench",
+                           start_time=index, stop_time=index + 1,
+                           source="machine")
+
+
+def _run_client(gateway: Gateway, key: str, routes: Sequence[str],
+                n_requests: int, latencies: List[float],
+                statuses: List[int]) -> None:
+    """Closed-loop client: next request only after the previous returns."""
+    for index in range(n_requests):
+        route = routes[index % len(routes)]
+        started = time.perf_counter()
+        response = gateway.get(route, headers={"X-API-Key": key})
+        latencies.append((time.perf_counter() - started) * 1000.0)
+        statuses.append(response.status)
+
+
+def _tenant_record(phase: str, name: str, latencies: List[float],
+                   statuses: List[int], wall: float) -> dict:
+    n = len(statuses)
+    ok = sum(1 for status in statuses if status < 400)
+    rate_limited = statuses.count(429)
+    errors = n - ok - rate_limited
+    return {
+        "phase": phase,
+        "tenant": name,
+        "requests": n,
+        "ok": ok,
+        "rate_limited": rate_limited,
+        "errors": errors,
+        "error_rate": errors / n if n else 0.0,
+        "goodput": ok / wall if wall > 0 else float("inf"),
+        "p50_ms": percentile(latencies, 0.50),
+        "p95_ms": percentile(latencies, 0.95),
+        "p99_ms": percentile(latencies, 0.99),
+    }
+
+
+def _run_phase(gateway: Gateway, phase: str,
+               clients: Dict[str, dict]) -> List[dict]:
+    """Run every client concurrently; one record per tenant."""
+    results = {name: ([], []) for name in clients}
+    threads = []
+    for name, spec in clients.items():
+        latencies, statuses = results[name]
+        threads.append(threading.Thread(
+            target=_run_client,
+            args=(gateway, spec["key"], spec["routes"], spec["n_requests"],
+                  latencies, statuses),
+            name=f"bench-api-{phase}-{name}"))
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return [
+        _tenant_record(phase, name, results[name][0], results[name][1], wall)
+        for name in sorted(clients)
+    ]
+
+
+def benchmark_api(
+        n_tenants: int = 3,
+        requests_per_client: int = 60,
+        hog_factor: int = 4,
+        hog_rate: float = 25.0,
+        hog_burst: float = 10.0,
+        routes: Sequence[str] = DEFAULT_ROUTES,
+        max_concurrent: int = 8,
+        max_queue: int = 16,
+        gating: bool = True,
+        verbose: bool = False) -> dict:
+    """Closed-loop gateway load test with a tenant-isolation overload phase.
+
+    Args:
+        n_tenants: quiet tenants running closed-loop in both phases.
+        requests_per_client: requests each quiet client issues per phase.
+        hog_factor: the hog fires ``hog_factor * hog_burst`` requests
+            back-to-back in the overload phase — several times its
+            admitted budget.
+        hog_rate / hog_burst: the hog's token bucket (ignored when
+            ``gating=False``, which gives it an unlimited bucket).
+        routes: route mix cycled by every client.
+        max_concurrent / max_queue: admission-control sizing (widened to
+            effectively-unbounded when ``gating=False``).
+        gating: when False, disables both per-tenant rate limiting for the
+            hog and admission shedding — the negative-control mode used by
+            ``overload_proof`` to show the protection is load-bearing.
+        verbose: print one line per phase.
+
+    Returns:
+        ``{"records": [...], "summary": {...}}`` — one record per
+        (phase, tenant) with goodput, error rate and latency percentiles;
+        the summary carries the quiet-tenant aggregate band for both
+        phases plus the overload-proof inputs (``shed_engaged``,
+        ``p95_within_band``, ...).
+    """
+    if n_tenants < 1 or requests_per_client < 1 or hog_factor < 1:
+        raise BenchmarkError(
+            "n_tenants, requests_per_client and hog_factor must be >= 1")
+
+    registry = TenantRegistry()
+    gateway = Gateway(
+        SintelAPI(SintelExplorer()), tenants=registry,
+        max_concurrent=max_concurrent if gating else 10_000,
+        max_queue=max_queue, queue_timeout=0.25)
+    try:
+        _seed_knowledge_base(gateway.api)
+
+        quiet = {}
+        for index in range(n_tenants):
+            _, key = registry.create(f"tenant-{index}", rate=100_000.0,
+                                     burst=100_000.0)
+            quiet[f"tenant-{index}"] = {
+                "key": key, "routes": list(routes),
+                "n_requests": requests_per_client,
+            }
+        _, hog_key = registry.create(
+            "hog", rate=None if not gating else hog_rate,
+            burst=None if not gating else hog_burst)
+
+        baseline = _run_phase(gateway, "baseline", quiet)
+        if verbose:  # pragma: no cover - console output
+            for record in baseline:
+                print(f"baseline {record['tenant']}: "
+                      f"p95={record['p95_ms']:.2f}ms "
+                      f"goodput={record['goodput']:.0f} req/s")
+
+        hog_requests = int(hog_factor * hog_burst)
+        overload_clients = dict(quiet)
+        overload_clients["hog"] = {
+            "key": hog_key, "routes": list(routes),
+            "n_requests": hog_requests,
+        }
+        overload = _run_phase(gateway, "overload", overload_clients)
+        if verbose:  # pragma: no cover - console output
+            for record in overload:
+                print(f"overload {record['tenant']}: "
+                      f"p95={record['p95_ms']:.2f}ms 429s="
+                      f"{record['rate_limited']}/{record['requests']}")
+
+        admission = gateway.admission.stats()
+    finally:
+        gateway.close()
+
+    records = baseline + overload
+
+    def quiet_band(phase_records):
+        quiet_only = [record for record in phase_records
+                      if record["tenant"] != "hog"]
+        return {
+            "p95_ms": max(record["p95_ms"] for record in quiet_only),
+            "error_rate": max(record["error_rate"]
+                              for record in quiet_only),
+            "rate_limited": sum(record["rate_limited"]
+                                for record in quiet_only),
+            "goodput": sum(record["goodput"] for record in quiet_only),
+        }
+
+    baseline_band = quiet_band(baseline)
+    overload_band = quiet_band(overload)
+    hog_record = next(record for record in overload
+                      if record["tenant"] == "hog")
+    p95_ceiling = max(baseline_band["p95_ms"] * P95_TOLERANCE, P95_FLOOR_MS)
+
+    summary = {
+        "gating": gating,
+        "n_tenants": n_tenants,
+        "requests_per_client": requests_per_client,
+        "hog_requests": hog_record["requests"],
+        "hog_rate_limited": hog_record["rate_limited"],
+        "shed_engaged": hog_record["rate_limited"] > 0,
+        "baseline_quiet_p95_ms": baseline_band["p95_ms"],
+        "overload_quiet_p95_ms": overload_band["p95_ms"],
+        "p95_ceiling_ms": p95_ceiling,
+        "p95_within_band": overload_band["p95_ms"] <= p95_ceiling,
+        "baseline_quiet_error_rate": baseline_band["error_rate"],
+        "overload_quiet_error_rate": overload_band["error_rate"],
+        "quiet_rate_limited_overload": overload_band["rate_limited"],
+        "baseline_quiet_goodput": baseline_band["goodput"],
+        "overload_quiet_goodput": overload_band["goodput"],
+        "admission": admission,
+    }
+    return {"records": records, "summary": summary}
+
+
+def overload_proof(disable_gating: bool = False, **kwargs) -> dict:
+    """Evaluate the no-noisy-neighbour claim; the CI gate.
+
+    The proof holds iff, under overload, (a) the hog was shed — its 429
+    count is positive, (b) the quiet tenants saw no rate limiting and no
+    new errors, and (c) quiet p95 stayed inside the baseline band. With
+    ``disable_gating=True`` the hog gets an unlimited bucket and the
+    admission gate is opened wide, so (a) must fail — the negative
+    control CI runs to prove the gate is actually doing the protecting.
+    """
+    outcome = benchmark_api(gating=not disable_gating, **kwargs)
+    summary = outcome["summary"]
+    checks = {
+        "shed_engaged": summary["shed_engaged"],
+        "quiet_unlimited": summary["quiet_rate_limited_overload"] == 0,
+        "quiet_no_new_errors": (summary["overload_quiet_error_rate"]
+                                <= summary["baseline_quiet_error_rate"]),
+        "p95_within_band": summary["p95_within_band"],
+    }
+    return {
+        "ok": all(checks.values()),
+        "checks": checks,
+        "summary": summary,
+        "records": outcome["records"],
+    }

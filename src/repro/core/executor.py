@@ -68,6 +68,8 @@ __all__ = [
     "SHM_MIN_BYTES",
     "SHM_NAME_PREFIX",
     "MP_START_ENV",
+    "set_timing_sink",
+    "observe_step_timings",
 ]
 
 #: Environment variable selecting the multiprocessing start method used by
@@ -83,6 +85,42 @@ def _mp_context():
     if not method:
         return None
     return multiprocessing.get_context(method)
+
+
+# --------------------------------------------------------------------------- #
+# step-timing observability
+# --------------------------------------------------------------------------- #
+#: Optional process-wide sink receiving every run's ``step_timings`` dict
+#: (``{step_name: {"elapsed": ..., ...}}``). The API gateway installs an
+#: aggregator here so ``GET /metrics`` can export executor timings; when no
+#: sink is installed the hook is a no-op on the hot path.
+_TIMING_SINK: Optional[Callable[[Dict[str, dict]], None]] = None
+
+
+def set_timing_sink(sink: Optional[Callable[[Dict[str, dict]], None]]
+                    ) -> Optional[Callable]:
+    """Install (or clear, with ``None``) the step-timing sink.
+
+    Returns the previously installed sink so callers can restore it.
+    """
+    global _TIMING_SINK
+    previous = _TIMING_SINK
+    _TIMING_SINK = sink
+    return previous
+
+
+def observe_step_timings(timings: Dict[str, dict]) -> None:
+    """Feed one run's per-step timings to the installed sink, if any.
+
+    Sink errors are swallowed: observability must never fail a detection.
+    """
+    sink = _TIMING_SINK
+    if sink is None or not timings:
+        return
+    try:
+        sink(timings)
+    except Exception:  # noqa: BLE001 - observability is best-effort
+        pass
 
 
 # --------------------------------------------------------------------------- #

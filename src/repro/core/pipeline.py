@@ -24,7 +24,12 @@ from typing import Dict, List, Optional
 import networkx as nx
 import numpy as np
 
-from repro.core.executor import ExecutionPlan, Executor, get_executor
+from repro.core.executor import (
+    ExecutionPlan,
+    Executor,
+    get_executor,
+    observe_step_timings,
+)
 from repro.core.plan import PlanCompiler
 from repro.core.primitive import get_primitive, get_primitive_class
 from repro.exceptions import NotFittedError, PipelineError
@@ -300,6 +305,7 @@ class Pipeline:
         context, self.step_timings = self._executor.run_plan(
             plan, context, fit=fit, profile=profile
         )
+        observe_step_timings(self.step_timings)
         return context
 
     def fit(self, data, profile: bool = False, **context_variables) -> "Pipeline":
@@ -403,6 +409,7 @@ class Pipeline:
         context, self.step_timings = self._executor.run_plan(
             plan, context, fit=False, profile=profile
         )
+        observe_step_timings(self.step_timings)
         anomalies = context.get("anomalies")
         if anomalies is None:
             anomalies = [None] * size

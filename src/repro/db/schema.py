@@ -23,7 +23,8 @@ from typing import Dict, List
 from repro.exceptions import DatabaseError
 
 __all__ = ["COLLECTIONS", "EVENT_SOURCES", "ANNOTATION_TAGS",
-           "WORK_QUEUE_STATES", "validate_document", "new_document"]
+           "WORK_QUEUE_STATES", "TENANT_STATUSES",
+           "validate_document", "new_document"]
 
 #: Collection name -> required fields (besides ``_id`` and ``created_at``).
 COLLECTIONS: Dict[str, List[str]] = {
@@ -42,6 +43,10 @@ COLLECTIONS: Dict[str, List[str]] = {
     # stream; its emitted anomalies are stored as events whose
     # ``signalrun_id`` is the stream document id.
     "streams": ["pipeline", "status"],
+    # API gateway tenants: one document per provisioned tenant. Only a
+    # salted hash of the API key is stored; the cleartext key is returned
+    # exactly once at provisioning time (see repro.api.tenants).
+    "tenants": ["name", "key_hash", "status"],
     # Distributed work queue (fleet tier): one document per durable work
     # unit. The authoritative store is the SQLite file behind
     # :class:`repro.distributed.queue.WorkQueue` (document views come
@@ -57,6 +62,10 @@ EVENT_SOURCES = ("machine", "human", "both")
 #: ``leased`` (invisible under a visibility timeout), ``done`` (result
 #: stored), ``dead`` (retries exhausted — the dead-letter state).
 WORK_QUEUE_STATES = ("ready", "leased", "done", "dead")
+
+#: Lifecycle states of an API tenant: ``active`` keys authenticate,
+#: ``revoked`` keys are refused at the gateway.
+TENANT_STATUSES = ("active", "revoked")
 
 #: Tag taxonomy used in the real-world study (Figure 8b / Table 4).
 ANNOTATION_TAGS = ("normal", "problematic", "investigate", "anomaly", "eclipse")
@@ -80,6 +89,12 @@ def validate_document(collection: str, document: dict) -> None:
         )
     if collection == "events" and document["stop_time"] < document["start_time"]:
         raise DatabaseError("Event stop_time must not precede start_time")
+    if collection == "tenants" \
+            and document.get("status") not in TENANT_STATUSES:
+        raise DatabaseError(
+            f"Tenant status must be one of {TENANT_STATUSES}, "
+            f"got {document.get('status')!r}"
+        )
     if collection == "work_queue" \
             and document.get("status") not in WORK_QUEUE_STATES:
         raise DatabaseError(

@@ -14,6 +14,10 @@ __all__ = [
     "BenchmarkError",
     "ExecutorError",
     "StreamError",
+    "CapacityError",
+    "ServiceUnavailableError",
+    "AuthenticationError",
+    "RateLimitedError",
 ]
 
 
@@ -59,3 +63,25 @@ class ExecutorError(ReproError):
 
 class StreamError(ReproError):
     """Raised for invalid streaming configurations or ingestion errors."""
+
+
+class CapacityError(ReproError):
+    """Raised when a bounded resource (jobs, streams, admission queue) is
+    full and the request should be retried later (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ReproError):
+    """Raised when a subsystem has been shut down and cannot accept new
+    work (HTTP 503)."""
+
+
+class AuthenticationError(ReproError):
+    """Raised when a request carries no valid API key (HTTP 401)."""
+
+
+class RateLimitedError(CapacityError):
+    """Raised when a tenant exceeds its admitted request rate (HTTP 429)."""

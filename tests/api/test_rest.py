@@ -6,6 +6,7 @@ import pytest
 
 from repro.api import Response, SintelAPI
 from repro.db import SintelExplorer
+from repro.exceptions import CapacityError
 
 
 @pytest.fixture
@@ -18,7 +19,7 @@ def api():
 @pytest.fixture
 def api_with_event(api):
     api.post("/datasets", {"name": "NASA"})
-    dataset_id = api.get("/datasets").body["datasets"][0]["_id"]
+    dataset_id = api.get("/datasets").body["items"][0]["_id"]
     # Register a signal directly through the explorer (no upload endpoint).
     from repro.data import generate_signal
 
@@ -53,11 +54,13 @@ class TestDatasetsAndSignals:
         created = api.post("/datasets", {"name": "YAHOO"})
         assert created.status == 201
         listed = api.get("/datasets")
-        assert listed.body["datasets"][0]["name"] == "YAHOO"
+        assert listed.body["items"][0]["name"] == "YAHOO"
 
     def test_duplicate_dataset_400(self, api):
         api.post("/datasets", {"name": "NAB"})
-        assert api.post("/datasets", {"name": "NAB"}).status == 400
+        duplicate = api.post("/datasets", {"name": "NAB"})
+        assert duplicate.status == 409
+        assert duplicate.body["error"]["code"] == "conflict"
 
     def test_missing_field_400(self, api):
         assert api.post("/datasets", {}).status == 400
@@ -65,8 +68,8 @@ class TestDatasetsAndSignals:
     def test_signals_filtered_by_dataset(self, api_with_event):
         api, signal_id, _ = api_with_event
         response = api.get("/signals")
-        assert len(response.body["signals"]) == 1
-        assert response.body["signals"][0]["_id"] == signal_id
+        assert len(response.body["items"]) == 1
+        assert response.body["items"][0]["_id"] == signal_id
 
 
 class TestEvents:
@@ -79,7 +82,8 @@ class TestEvents:
     def test_list_events_by_signal(self, api_with_event):
         api, signal_id, _ = api_with_event
         listed = api.get("/events", query={"signal_id": signal_id})
-        assert len(listed.body["events"]) == 1
+        assert len(listed.body["items"]) == 1
+        assert listed.body["total"] == 1
 
     def test_patch_event(self, api_with_event):
         api, _, event_id = api_with_event
@@ -181,12 +185,14 @@ class TestJobs:
             job = scoped.jobs.wait(accepted.body["id"], timeout=60)
             assert job.status == "succeeded"
 
-    def test_post_after_close_returns_400(self):
+    def test_post_after_close_returns_503(self):
         api = SintelAPI(SintelExplorer())
         api.close()
         response = api.post("/jobs", self._detect_body())
-        assert response.status == 400
-        assert "shut down" in response.body["error"]
+        assert response.status == 503
+        assert response.body["error"]["code"] == "service_unavailable"
+        assert "shut down" in response.body["error"]["message"]
+        assert response.headers["Retry-After"]
         assert api.get("/jobs").body["jobs"] == []
 
     def test_failed_job_reports_error(self, api):
@@ -255,7 +261,7 @@ class TestJobs:
             assert started.wait(10)
             response = api.delete(f"/jobs/{job.job_id}")
             assert response.status == 400
-            assert "active" in response.body["error"]
+            assert "active" in response.body["error"]["message"]
             # The job is still tracked and finishes normally afterwards.
             assert api.get(f"/jobs/{job.job_id}").ok
         finally:
@@ -273,7 +279,7 @@ class TestJobs:
         try:
             first = manager.submit("blocked", lambda: release.wait(30))
             manager.submit("blocked", lambda: release.wait(30))
-            with pytest.raises(ValueError, match="capacity"):
+            with pytest.raises(CapacityError, match="capacity"):
                 manager.submit("rejected", lambda: None)
             assert len(manager.list()) == 2
             release.set()

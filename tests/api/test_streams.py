@@ -107,7 +107,7 @@ class TestStreamLifecycle:
             api, data, stream_options={"window_size": 400, "bogus": 1}
         )
         assert response.status == 400
-        assert "bogus" in response.body["error"]
+        assert "bogus" in response.body["error"]["message"]
         # Reserved runner arguments cannot be smuggled through either.
         response = _open_stream(
             api, data, stream_options={"drift_detector": "default"}
@@ -131,8 +131,10 @@ class TestStreamLifecycle:
         data = _signal_data()
         assert _open_stream(api, data).status == 201
         rejected = _open_stream(api, data)
-        assert rejected.status == 400
-        assert "capacity" in rejected.body["error"]
+        assert rejected.status == 429
+        assert rejected.body["error"]["code"] == "capacity_exhausted"
+        assert "capacity" in rejected.body["error"]["message"]
+        assert rejected.headers["Retry-After"]
 
 
 class TestStreamOrderingAndPersistence:

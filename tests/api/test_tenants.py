@@ -1,0 +1,127 @@
+"""Tests for the tenant model: keys, buckets, persistence."""
+
+import pytest
+
+from repro.api.tenants import TenantRegistry, TokenBucket, hash_key
+from repro.db.store import DocumentStore
+from repro.exceptions import AuthenticationError, NotFoundError
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=3, clock=clock)
+        assert all(bucket.try_acquire()[0] for _ in range(3))
+        admitted, retry_after = bucket.try_acquire()
+        assert not admitted
+        assert retry_after == pytest.approx(0.1)
+
+    def test_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # one token back at 2/s
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5, clock=clock)
+        clock.advance(60)
+        assert bucket.available == 5
+
+    def test_unlimited_bucket(self):
+        bucket = TokenBucket(rate=None)
+        assert bucket.available == float("inf")
+        assert all(bucket.try_acquire()[0] for _ in range(1000))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=10, burst=0)
+
+
+class TestTenantRegistry:
+    def test_create_and_authenticate(self):
+        registry = TenantRegistry()
+        tenant, key = registry.create("acme", rate=10)
+        assert key.startswith("sk-")
+        assert registry.authenticate(key).tenant_id == tenant.tenant_id
+        assert registry.get(tenant.tenant_id).name == "acme"
+        assert [t.name for t in registry.list()] == ["acme"]
+
+    def test_unknown_or_missing_key_rejected(self):
+        registry = TenantRegistry()
+        registry.create("acme")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate("sk-not-a-key")
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(None)
+
+    def test_revoked_key_stops_authenticating(self):
+        registry = TenantRegistry()
+        tenant, key = registry.create("acme")
+        registry.revoke(tenant.tenant_id)
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(key)
+        assert registry.get(tenant.tenant_id).status == "revoked"
+        with pytest.raises(NotFoundError):
+            registry.revoke("tenant-999")
+
+    def test_per_tenant_buckets_are_independent(self):
+        clock = FakeClock()
+        registry = TenantRegistry(clock=clock)
+        a, _ = registry.create("a", rate=1.0, burst=1)
+        b, _ = registry.create("b", rate=1.0, burst=1)
+        assert registry.bucket(a.tenant_id).try_acquire()[0]
+        assert not registry.bucket(a.tenant_id).try_acquire()[0]
+        # Tenant a's exhaustion never touches tenant b's bucket.
+        assert registry.bucket(b.tenant_id).try_acquire()[0]
+
+    def test_to_dict_never_leaks_key_material(self):
+        registry = TenantRegistry()
+        tenant, key = registry.create("acme")
+        payload = tenant.to_dict()
+        assert key not in str(payload)
+        assert "key_hash" not in payload
+
+    def test_persistence_roundtrip(self):
+        store = DocumentStore()
+        registry = TenantRegistry(store=store)
+        tenant, key = registry.create("acme", rate=7.0, burst=3.0)
+
+        documents = store["tenants"].find()
+        assert len(documents) == 1
+        assert documents[0]["key_hash"] == hash_key(key)
+        assert key not in str(documents[0])
+
+        # A fresh registry over the same store keeps honouring the key.
+        reloaded = TenantRegistry(store=store)
+        resolved = reloaded.authenticate(key)
+        assert resolved.name == "acme"
+        assert resolved.rate == 7.0
+        bucket = reloaded.bucket(resolved.tenant_id)
+        assert bucket.rate == 7.0 and bucket.burst == 3.0
+
+    def test_revocation_persisted(self):
+        store = DocumentStore()
+        registry = TenantRegistry(store=store)
+        tenant, key = registry.create("acme")
+        registry.revoke(tenant.tenant_id)
+        reloaded = TenantRegistry(store=store)
+        with pytest.raises(AuthenticationError):
+            reloaded.authenticate(key)

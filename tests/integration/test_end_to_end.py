@@ -90,7 +90,7 @@ class TestDetectionToKnowledgeBase:
         explorer.end_datarun(datarun_id)
 
         # 3. The expert reviews events through the REST API.
-        events = api.get("/events", query={"signal_id": signal_id}).body["events"]
+        events = api.get("/events", query={"signal_id": signal_id}).body["items"]
         assert len(events) == len(detected)
         if events:
             event_id = events[0]["_id"]
