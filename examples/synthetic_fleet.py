@@ -1,0 +1,71 @@
+"""A labeled 100-signal fleet through multivariate detection + attribution.
+
+The ``WorkloadGenerator`` emits arbitrarily sized fleets of seeded,
+labeled signals: every anomaly carries its class (point / contextual /
+collective / changepoint) and the channels it touches, so detection
+quality can be scored against *known* ground truth instead of opaque
+annotations — the same fleet CI's bench-synthetic leg gates on.
+
+This example pushes a 100-signal, 3-channel fleet through the batch data
+plane (``detect_many``) with the multivariate dense autoencoder, then
+prints each detection with its attributed dominant channel next to the
+ground-truth label it overlaps.
+
+Run with:  python examples/synthetic_fleet.py
+"""
+
+import time
+
+from repro import Sintel
+from repro.data import LABELS_KEY, WorkloadGenerator
+
+
+def main():
+    # 1. A deterministic labeled fleet: 100 signals x 3 channels. Signal i
+    #    is identical no matter how many signals surround it, on every
+    #    platform and Python version.
+    generator = WorkloadGenerator(seed=42, n_channels=3, length=400,
+                                  anomalies_per_signal=2)
+    fleet = [generator.signal(index) for index in range(100)]
+    total_truths = sum(len(signal.anomalies) for signal in fleet)
+    print(f"fleet: {len(fleet)} signals x {fleet[0].n_channels} channels, "
+          f"{total_truths} labeled anomalies "
+          f"(fingerprint {generator.fingerprint(100)[:12]})")
+
+    # 2. Fit once on a reference signal, then batch-detect over the fleet.
+    sintel = Sintel("mv_dense_autoencoder", window_size=30, epochs=8)
+    sintel.fit(fleet[0].to_array())
+
+    started = time.perf_counter()
+    detections = sintel.detect_many([signal.to_array() for signal in fleet])
+    elapsed = time.perf_counter() - started
+    n_events = sum(len(events) for events in detections)
+    print(f"detect_many: {n_events} events over {len(fleet)} signals "
+          f"in {elapsed:.1f}s\n")
+
+    # 3. Print detections with channel attribution against the labels.
+    correct = total = 0
+    for signal, events in zip(fleet[:10], detections[:10]):
+        labels = signal.metadata[LABELS_KEY]
+        for start, end, severity, channel in events:
+            truth = next((label for label in labels
+                          if label["start"] <= end and label["end"] >= start),
+                         None)
+            if truth is None:
+                verdict = "no overlapping truth (false positive)"
+            else:
+                total += 1
+                hit = channel in truth["channels"]
+                correct += hit
+                verdict = (f"truth={truth['class']} "
+                           f"channels={truth['channels']} "
+                           f"{'OK' if hit else 'MISS'}")
+            print(f"{signal.name}: [{start:5.0f}, {end:5.0f}] "
+                  f"severity={severity:.3f} channel={channel} -> {verdict}")
+    if total:
+        print(f"\nchannel attribution on the first 10 signals: "
+              f"{correct}/{total} correct")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,15 @@ from repro.benchmark.runner import (
     run_pipeline_on_signal,
     shard_jobs,
 )
+from repro.benchmark.synthetic import (
+    SYNTHETIC_MV_PIPELINE,
+    SYNTHETIC_PIPELINES,
+    benchmark_synthetic,
+    default_mv_fleet,
+    default_synthetic_fleet,
+    format_synthetic,
+    synthetic_gate,
+)
 from repro.benchmark.streaming import (
     benchmark_streaming,
     default_streaming_signals,
@@ -76,6 +85,13 @@ __all__ = [
     "overload_proof",
     "percentile",
     "DEFAULT_ROUTES",
+    "benchmark_synthetic",
+    "synthetic_gate",
+    "format_synthetic",
+    "default_synthetic_fleet",
+    "default_mv_fleet",
+    "SYNTHETIC_PIPELINES",
+    "SYNTHETIC_MV_PIPELINE",
     "benchmark_streaming",
     "run_stream_on_signal",
     "default_streaming_signals",

@@ -465,7 +465,13 @@ class Pipeline:
         for row in np.atleast_2d(anomalies):
             start, end = float(row[0]), float(row[1])
             severity = float(row[2]) if len(row) > 2 else 0.0
-            formatted.append((start, end, severity))
+            if len(row) > 3:
+                # Multivariate pipelines append a channel-attribution
+                # column (see ``channel_attribution``); univariate events
+                # stay 3-tuples, bit-for-bit as before.
+                formatted.append((start, end, severity, int(row[3])))
+            else:
+                formatted.append((start, end, severity))
         return formatted
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

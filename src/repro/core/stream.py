@@ -61,7 +61,7 @@ class StreamEvent:
 
     def to_dict(self) -> dict:
         """JSON-serializable view of the event."""
-        return {
+        payload = {
             "id": self.event_id,
             "start": self.start,
             "end": self.end,
@@ -70,6 +70,10 @@ class StreamEvent:
             "first_batch": self.first_batch,
             "last_batch": self.last_batch,
         }
+        if "channel" in self.metadata:
+            # Channel attribution from a multivariate pipeline.
+            payload["channel"] = self.metadata["channel"]
+        return payload
 
 
 class StreamRunner:
@@ -277,7 +281,8 @@ class StreamRunner:
         matched_events = set()
         matched_detections = set()
 
-        for position, (start, end, severity) in enumerate(detections):
+        for position, detection in enumerate(detections):
+            start, end, severity = detection[:3]
             best = None
             best_overlap = -np.inf
             for event in open_events:
@@ -297,6 +302,8 @@ class StreamRunner:
                 best.end = end
                 best.severity = max(best.severity, severity)
                 best.last_batch = self._batches
+                if len(detection) > 3:
+                    best.metadata["channel"] = int(detection[3])
                 changed.append(best)
 
         for event in open_events:
@@ -311,14 +318,17 @@ class StreamRunner:
                 self._close_event(event)
                 changed.append(event)
 
-        for position, (start, end, severity) in enumerate(detections):
+        for position, detection in enumerate(detections):
             if position in matched_detections:
                 continue
+            start, end, severity = detection[:3]
             self._event_counter += 1
             event = StreamEvent(
                 event_id=f"evt-{self._event_counter}",
                 start=float(start), end=float(end), severity=float(severity),
                 first_batch=self._batches, last_batch=self._batches,
+                metadata={"channel": int(detection[3])}
+                if len(detection) > 3 else {},
             )
             self._events[event.event_id] = event
             changed.append(event)

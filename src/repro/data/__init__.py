@@ -8,10 +8,12 @@ from repro.data.datasets import (
     load_nasa,
     load_yahoo,
 )
-from repro.data.signal import Dataset, Signal
+from repro.data.signal import LABELS_KEY, Dataset, Signal
 from repro.data.synthetic import (
     ANOMALY_TYPES,
+    WORKLOAD_TAXONOMY,
     SignalGenerator,
+    WorkloadGenerator,
     generate_signal,
     inject_anomalies,
 )
@@ -19,6 +21,9 @@ from repro.data.synthetic import (
 __all__ = [
     "Signal",
     "Dataset",
+    "LABELS_KEY",
+    "WorkloadGenerator",
+    "WORKLOAD_TAXONOMY",
     "SignalGenerator",
     "generate_signal",
     "inject_anomalies",

@@ -14,9 +14,29 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Signal", "Dataset"]
+__all__ = ["Signal", "Dataset", "LABELS_KEY"]
 
 Interval = Tuple[int, int]
+
+#: Metadata key under which labeled ground-truth anomalies are stored.
+#: Each label is a dict with ``start`` / ``end`` timestamps (inclusive,
+#: mirroring :attr:`Signal.anomalies`), an anomaly ``class`` from the
+#: workload taxonomy, and the affected ``channels`` (column indices into
+#: :attr:`Signal.values`). :meth:`Signal.slice` and :meth:`Signal.split`
+#: keep these aligned with ``anomalies``.
+LABELS_KEY = "anomaly_labels"
+
+
+def _clip_interval(start: int, end: int, lo: int, hi: int) -> Optional[Interval]:
+    """Clip an inclusive ``[start, end]`` interval to ``[lo, hi)``.
+
+    Returns ``None`` when the interval does not overlap the range. The
+    single clipping rule shared by anomaly intervals and labeled anomalies,
+    so the two views can never drift apart.
+    """
+    if end < lo or start >= hi:
+        return None
+    return (max(int(start), lo), min(int(end), hi - 1))
 
 
 @dataclass
@@ -56,6 +76,18 @@ class Signal:
         self.anomalies = [
             (int(start), int(end)) for start, end in (self.anomalies or [])
         ]
+        labels = self.metadata.get(LABELS_KEY)
+        if labels:
+            for label in labels:
+                channels = label.get("channels")
+                if channels is not None and self.n_channels:
+                    bad = [c for c in channels
+                           if not 0 <= int(c) < self.n_channels]
+                    if bad:
+                        raise ValueError(
+                            f"Label channels {bad} out of range for "
+                            f"{self.n_channels}-channel signal {self.name!r}"
+                        )
 
     def __len__(self) -> int:
         return len(self.timestamps)
@@ -97,20 +129,50 @@ class Signal:
             metadata=dict(metadata or {}),
         )
 
+    @property
+    def labels(self) -> List[dict]:
+        """Labeled ground-truth anomalies (class + channels), if present.
+
+        Labels live in ``metadata[LABELS_KEY]``; when a signal carries them
+        they stay interval-aligned with :attr:`anomalies` through
+        :meth:`slice` and :meth:`split`.
+        """
+        return list(self.metadata.get(LABELS_KEY, []))
+
     def slice(self, start: int, end: int) -> "Signal":
-        """Return a new signal restricted to timestamps in ``[start, end)``."""
+        """Return a new signal restricted to timestamps in ``[start, end)``.
+
+        Ground-truth anomaly intervals — and the labeled taxonomy view in
+        ``metadata[LABELS_KEY]``, when present — are clipped to the slice
+        with the same rule, so the two views stay aligned (previously the
+        metadata copy kept the unclipped labels, desynchronizing them from
+        ``anomalies`` on every slice/split).
+        """
+        start, end = int(start), int(end)
         mask = (self.timestamps >= start) & (self.timestamps < end)
-        anomalies = [
-            (max(a_start, start), min(a_end, end - 1))
-            for a_start, a_end in self.anomalies
-            if a_end >= start and a_start < end
-        ]
+        anomalies = []
+        for a_start, a_end in self.anomalies:
+            clipped = _clip_interval(a_start, a_end, start, end)
+            if clipped is not None:
+                anomalies.append(clipped)
+        metadata = dict(self.metadata)
+        if metadata.get(LABELS_KEY):
+            clipped_labels = []
+            for label in metadata[LABELS_KEY]:
+                clipped = _clip_interval(label["start"], label["end"],
+                                         start, end)
+                if clipped is None:
+                    continue
+                clipped_label = dict(label)
+                clipped_label["start"], clipped_label["end"] = clipped
+                clipped_labels.append(clipped_label)
+            metadata[LABELS_KEY] = clipped_labels
         return Signal(
             name=self.name,
             timestamps=self.timestamps[mask],
             values=self.values[mask],
             anomalies=anomalies,
-            metadata=dict(self.metadata),
+            metadata=metadata,
         )
 
     def split(self, ratio: float = 0.7) -> Tuple["Signal", "Signal"]:

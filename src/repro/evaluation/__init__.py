@@ -1,5 +1,11 @@
 """``repro.evaluation``: pipeline evaluation metrics (paper §2.3)."""
 
+from repro.evaluation.classed import (
+    attribution_accuracy,
+    merge_class_scores,
+    per_class_confusion,
+    per_class_scores,
+)
 from repro.evaluation.contextual import (
     contextual_confusion_matrix,
     contextual_f1_score,
@@ -36,6 +42,10 @@ __all__ = [
     "contextual_f1_score",
     "contextual_precision",
     "contextual_recall",
+    "per_class_confusion",
+    "per_class_scores",
+    "attribution_accuracy",
+    "merge_class_scores",
     "point_confusion_matrix",
     "point_precision",
     "point_recall",

@@ -27,6 +27,8 @@ PIPELINE_REGISTRY: Dict[str, Callable[..., dict]] = {
     "tadgan": specs.tadgan,
     "azure": specs.azure,
     "lstm_classifier": specs.lstm_classifier,
+    "mv_lstm_dynamic_threshold": specs.mv_lstm_dynamic_threshold,
+    "mv_dense_autoencoder": specs.mv_dense_autoencoder,
 }
 
 #: The unsupervised pipelines used by the paper's benchmark (Table 3).

@@ -17,6 +17,8 @@ __all__ = [
     "tadgan",
     "azure",
     "lstm_classifier",
+    "mv_lstm_dynamic_threshold",
+    "mv_dense_autoencoder",
 ]
 
 
@@ -203,5 +205,73 @@ def lstm_classifier(window_size: int = 50, epochs: int = 15,
                 "hyperparameters": {"epochs": epochs},
             },
             {"primitive": "probabilities_to_intervals"},
+        ],
+    }
+
+
+def mv_lstm_dynamic_threshold(window_size: int = 100, epochs: int = 12,
+                              interval=None) -> dict:
+    """Multivariate LSTM DT: joint forecasting + channel attribution.
+
+    The multivariate opening of the LSTM DT pipeline: rolling windows carry
+    every channel, the forecaster predicts all channels' next values, the
+    error step scores each channel and feeds the joint error to the dynamic
+    threshold, and every emitted event names its dominant channel
+    (``(start, end, severity, channel)``).
+    """
+    return {
+        "name": "mv_lstm_dynamic_threshold",
+        "description": "Multivariate LSTM forecaster with channel attribution.",
+        "steps": _common_preprocessing(interval) + [
+            {
+                "primitive": "rolling_window_sequences",
+                "hyperparameters": {"window_size": window_size,
+                                    "target_column": "all"},
+            },
+            {
+                "primitive": "LSTMTimeSeriesRegressor",
+                "hyperparameters": {"epochs": epochs},
+            },
+            {"primitive": "multichannel_regression_errors"},
+            {
+                "primitive": "find_anomalies",
+                "inputs": {"errors": "errors", "index": "target_index"},
+            },
+            {
+                "primitive": "channel_attribution",
+                "inputs": {"anomalies": "anomalies",
+                           "channel_errors": "channel_errors",
+                           "index": "target_index"},
+            },
+        ],
+    }
+
+
+def mv_dense_autoencoder(window_size: int = 100, epochs: int = 20,
+                         interval=None) -> dict:
+    """Multivariate Dense AE: joint reconstruction + channel attribution."""
+    return {
+        "name": "mv_dense_autoencoder",
+        "description": "Multivariate dense autoencoder with channel attribution.",
+        "steps": _common_preprocessing(interval) + [
+            {
+                "primitive": "rolling_window_sequences",
+                "hyperparameters": {"window_size": window_size},
+            },
+            {
+                "primitive": "DenseAutoencoder",
+                "hyperparameters": {"epochs": epochs},
+            },
+            {
+                "primitive": "multichannel_reconstruction_errors",
+                "inputs": {"y": "X", "y_hat": "y_hat", "index": "index"},
+            },
+            {"primitive": "find_anomalies"},
+            {
+                "primitive": "channel_attribution",
+                "inputs": {"anomalies": "anomalies",
+                           "channel_errors": "channel_errors",
+                           "index": "index"},
+            },
         ],
     }

@@ -27,8 +27,11 @@ from repro.primitives.modeling import (
     TadGAN,
 )
 from repro.primitives.postprocessing import (
+    ChannelAttribution,
     FindAnomalies,
     FixedThreshold,
+    MultichannelReconstructionErrors,
+    MultichannelRegressionErrors,
     ProbabilitiesToIntervals,
     ReconstructionErrors,
     RegressionErrors,
@@ -50,6 +53,9 @@ __all__ = [
     "SpectralResidual",
     "RegressionErrors",
     "ReconstructionErrors",
+    "MultichannelRegressionErrors",
+    "MultichannelReconstructionErrors",
+    "ChannelAttribution",
     "FindAnomalies",
     "FixedThreshold",
     "ProbabilitiesToIntervals",

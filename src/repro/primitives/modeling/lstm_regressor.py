@@ -64,6 +64,11 @@ class LSTMTimeSeriesRegressor(Primitive):
         y = np.asarray(y, dtype=float)
         if y.ndim == 1:
             y = y.reshape(-1, 1)
+        elif y.ndim == 3:
+            # Multivariate targets (k, target_size, m): the dense head
+            # predicts every channel's next values as one flat vector;
+            # the error primitive reshapes y_hat back to (target_size, m).
+            y = y.reshape(len(y), -1)
         self._model = self._build(X.shape[1:], y.shape[1])
         callbacks = [EarlyStopping(monitor="val_loss", patience=int(self.patience))]
         trainer = self._model.fit_fused if bool(self.fused_training) \

@@ -1,8 +1,11 @@
 """Postprocessing engine primitives."""
 
 from repro.primitives.postprocessing.anomalies import FindAnomalies, FixedThreshold
+from repro.primitives.postprocessing.attribution import ChannelAttribution
 from repro.primitives.postprocessing.classification import ProbabilitiesToIntervals
 from repro.primitives.postprocessing.errors import (
+    MultichannelReconstructionErrors,
+    MultichannelRegressionErrors,
     ReconstructionErrors,
     RegressionErrors,
     smooth_errors,
@@ -11,6 +14,9 @@ from repro.primitives.postprocessing.errors import (
 __all__ = [
     "RegressionErrors",
     "ReconstructionErrors",
+    "MultichannelRegressionErrors",
+    "MultichannelReconstructionErrors",
+    "ChannelAttribution",
     "smooth_errors",
     "FindAnomalies",
     "FixedThreshold",

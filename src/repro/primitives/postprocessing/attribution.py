@@ -1,0 +1,65 @@
+"""Channel attribution for multivariate anomaly events.
+
+The multivariate data plane scores per-channel errors alongside the joint
+error that drives thresholding; this primitive closes the loop by naming,
+for every emitted anomaly, the channel that contributed most to it —
+the ``(start, end, severity, channel)`` event layout the API and streaming
+layers surface for multivariate pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.primitive import Primitive, register_primitive
+from repro.exceptions import PrimitiveError
+
+__all__ = ["ChannelAttribution"]
+
+
+@register_primitive
+class ChannelAttribution(Primitive):
+    """Attribute each anomaly interval to its dominant channel.
+
+    For every ``(start, end, severity)`` row the per-channel errors inside
+    the interval are averaged; the channel with the largest share becomes
+    the event's attribution, appended as a fourth column. The per-event
+    channel shares are also published (``channel_shares``, one row per
+    event, normalized to sum to 1) for consumers that want the full
+    breakdown rather than the argmax.
+    """
+
+    name = "channel_attribution"
+    engine = "postprocessing"
+    description = "Append the dominant-channel column to anomaly events."
+    produce_args = ["anomalies", "channel_errors", "index"]
+    produce_output = ["anomalies", "channel_shares"]
+    fixed_hyperparameters = {}
+    tunable_hyperparameters = {}
+
+    def produce(self, anomalies, channel_errors, index):
+        anomalies = np.asarray(anomalies, dtype=float).reshape(-1, 3)
+        channel_errors = np.asarray(channel_errors, dtype=float)
+        index = np.asarray(index)
+        if channel_errors.ndim != 2:
+            raise PrimitiveError(
+                "channel_attribution expects (n, m) channel errors"
+            )
+        if len(channel_errors) != len(index):
+            raise PrimitiveError(
+                "channel_errors and index must have the same length"
+            )
+
+        n_channels = channel_errors.shape[1]
+        attributed = np.empty((len(anomalies), 4))
+        shares = np.zeros((len(anomalies), n_channels))
+        for row, (start, end, severity) in enumerate(anomalies):
+            inside = (index >= start) & (index <= end)
+            local = channel_errors[inside] if np.any(inside) else channel_errors
+            per_channel = local.mean(axis=0)
+            total = float(per_channel.sum())
+            if total > 0:
+                shares[row] = per_channel / total
+            channel = int(np.argmax(per_channel))
+            attributed[row] = (start, end, severity, float(channel))
+        return {"anomalies": attributed, "channel_shares": shares}

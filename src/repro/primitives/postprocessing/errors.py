@@ -10,7 +10,13 @@ from repro.core.batch import batched_ewma, shape_groups
 from repro.core.primitive import Primitive, register_primitive
 from repro.exceptions import PrimitiveError
 
-__all__ = ["RegressionErrors", "ReconstructionErrors", "smooth_errors"]
+__all__ = [
+    "RegressionErrors",
+    "ReconstructionErrors",
+    "MultichannelRegressionErrors",
+    "MultichannelReconstructionErrors",
+    "smooth_errors",
+]
 
 
 def smooth_errors(errors: np.ndarray, smoothing_window: int) -> np.ndarray:
@@ -217,3 +223,125 @@ class ReconstructionErrors(Primitive):
                 out["index"][i] = self._point_index(
                     normalized[i][2], length, step)
         return out
+
+
+@register_primitive
+class MultichannelRegressionErrors(Primitive):
+    """Per-channel and joint prediction errors for multivariate signals.
+
+    The multivariate counterpart of :class:`RegressionErrors`: ``y`` holds
+    every channel's true next values (``(k, target_size, m)``, produced by
+    ``rolling_window_sequences`` with ``target_column="all"``) and
+    ``y_hat`` the model's flat predictions. The primitive scores the first
+    target step of every channel — exactly what the univariate primitive
+    does for its single column — yielding:
+
+    * ``channel_errors`` — ``(k, m)`` smoothed per-channel absolute errors,
+      consumed downstream by the channel-attribution step;
+    * ``errors`` — the joint 1D error (mean across channels), which the
+      thresholding primitives consume unchanged.
+    """
+
+    name = "multichannel_regression_errors"
+    engine = "postprocessing"
+    description = "Per-channel + joint absolute prediction errors."
+    produce_args = ["y", "y_hat"]
+    produce_output = ["errors", "channel_errors"]
+    fixed_hyperparameters = {"smooth": True}
+    tunable_hyperparameters = {
+        "smoothing_window": {"type": "int", "default": 10, "range": [1, 200]},
+    }
+
+    def produce(self, y, y_hat):
+        y = np.asarray(y, dtype=float)
+        y_hat = np.asarray(y_hat, dtype=float)
+        if y.shape[0] != y_hat.shape[0]:
+            raise PrimitiveError("y and y_hat must have the same number of samples")
+        if y.ndim == 2:
+            # (k, m): a single target step per channel.
+            y = y[:, np.newaxis, :]
+        if y.ndim != 3:
+            raise PrimitiveError(
+                "multichannel_regression_errors expects (k, target_size, m) "
+                "targets; use regression_errors for univariate pipelines"
+            )
+        y_hat = y_hat.reshape(y.shape)
+
+        # First target step of every channel, |true - predicted|: (k, m).
+        channel_errors = np.abs(y[:, 0, :] - y_hat[:, 0, :])
+        if self.smooth:
+            window = int(self.smoothing_window)
+            channel_errors = np.column_stack([
+                smooth_errors(channel_errors[:, c], window)
+                for c in range(channel_errors.shape[1])
+            ])
+        errors = channel_errors.mean(axis=1)
+        return {"errors": errors, "channel_errors": channel_errors}
+
+
+@register_primitive
+class MultichannelReconstructionErrors(Primitive):
+    """Per-channel and joint reconstruction errors for multivariate signals.
+
+    The multivariate counterpart of :class:`ReconstructionErrors`: every
+    channel's point-wise error is the median absolute reconstruction
+    difference across all windows covering that time step, and the joint
+    error (mean across channels) feeds the thresholding step.
+    """
+
+    name = "multichannel_reconstruction_errors"
+    engine = "postprocessing"
+    description = "Per-channel + joint median reconstruction errors."
+    produce_args = ["y", "y_hat", "index"]
+    produce_output = ["errors", "channel_errors", "index"]
+    fixed_hyperparameters = {"step_size": 1, "smooth": True}
+    tunable_hyperparameters = {
+        "smoothing_window": {"type": "int", "default": 10, "range": [1, 200]},
+    }
+
+    def produce(self, y, y_hat, index):
+        y = np.asarray(y, dtype=float)
+        y_hat = np.asarray(y_hat, dtype=float)
+        index = np.asarray(index)
+        if y.shape != y_hat.shape:
+            y_hat = y_hat.reshape(y.shape)
+        if y.ndim != 3:
+            raise PrimitiveError(
+                "multichannel_reconstruction_errors expects (k, window, m) "
+                "inputs; use reconstruction_errors for univariate pipelines"
+            )
+        if len(index) != len(y):
+            raise PrimitiveError("index must have one entry per window")
+
+        n_windows, window_size, n_channels = y.shape
+        step = int(self.step_size)
+        length = (n_windows - 1) * step + window_size
+        abs_error = np.abs(y - y_hat)  # (k, window, m)
+
+        # Scatter every window error into a NaN-padded (length, window, m)
+        # matrix and take the median over the window axis — the vectorized
+        # per-position median (order-invariant) per channel.
+        windows = np.arange(n_windows)[:, np.newaxis]
+        offsets = np.arange(window_size)[np.newaxis, :]
+        collected = np.full((length, window_size, n_channels), np.nan)
+        collected[windows * step + offsets, offsets] = abs_error
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            channel_errors = np.nanmedian(collected, axis=1)  # (length, m)
+        channel_errors[np.all(np.isnan(collected), axis=1)] = 0.0
+
+        if self.smooth:
+            window = int(self.smoothing_window)
+            channel_errors = np.column_stack([
+                smooth_errors(channel_errors[:, c], window)
+                for c in range(n_channels)
+            ])
+        errors = channel_errors.mean(axis=1)
+
+        if len(index) > 1:
+            interval = (index[1] - index[0]) / step
+        else:
+            interval = 1
+        point_index = (index[0] + np.arange(length) * interval).astype(np.int64)
+        return {"errors": errors, "channel_errors": channel_errors,
+                "index": point_index}

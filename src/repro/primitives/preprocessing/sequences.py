@@ -34,7 +34,9 @@ class RollingWindowSequences(Primitive):
 
     * ``X`` — array of shape ``(k, window_size, m)`` with rolling windows;
     * ``y`` — array of shape ``(k, target_size)`` with the values of the
-      ``target_column`` immediately after each window;
+      ``target_column`` immediately after each window — or, with
+      ``target_column="all"`` (the multivariate forecasting layout), of
+      shape ``(k, target_size, m)`` with every channel's next values;
     * ``index`` — timestamp of the first sample of each window;
     * ``target_index`` — timestamp of the first target of each window.
 
@@ -65,10 +67,17 @@ class RollingWindowSequences(Primitive):
 
         window_size, target_size, starts = self._effective_window(len(X))
         windows = np.stack([X[s:s + window_size] for s in starts])
-        targets = np.stack([
-            X[s + window_size:s + window_size + target_size, self.target_column]
-            for s in starts
-        ])
+        if self.target_column == "all":
+            targets = np.stack([
+                X[s + window_size:s + window_size + target_size, :]
+                for s in starts
+            ])
+        else:
+            targets = np.stack([
+                X[s + window_size:s + window_size + target_size,
+                  self.target_column]
+                for s in starts
+            ])
         return {
             "X": windows,
             "y": targets,
@@ -117,7 +126,10 @@ class RollingWindowSequences(Primitive):
                 stacked.shape[1])
             windows = _window_stack(stacked, starts, window_size)
             offsets = starts[:, np.newaxis] + window_size + np.arange(target_size)
-            targets = stacked[:, offsets, self.target_column]
+            if self.target_column == "all":
+                targets = stacked[:, offsets, :]
+            else:
+                targets = stacked[:, offsets, self.target_column]
             for j, i in enumerate(indices):
                 signal_index = np.asarray(index[i])
                 out["X"][i] = windows[j]

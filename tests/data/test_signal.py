@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import Dataset, Signal
+from repro.data import LABELS_KEY, Dataset, Signal
 
 
 def _make_signal(n=100, anomalies=None):
@@ -127,3 +127,80 @@ class TestDataset:
         dataset.add_signal(_make_signal())
         names = [signal.name for signal in dataset]
         assert names == ["sig"]
+
+
+def _make_labeled_signal(n=100, n_channels=3):
+    """A multi-channel signal whose labels mirror its anomalies."""
+    timestamps = np.arange(n)
+    values = np.column_stack(
+        [np.sin(np.linspace(0, 10, n)) + c for c in range(n_channels)])
+    anomalies = [(10, 20), (45, 60), (80, 90)]
+    labels = [
+        {"start": 10, "end": 20, "class": "point", "channels": [0]},
+        {"start": 45, "end": 60, "class": "collective", "channels": [1, 2]},
+        {"start": 80, "end": 90, "class": "changepoint", "channels": [0, 1, 2]},
+    ]
+    return Signal("mv", timestamps, values, anomalies=anomalies,
+                  metadata={LABELS_KEY: labels})
+
+
+class TestLabelAlignment:
+    """Regression tests: slice/split must clip labels with anomalies.
+
+    Previously ``slice`` clipped ``anomalies`` but copied ``metadata``
+    verbatim, so the labeled taxonomy view desynchronized from the
+    interval view on every slice/split of a labeled signal.
+    """
+
+    def test_labels_property_mirrors_metadata(self):
+        signal = _make_labeled_signal()
+        assert signal.labels == signal.metadata[LABELS_KEY]
+
+    def test_slice_drops_out_of_range_labels(self):
+        signal = _make_labeled_signal()
+        sliced = signal.slice(0, 40)
+        assert sliced.anomalies == [(10, 20)]
+        assert [lab["class"] for lab in sliced.labels] == ["point"]
+
+    def test_slice_clips_straddling_label_like_anomaly(self):
+        signal = _make_labeled_signal()
+        sliced = signal.slice(0, 50)
+        assert sliced.anomalies == [(10, 20), (45, 49)]
+        intervals = [(lab["start"], lab["end"]) for lab in sliced.labels]
+        assert intervals == sliced.anomalies
+
+    def test_slice_preserves_class_and_channels(self):
+        signal = _make_labeled_signal()
+        sliced = signal.slice(40, 100)
+        assert [lab["class"] for lab in sliced.labels] == \
+            ["collective", "changepoint"]
+        assert sliced.labels[0]["channels"] == [1, 2]
+        assert sliced.values.shape == (60, 3)
+
+    def test_split_keeps_both_views_aligned(self):
+        signal = _make_labeled_signal()
+        train, test = signal.split(0.5)
+        for part in (train, test):
+            intervals = [(lab["start"], lab["end"]) for lab in part.labels]
+            assert intervals == part.anomalies
+        assert train.anomalies == [(10, 20), (45, 49)]
+        assert test.anomalies == [(50, 60), (80, 90)]
+
+    def test_slice_does_not_mutate_original(self):
+        signal = _make_labeled_signal()
+        signal.slice(0, 50)
+        assert len(signal.labels) == 3
+        assert signal.labels[1]["end"] == 60
+
+    def test_unlabeled_slice_unchanged(self):
+        signal = _make_signal(100, anomalies=[(40, 60)])
+        sliced = signal.slice(0, 50)
+        assert LABELS_KEY not in sliced.metadata
+        assert sliced.anomalies == [(40, 49)]
+
+    def test_label_channels_validated(self):
+        with pytest.raises(ValueError):
+            Signal("bad", np.arange(10), np.zeros((10, 2)),
+                   metadata={LABELS_KEY: [
+                       {"start": 1, "end": 2, "class": "point",
+                        "channels": [5]}]})

@@ -5,7 +5,9 @@ import pytest
 
 from repro.data.synthetic import (
     ANOMALY_TYPES,
+    WORKLOAD_TAXONOMY,
     SignalGenerator,
+    WorkloadGenerator,
     generate_signal,
     inject_anomalies,
 )
@@ -133,3 +135,101 @@ class TestGenerateSignal:
                 random_state=4, anomaly_types=[anomaly_type],
             )
             assert len(signal.anomalies) == 1
+
+
+class TestWorkloadGenerator:
+    def test_default_signal_shape(self):
+        generator = WorkloadGenerator(seed=0, length=300)
+        signal = generator.signal(0)
+        assert len(signal) == 300
+        assert signal.n_channels == 1
+        assert signal.metadata["generator"] == "WorkloadGenerator"
+        assert signal.metadata["n_channels"] == 1
+
+    def test_multichannel_signal_shape(self):
+        generator = WorkloadGenerator(seed=0, n_channels=4, length=200)
+        signal = generator.signal(2)
+        assert signal.values.shape == (200, 4)
+        assert signal.metadata["signal_index"] == 2
+
+    def test_labels_aligned_with_anomalies(self):
+        generator = WorkloadGenerator(seed=3, n_channels=2, length=400,
+                                      anomalies_per_signal=4)
+        signal = generator.signal(0)
+        assert len(signal.anomalies) == 4
+        intervals = [(lab["start"], lab["end"]) for lab in signal.labels]
+        assert intervals == signal.anomalies
+        for label in signal.labels:
+            assert label["class"] in WORKLOAD_TAXONOMY
+            assert label["channels"]
+            assert all(0 <= c < 2 for c in label["channels"])
+
+    def test_same_seed_same_fleet(self):
+        first = WorkloadGenerator(seed=9, n_channels=2, length=256)
+        second = WorkloadGenerator(seed=9, n_channels=2, length=256)
+        assert first.fingerprint(4) == second.fingerprint(4)
+
+    def test_different_seeds_differ(self):
+        first = WorkloadGenerator(seed=9, length=256)
+        second = WorkloadGenerator(seed=10, length=256)
+        assert first.fingerprint(2) != second.fingerprint(2)
+
+    def test_signal_independent_of_fleet_size(self):
+        generator = WorkloadGenerator(seed=5, length=200)
+        small = generator.fleet(2)
+        large = generator.fleet(5)
+        for name in small.signal_names:
+            assert np.array_equal(small[name].values, large[name].values)
+            assert small[name].anomalies == large[name].anomalies
+
+    def test_fleet_is_dataset_with_labels(self):
+        generator = WorkloadGenerator(seed=1, n_channels=3, length=200,
+                                      anomalies_per_signal=2)
+        fleet = generator.fleet(3, name="my-fleet")
+        assert fleet.name == "my-fleet"
+        assert len(fleet) == 3
+        for signal in fleet:
+            assert signal.labels
+
+    def test_taxonomy_restriction(self):
+        generator = WorkloadGenerator(seed=2, length=300,
+                                      anomalies_per_signal=5,
+                                      taxonomy=["point"])
+        signal = generator.signal(0)
+        assert {lab["class"] for lab in signal.labels} == {"point"}
+
+    def test_unknown_taxonomy_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(taxonomy=["point", "sparkle"])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(length=10)
+
+    def test_full_taxonomy_covered_across_fleet(self):
+        generator = WorkloadGenerator(seed=4, length=400,
+                                      anomalies_per_signal=3)
+        classes = set()
+        for signal in generator.fleet(8):
+            classes.update(lab["class"] for lab in signal.labels)
+        assert classes == set(WORKLOAD_TAXONOMY)
+
+    def test_anomalies_separated_and_in_range(self):
+        generator = WorkloadGenerator(seed=6, length=500,
+                                      anomalies_per_signal=5)
+        signal = generator.signal(0)
+        previous_end = -10
+        for start, end in signal.anomalies:
+            assert 0 <= start <= end < 500
+            assert start - previous_end >= 10
+            previous_end = end
+
+    def test_anomalous_values_differ_from_clean_base(self):
+        generator = WorkloadGenerator(seed=8, length=400,
+                                      anomalies_per_signal=3)
+        signal = generator.signal(0)
+        clean = WorkloadGenerator(seed=8, length=400,
+                                  anomalies_per_signal=0).signal(0)
+        assert not np.array_equal(signal.values, clean.values)
+        mask = signal.label_array().astype(bool)
+        assert np.array_equal(signal.values[~mask], clean.values[~mask])

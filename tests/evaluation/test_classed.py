@@ -1,0 +1,87 @@
+"""Tests for repro.evaluation.classed (per-class labeled metrics)."""
+
+import pytest
+
+from repro.evaluation import (
+    attribution_accuracy,
+    merge_class_scores,
+    per_class_confusion,
+    per_class_scores,
+)
+
+LABELS = [
+    {"start": 10, "end": 20, "class": "point", "channels": [0]},
+    {"start": 40, "end": 60, "class": "collective", "channels": [1]},
+    {"start": 80, "end": 90, "class": "point", "channels": [0, 1]},
+]
+
+
+class TestPerClassScores:
+    def test_confusion_splits_by_class(self):
+        observed = [(12, 15, 0.9), (85, 88, 0.7)]
+        per_class, matched = per_class_confusion(LABELS, observed)
+        assert per_class["point"] == {"tp": 2, "fn": 0}
+        assert per_class["collective"] == {"tp": 0, "fn": 1}
+        assert matched == {0, 1}
+
+    def test_scores_and_precision(self):
+        observed = [(12, 15, 0.9), (85, 88, 0.7), (200, 210, 0.5)]
+        scores = per_class_scores(LABELS, observed)
+        assert scores["classes"]["point"]["recall"] == 1.0
+        assert scores["classes"]["collective"]["recall"] == 0.0
+        assert scores["classes"]["collective"]["support"] == 1
+        assert scores["precision"] == pytest.approx(2 / 3)
+        assert scores["recall"] == pytest.approx(2 / 3)
+        assert scores["n_predicted"] == 3
+
+    def test_no_predictions(self):
+        scores = per_class_scores(LABELS, [])
+        assert scores["precision"] == 0.0
+        assert scores["recall"] == 0.0
+        assert scores["f1"] == 0.0
+        assert all(counts["recall"] == 0.0
+                   for counts in scores["classes"].values())
+
+    def test_no_labels(self):
+        scores = per_class_scores([], [(0, 5, 0.5)])
+        assert scores["classes"] == {}
+        assert scores["precision"] == 0.0
+        assert scores["recall"] == 0.0
+
+    def test_one_prediction_covers_two_truths(self):
+        observed = [(15, 85, 0.9)]
+        scores = per_class_scores(LABELS, observed)
+        assert scores["recall"] == 1.0
+        assert scores["precision"] == 1.0
+
+
+class TestMergeClassScores:
+    def test_merge_is_count_exact(self):
+        first = per_class_scores(LABELS, [(12, 15, 0.9)])
+        second = per_class_scores(LABELS, [(200, 210, 0.4), (41, 45, 0.6)])
+        merged = merge_class_scores([first, second])
+        assert merged["classes"]["point"]["support"] == 4
+        assert merged["classes"]["point"]["tp"] == 1
+        assert merged["classes"]["collective"]["tp"] == 1
+        # matched predictions: 1 of 1 in first, 1 of 2 in second
+        assert merged["precision"] == pytest.approx(2 / 3)
+        assert merged["n_predicted"] == 3
+
+    def test_merge_empty(self):
+        merged = merge_class_scores([])
+        assert merged["classes"] == {}
+        assert merged["f1"] == 0.0
+
+
+class TestAttributionAccuracy:
+    def test_correct_and_incorrect_attributions(self):
+        observed = [(12, 15, 0.9, 0),   # point, channels [0] -> correct
+                    (41, 45, 0.6, 0),   # collective, channels [1] -> wrong
+                    (200, 210, 0.4, 1)]  # no overlapping truth -> skipped
+        result = attribution_accuracy(LABELS, observed)
+        assert result == {"correct": 1, "total": 2, "accuracy": 0.5}
+
+    def test_three_column_rows_skipped(self):
+        result = attribution_accuracy(LABELS, [(12, 15, 0.9)])
+        assert result["total"] == 0
+        assert result["accuracy"] == 0.0

@@ -1,0 +1,124 @@
+"""End-to-end tests of the multivariate data plane.
+
+The multivariate pipelines must thread (n, m) values through windowing,
+modeling, per-channel error scoring and attribution in every plan mode
+(fit / detect / batch / stream), emit ``(start, end, severity, channel)``
+events, and — critically — leave the univariate path bitwise-unchanged
+on every executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.executor import get_executor
+from repro.core.sintel import Sintel
+from repro.data.signal import LABELS_KEY
+from repro.data.synthetic import WorkloadGenerator
+
+EXECUTORS = ["serial", "threaded", "process", "caching"]
+
+MV_PIPELINE = ("mv_dense_autoencoder", {"window_size": 30, "epochs": 6})
+
+
+@pytest.fixture(scope="module")
+def mv_signal():
+    return WorkloadGenerator(seed=11, n_channels=3, length=500,
+                             anomalies_per_signal=2).signal(0)
+
+
+@pytest.fixture(scope="module")
+def mv_events(mv_signal):
+    name, options = MV_PIPELINE
+    sintel = Sintel(name, **options)
+    sintel.fit(mv_signal.to_array())
+    return sintel, sintel.detect(mv_signal.to_array())
+
+
+class TestMultivariateDetect:
+    def test_events_carry_channel_column(self, mv_events):
+        _, events = mv_events
+        assert events, "the mv pipeline detected nothing on the fleet signal"
+        for event in events:
+            assert len(event) == 4
+            start, end, severity, channel = event
+            assert isinstance(channel, int)
+            assert 0 <= channel < 3
+            assert start <= end
+
+    def test_detect_many_matches_detect(self, mv_signal, mv_events):
+        sintel, events = mv_events
+        batch = sintel.detect_many([mv_signal.to_array(),
+                                    mv_signal.to_array()])
+        assert batch[0] == events
+        assert batch[1] == events
+
+    def test_mv_lstm_pipeline_runs(self, mv_signal):
+        sintel = Sintel("mv_lstm_dynamic_threshold", window_size=30, epochs=2)
+        sintel.fit(mv_signal.to_array())
+        for event in sintel.detect(mv_signal.to_array()):
+            assert len(event) == 4
+
+    def test_executor_parity(self, mv_signal, mv_events):
+        _, reference = mv_events
+        name, options = MV_PIPELINE
+        for executor in EXECUTORS:
+            sintel = Sintel(name, executor=get_executor(executor), **options)
+            sintel.fit(mv_signal.to_array())
+            events = sintel.detect(mv_signal.to_array())
+            assert events == reference, executor
+
+    def test_stream_events_carry_channel(self, mv_signal):
+        name, options = MV_PIPELINE
+        sintel = Sintel(name, **options)
+        data = mv_signal.to_array()
+        sintel.fit(data)
+        runner = sintel.stream(window_size=200, warmup=60)
+        for position in range(0, len(data), 50):
+            runner.send(data[position:position + 50])
+        for event in runner.close():
+            payload = event.to_dict()
+            if "channel" in payload:
+                assert 0 <= payload["channel"] < 3
+
+    def test_attribution_matches_labels(self, mv_signal, mv_events):
+        """Sanity: on the seeded fleet signal the attribution is correct."""
+        _, events = mv_events
+        labels = mv_signal.metadata[LABELS_KEY]
+        matched = 0
+        for start, end, _severity, channel in events:
+            for label in labels:
+                if label["start"] <= end and label["end"] >= start:
+                    assert channel in label["channels"]
+                    matched += 1
+                    break
+        assert matched > 0
+
+
+class TestUnivariateUnchanged:
+    def test_univariate_events_stay_3_tuples(self, small_signal):
+        data = small_signal.to_array()
+        sintel = Sintel("azure")
+        sintel.fit(data)
+        for event in sintel.detect(data):
+            assert len(event) == 3
+
+    def test_univariate_bitwise_identical_across_executors(self, small_signal):
+        data = small_signal.to_array()
+        reference = None
+        for executor in EXECUTORS:
+            sintel = Sintel("azure", executor=get_executor(executor))
+            sintel.fit(data)
+            events = sintel.detect(data)
+            if reference is None:
+                reference = events
+            else:
+                assert events == reference, executor
+
+    def test_univariate_signal_through_mv_pipeline(self):
+        """A 1-channel signal runs the mv pipeline and attributes channel 0."""
+        signal = WorkloadGenerator(seed=3, n_channels=1, length=400).signal(0)
+        name, options = MV_PIPELINE
+        sintel = Sintel(name, **options)
+        sintel.fit(signal.to_array())
+        for event in sintel.detect(signal.to_array()):
+            assert event[3] == 0

@@ -1,0 +1,122 @@
+"""Unit tests for the multivariate error-scoring and attribution primitives."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrimitiveError
+from repro.primitives.postprocessing.attribution import ChannelAttribution
+from repro.primitives.postprocessing.errors import (
+    MultichannelReconstructionErrors,
+    MultichannelRegressionErrors,
+    ReconstructionErrors,
+    RegressionErrors,
+)
+
+
+class TestMultichannelRegressionErrors:
+    def test_shapes_and_joint_mean(self):
+        primitive = MultichannelRegressionErrors(smoothing_window=1)
+        y = np.zeros((6, 1, 3))
+        y_hat = np.ones((6, 1, 3))
+        y_hat[:, :, 2] = 4.0
+        out = primitive.produce(y=y, y_hat=y_hat)
+        assert out["channel_errors"].shape == (6, 3)
+        assert np.allclose(out["channel_errors"][:, 0], 1.0)
+        assert np.allclose(out["channel_errors"][:, 2], 4.0)
+        # joint error = mean across channels
+        assert np.allclose(out["errors"], (1.0 + 1.0 + 4.0) / 3)
+
+    def test_accepts_flattened_predictions(self):
+        """The dense head predicts channels flat; errors must reshape."""
+        primitive = MultichannelRegressionErrors(smoothing_window=1)
+        y = np.zeros((5, 1, 2))
+        y_hat_flat = np.full((5, 2), 3.0)
+        out = primitive.produce(y=y, y_hat=y_hat_flat)
+        assert np.allclose(out["channel_errors"], 3.0)
+
+    def test_single_channel_matches_univariate_primitive(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=(20, 1, 1))
+        y_hat = rng.normal(size=(20, 1, 1))
+        multi = MultichannelRegressionErrors(smoothing_window=10)
+        uni = RegressionErrors(smoothing_window=10)
+        out_multi = multi.produce(y=y, y_hat=y_hat)
+        out_uni = uni.produce(y=y[:, 0, 0], y_hat=y_hat[:, 0, 0])
+        assert np.allclose(out_multi["errors"], out_uni["errors"])
+
+
+class TestMultichannelReconstructionErrors:
+    def test_shapes_and_index_passthrough(self):
+        primitive = MultichannelReconstructionErrors(smoothing_window=1)
+        k, window, m = 4, 3, 2
+        y = np.zeros((k, window, m))
+        y_hat = np.zeros((k, window, m))
+        y_hat[:, :, 1] = 2.0
+        index = np.arange(k)
+        out = primitive.produce(y=y, y_hat=y_hat, index=index)
+        length = k + window - 1
+        assert out["channel_errors"].shape == (length, m)
+        assert out["errors"].shape == (length,)
+        assert len(out["index"]) == length
+        assert np.allclose(out["channel_errors"][:, 0], 0.0)
+        assert np.allclose(out["channel_errors"][:, 1], 2.0)
+
+    def test_single_channel_matches_univariate_primitive(self):
+        rng = np.random.default_rng(1)
+        k, window = 10, 5
+        y = rng.normal(size=(k, window, 1))
+        y_hat = rng.normal(size=(k, window, 1))
+        index = np.arange(k) * 2
+        multi = MultichannelReconstructionErrors(smoothing_window=10)
+        uni = ReconstructionErrors(smoothing_window=10)
+        out_multi = multi.produce(y=y, y_hat=y_hat, index=index)
+        out_uni = uni.produce(y=y[:, :, 0], y_hat=y_hat[:, :, 0], index=index)
+        assert np.allclose(out_multi["errors"], out_uni["errors"])
+        assert np.array_equal(out_multi["index"], out_uni["index"])
+
+    def test_rejects_2d_input(self):
+        primitive = MultichannelReconstructionErrors()
+        with pytest.raises(PrimitiveError):
+            primitive.produce(y=np.zeros((4, 3)), y_hat=np.zeros((4, 3)),
+                              index=np.arange(4))
+
+
+class TestChannelAttribution:
+    def test_dominant_channel_appended(self):
+        primitive = ChannelAttribution()
+        index = np.arange(10)
+        channel_errors = np.ones((10, 3)) * 0.1
+        channel_errors[4:7, 2] = 5.0  # channel 2 spikes inside the event
+        anomalies = [(4, 6, 0.9)]
+        out = primitive.produce(anomalies=anomalies,
+                                channel_errors=channel_errors, index=index)
+        assert out["anomalies"].shape == (1, 4)
+        start, end, severity, channel = out["anomalies"][0]
+        assert (start, end, severity) == (4.0, 6.0, 0.9)
+        assert int(channel) == 2
+        assert out["channel_shares"].shape == (1, 3)
+        assert np.isclose(out["channel_shares"][0].sum(), 1.0)
+        assert np.argmax(out["channel_shares"][0]) == 2
+
+    def test_empty_anomalies(self):
+        primitive = ChannelAttribution()
+        out = primitive.produce(anomalies=[],
+                                channel_errors=np.ones((5, 2)),
+                                index=np.arange(5))
+        assert out["anomalies"].shape == (0, 4)
+        assert out["channel_shares"].shape == (0, 2)
+
+    def test_interval_outside_index_falls_back_to_global(self):
+        primitive = ChannelAttribution()
+        channel_errors = np.column_stack([np.ones(5), np.full(5, 3.0)])
+        out = primitive.produce(anomalies=[(100, 200, 0.5)],
+                                channel_errors=channel_errors,
+                                index=np.arange(5))
+        assert int(out["anomalies"][0, 3]) == 1
+
+    def test_mismatched_lengths_rejected(self):
+        primitive = ChannelAttribution()
+        with pytest.raises(PrimitiveError):
+            primitive.produce(anomalies=[(0, 1, 0.5)],
+                              channel_errors=np.ones((5, 2)),
+                              index=np.arange(4))
