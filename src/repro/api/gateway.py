@@ -49,6 +49,7 @@ from repro.api.metrics import (
     MetricsRegistry,
     cache_collector,
     coalescer_collector,
+    fleet_collector,
     jobs_collector,
     stream_collector,
     work_queue_collector,
@@ -211,6 +212,7 @@ class Gateway:
         self.metrics.add_collector(coalescer_collector(self.api.coalescer))
         self.metrics.add_collector(jobs_collector(self.api.jobs))
         self.metrics.add_collector(stream_collector(self.api.streams))
+        self.metrics.add_collector(fleet_collector(self.api.streams))
         # Executor step timings flow in through the process-wide sink.
         self._timing_collector = ExecutorTimingCollector()
         self.metrics.add_collector(self._timing_collector.collect)

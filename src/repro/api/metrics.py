@@ -28,7 +28,8 @@ from typing import Callable, Dict, List, Tuple
 __all__ = [
     "Counter", "Gauge", "Summary", "MetricsRegistry", "parse_prometheus",
     "ExecutorTimingCollector", "cache_collector", "coalescer_collector",
-    "stream_collector", "work_queue_collector", "jobs_collector",
+    "stream_collector", "fleet_collector", "work_queue_collector",
+    "jobs_collector",
 ]
 
 #: Quantiles exported by every summary.
@@ -426,6 +427,83 @@ def stream_collector(streams) -> Callable[[MetricsRegistry], None]:
                        ).set(retrains)
         registry.gauge("sintel_stream_events_total",
                        "Anomaly events emitted across sessions").set(events)
+
+    return collect
+
+
+def fleet_collector(streams) -> Callable[[MetricsRegistry], None]:
+    """Export the fleet scheduler's batching and tiered-refit view.
+
+    ``streams`` is a :class:`~repro.api.streams.StreamManager`; its fleet
+    scheduler is created lazily on the first ``open(..., fleet=True)``, so
+    every gauge renders as zero until a fleet session exists.
+    """
+
+    def collect(registry: MetricsRegistry) -> None:
+        occupancy = registry.gauge(
+            "sintel_fleet_batch_occupancy_total",
+            "Stream-batch plan executions by number of lanes batched")
+        tier_depth = registry.gauge(
+            "sintel_fleet_refit_queue_depth",
+            "Lanes with a refit due, by tier, as of the last round")
+        tier_refits = registry.gauge(
+            "sintel_fleet_refits_total",
+            "Background refits completed, by tier")
+        tier_lanes = registry.gauge(
+            "sintel_fleet_lanes", "Fleet lanes by current tier")
+        coalesce = registry.gauge(
+            "sintel_fleet_coalesce_ratio",
+            "Mean lanes served per stream-batch plan execution")
+        lag_p95 = registry.gauge(
+            "sintel_fleet_ingest_lag_p95_seconds",
+            "p95 time from ingest to the round that served the batch")
+        scalars = {
+            "sintel_fleet_streams": ("Lanes registered with the fleet", 0),
+            "sintel_fleet_groups": ("Pipeline-identity fleet groups", 0),
+            "sintel_fleet_rounds_total": ("Scheduling rounds executed", 0),
+            "sintel_fleet_pending_batches": (
+                "Micro-batches ingested but not yet served", 0),
+            "sintel_fleet_refit_errors_total": (
+                "Background refits that raised", 0),
+            "sintel_fleet_refits_in_flight": (
+                "Refits currently running", 0),
+        }
+        scheduler = getattr(streams, "scheduler", None)
+        stats = scheduler.stats() if scheduler is not None else {}
+        for name, (help_text, default) in scalars.items():
+            registry.gauge(name, help_text).set(default)
+        if stats:
+            registry.gauge("sintel_fleet_streams").set(stats["streams"])
+            registry.gauge("sintel_fleet_groups").set(stats["groups"])
+            registry.gauge("sintel_fleet_rounds_total").set(stats["rounds"])
+            registry.gauge("sintel_fleet_pending_batches"
+                           ).set(stats["pending"])
+            registry.gauge("sintel_fleet_refit_errors_total"
+                           ).set(stats["refit_errors"])
+            registry.gauge("sintel_fleet_refits_in_flight"
+                           ).set(stats["refits_in_flight"])
+            coalesce.set(stats["coalesce_ratio"])
+            p95 = stats["ingest_lag_p95"]
+            lag_p95.set(0.0 if p95 != p95 else p95)  # NaN until first round
+        else:
+            coalesce.set(0.0)
+            lag_p95.set(0.0)
+        for size, count in stats.get("occupancy", {}).items():
+            occupancy.set(count, lanes=size)
+        from repro.core.fleet import TierPolicy
+
+        for tier in TierPolicy.TIERS:
+            tier_depth.set(stats.get("refit_queue_depth", {}).get(tier, 0),
+                           tier=tier)
+            tier_refits.set(stats.get("refits_by_tier", {}).get(tier, 0),
+                            tier=tier)
+            tier_lanes.set(stats.get("tiers", {}).get(tier, 0), tier=tier)
+        standby = stats.get("standby", {})
+        standby_gauge = registry.gauge(
+            "sintel_fleet_standby_cache",
+            "Warm standby-pipeline cache counters")
+        for field in ("hits", "misses", "evictions", "size"):
+            standby_gauge.set(standby.get(field, 0), event=field)
 
     return collect
 

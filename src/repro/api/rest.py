@@ -152,8 +152,13 @@ class SintelAPI:
     Args:
         explorer: knowledge-base facade (a fresh in-memory one by default).
         job_workers: worker threads for background jobs.
-        stream_workers: worker threads shared by the stream drainers.
-        max_streams: capacity bound on concurrently open stream sessions.
+        stream_workers: worker threads shared by the stream drainers and
+            the fleet pump (``None`` sizes the pool from ``max_streams``
+            and the CPU count — see ``StreamManager.default_workers``).
+        max_streams: capacity bound on concurrently open classic stream
+            sessions; fleet sessions (``"fleet": true`` /
+            ``"fleet_group"`` in the create body) are bounded by the
+            fleet scheduler's own, much higher, capacity instead.
         coalesce_window: seconds a ``POST /detect`` leader waits for
             compatible concurrent requests before executing the batch.
             This is added latency for lone requests in exchange for
@@ -164,7 +169,7 @@ class SintelAPI:
     """
 
     def __init__(self, explorer: Optional[SintelExplorer] = None,
-                 job_workers: int = 2, stream_workers: int = 2,
+                 job_workers: int = 2, stream_workers: Optional[int] = None,
                  max_streams: int = 8, coalesce_window: float = 0.01,
                  coalesce_max_batch: int = 8):
         self.explorer = explorer or SintelExplorer()
@@ -615,6 +620,8 @@ class SintelAPI:
             executor=body.get("executor"),
             signal_id=body.get("signal_id"),
             drift=body.get("drift"),
+            fleet=body.get("fleet", False),
+            fleet_group=body.get("fleet_group"),
             **body.get("stream_options", {}),
         )
         return Response(201, session.to_dict(include_events=False))

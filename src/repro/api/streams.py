@@ -17,6 +17,8 @@ closed stream event.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from collections import deque
@@ -31,13 +33,21 @@ from repro.exceptions import (
     StreamError,
 )
 
-__all__ = ["StreamSession", "StreamManager", "build_drift_detector"]
+__all__ = ["StreamSession", "FleetStreamSession", "StreamManager",
+           "build_drift_detector"]
 
 #: Runner options clients may set through the API; anything else (including
 #: ``drift_detector``/``on_event``, which the manager passes itself) is a
 #: client error, not a TypeError deep inside the constructor.
 ALLOWED_STREAM_OPTIONS = frozenset({
     "window_size", "warmup", "drift_cooldown", "retrain", "retrain_hysteresis",
+})
+
+#: Options for fleet-routed sessions: the scheduler owns refits, so the
+#: per-runner retrain switches are replaced by the SLA deadline the
+#: :class:`~repro.core.fleet.TierPolicy` schedules against.
+FLEET_STREAM_OPTIONS = frozenset({
+    "window_size", "warmup", "drift_cooldown", "sla_deadline",
 })
 
 
@@ -118,41 +128,140 @@ class StreamSession:
         return payload
 
 
+class FleetStreamSession(StreamSession):
+    """A session served by the fleet scheduler instead of a private drainer.
+
+    The runner is the lane's :class:`~repro.core.stream.StreamRunner`, so
+    state, events and persistence behave exactly like a classic session —
+    only ingestion differs: batches queue on the lane and are processed by
+    the shared scheduling rounds (coalesced across sessions), and refits
+    are owned by the scheduler's tier policy rather than the runner.
+    """
+
+    def __init__(self, stream_id: str, lane, scheduler, pipeline_name: str,
+                 db_id: Optional[str] = None,
+                 fleet_group: Optional[str] = None):
+        super().__init__(stream_id, lane.runner, pipeline_name, db_id=db_id)
+        self.lane = lane
+        self.scheduler = scheduler
+        self.fleet_group = fleet_group
+
+    @property
+    def lag(self) -> dict:
+        pending = list(self.lane.pending)
+        return {"batches": len(pending),
+                "samples": sum(len(batch) for batch, _ in pending)}
+
+    def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        try:
+            return self.scheduler.wait_idle(self.stream_id, timeout)
+        except StreamError:
+            return True  # already closed and removed from the fleet
+
+    def to_dict(self, include_events: bool = True) -> dict:
+        if self.lane.error and self.status == "open":
+            self.status = "error"
+            self.error = self.lane.error
+        payload = super().to_dict(include_events)
+        payload["fleet"] = {
+            "tier": self.lane.tier,
+            "group": self.fleet_group,
+            "sla_deadline": self.lane.sla_deadline,
+        }
+        return payload
+
+
 class StreamManager:
     """Open, feed, observe and close live stream sessions.
 
+    Sessions come in two flavours. Classic sessions own a private
+    :class:`~repro.core.stream.StreamRunner` drained by the shared worker
+    pool. Fleet sessions (``open(..., fleet=True)``) route onto a
+    :class:`~repro.core.fleet.StreamScheduler`: their micro-batches are
+    coalesced with other fleet sessions into stream-batch plans and their
+    refits are allocated by urgency tier — the practical session capacity
+    is the scheduler's ``max_streams`` (default 64), well past
+    ``max_sessions``. Sessions opened with the same ``fleet_group`` name
+    share the first session's fitted pipeline (later opens skip fitting
+    entirely) and are batched together.
+
     Args:
-        max_workers: worker threads shared by every session's drainer.
-        max_sessions: capacity bound on concurrently *open* sessions —
-            opening beyond it is rejected (the JobManager pattern applied
-            to long-lived resources).
+        max_workers: worker threads shared by every session's drainer and
+            the fleet pump. ``None`` (the default) sizes the pool from
+            ``max_sessions`` and the CPU count; see :meth:`default_workers`.
+        max_sessions: capacity bound on concurrently *open* classic
+            sessions — opening beyond it is rejected (the JobManager
+            pattern applied to long-lived resources).
         explorer: optional knowledge-base facade; when present, sessions
             and closed events are persisted through it.
+        scheduler: optional :class:`~repro.core.fleet.StreamScheduler`
+            serving fleet sessions (created lazily on the first fleet
+            open when omitted).
+        fleet_capacity: ``max_streams`` for the lazily created scheduler.
+        pool: inject a pre-built executor instead of owning one (shared
+            infrastructure); the manager then never shuts it down.
     """
 
-    def __init__(self, max_workers: int = 2, max_sessions: int = 8,
-                 explorer=None):
+    def __init__(self, max_workers: Optional[int] = None,
+                 max_sessions: int = 8, explorer=None, scheduler=None,
+                 fleet_capacity: int = 64, pool=None):
         if max_sessions < 1:
             raise ValueError("max_sessions must be at least 1")
-        self._pool = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="sintel-stream"
+        self.max_workers = (self.default_workers(max_sessions)
+                            if max_workers is None else int(max_workers))
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._owns_pool = pool is None
+        self._pool = pool if pool is not None else ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="sintel-stream"
         )
         self._sessions: Dict[str, StreamSession] = {}
         self._lock = threading.Lock()
         self._counter = 0
         self.max_sessions = max_sessions
         self.explorer = explorer
+        self.scheduler = scheduler
+        self.fleet_capacity = int(fleet_capacity)
+        self._fleet_bases: Dict[str, tuple] = {}
+        self._fleet_pumping = False
+
+    @staticmethod
+    def default_workers(max_sessions: int) -> int:
+        """Size the drainer pool from session capacity and CPU count.
+
+        One thread can only drain one session at a time, so the pool
+        grows with ``max_sessions`` — but threads beyond a few per core
+        just contend on the GIL, so it is also capped by the CPU count
+        (and a hard ceiling of 32), with a floor of 2 so a classic
+        session drainer can never block the fleet pump.
+        """
+        cpu = os.cpu_count() or 1
+        return max(2, min(32, max_sessions, 4 * cpu))
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def open(self, pipeline, train_data, hyperparameters: Optional[dict] = None,
              pipeline_options: Optional[dict] = None, executor=None,
-             signal_id: Optional[str] = None, drift=None,
+             signal_id: Optional[str] = None, drift=None, fleet: bool = False,
+             fleet_group: Optional[str] = None,
              **stream_options) -> StreamSession:
-        """Fit ``pipeline`` on ``train_data`` and open a stream over it."""
+        """Fit ``pipeline`` on ``train_data`` and open a stream over it.
+
+        With ``fleet=True`` (or a ``fleet_group`` name) the session routes
+        onto the fleet scheduler instead of a private drainer; sessions
+        sharing a ``fleet_group`` reuse the first session's fitted
+        pipeline and are batched through one stream-batch plan.
+        """
         # Imported lazily to keep the API importable without the core.
         from repro.core.sintel import Sintel
+
+        if fleet or fleet_group is not None:
+            return self._open_fleet(
+                pipeline, train_data, hyperparameters=hyperparameters,
+                pipeline_options=pipeline_options, executor=executor,
+                signal_id=signal_id, drift=drift, fleet_group=fleet_group,
+                **stream_options)
 
         unknown = set(stream_options) - ALLOWED_STREAM_OPTIONS
         if unknown:
@@ -161,8 +270,10 @@ class StreamManager:
                 f"allowed: {sorted(ALLOWED_STREAM_OPTIONS)}"
             )
         with self._lock:
-            open_count = sum(1 for session in self._sessions.values()
-                             if session.status == "open")
+            open_count = sum(
+                1 for session in self._sessions.values()
+                if session.status == "open"
+                and not isinstance(session, FleetStreamSession))
             if open_count >= self.max_sessions:
                 raise CapacityError(
                     f"Stream capacity reached ({self.max_sessions} open "
@@ -175,15 +286,30 @@ class StreamManager:
                         executor=executor, **(pipeline_options or {}))
         sintel.fit(train_data)
 
+        db_id, on_event = self._persistence_hooks(
+            stream_id, sintel.pipeline_name, signal_id)
+        runner = sintel.stream(
+            drift_detector=build_drift_detector(drift),
+            on_event=on_event,
+            **stream_options,
+        )
+        session = StreamSession(stream_id, runner,
+                                pipeline_name=sintel.pipeline_name, db_id=db_id)
+        with self._lock:
+            self._sessions[stream_id] = session
+        return session
+
+    def _persistence_hooks(self, stream_id: str, pipeline_name: str,
+                           signal_id: Optional[str]):
+        """``(db_id, on_event)`` for knowledge-base persistence (or Nones)."""
         db_id = None
         if self.explorer is not None:
             try:
                 db_id = self.explorer.add_stream(
-                    sintel.pipeline_name, signal_id=signal_id, api_id=stream_id
+                    pipeline_name, signal_id=signal_id, api_id=stream_id
                 )
             except DatabaseError:
                 db_id = None
-
         on_event = None
         if db_id is not None:
             explorer = self.explorer
@@ -196,14 +322,78 @@ class StreamManager:
                     pass
 
             on_event = _persist_event
+        return db_id, on_event
 
-        runner = sintel.stream(
-            drift_detector=build_drift_detector(drift),
-            on_event=on_event,
-            **stream_options,
-        )
-        session = StreamSession(stream_id, runner,
-                                pipeline_name=sintel.pipeline_name, db_id=db_id)
+    def _ensure_scheduler(self):
+        """The fleet scheduler, created lazily on the first fleet open."""
+        from repro.core.fleet import StreamScheduler
+
+        with self._lock:
+            if self.scheduler is None:
+                self.scheduler = StreamScheduler(
+                    max_streams=self.fleet_capacity)
+            return self.scheduler
+
+    def _open_fleet(self, pipeline, train_data,
+                    hyperparameters: Optional[dict] = None,
+                    pipeline_options: Optional[dict] = None, executor=None,
+                    signal_id: Optional[str] = None, drift=None,
+                    fleet_group: Optional[str] = None,
+                    **stream_options) -> "FleetStreamSession":
+        from repro.core.sintel import Sintel
+
+        unknown = set(stream_options) - FLEET_STREAM_OPTIONS
+        if unknown:
+            raise ValueError(
+                f"Unknown fleet stream options {sorted(unknown)}; "
+                f"allowed: {sorted(FLEET_STREAM_OPTIONS)}"
+            )
+        scheduler = self._ensure_scheduler()
+        if len(scheduler.fleet.lanes()) >= scheduler.fleet.max_streams:
+            raise CapacityError(
+                f"Fleet capacity reached ({scheduler.fleet.max_streams} "
+                "streams); close one before opening another"
+            )
+        with self._lock:
+            self._counter += 1
+            stream_id = f"stream-{self._counter}"
+
+        identity = json.dumps(
+            {"pipeline": pipeline, "hyperparameters": hyperparameters or {},
+             "pipeline_options": pipeline_options or {}},
+            sort_keys=True, default=repr)
+        sintel = None
+        if fleet_group is not None:
+            with self._lock:
+                entry = self._fleet_bases.get(fleet_group)
+            if entry is not None:
+                stored_identity, sintel = entry
+                if stored_identity != identity:
+                    raise ValueError(
+                        f"Fleet group {fleet_group!r} serves a different "
+                        "pipeline configuration"
+                    )
+        if sintel is None:
+            sintel = Sintel(pipeline, hyperparameters=hyperparameters,
+                            executor=executor, **(pipeline_options or {}))
+            sintel.fit(train_data)
+            if fleet_group is not None:
+                with self._lock:
+                    self._fleet_bases[fleet_group] = (identity, sintel)
+
+        db_id, on_event = self._persistence_hooks(
+            stream_id, sintel.pipeline_name, signal_id)
+        try:
+            lane = scheduler.add_stream(
+                sintel.pipeline, stream_id=stream_id,
+                drift_detector=build_drift_detector(drift),
+                on_event=on_event, **stream_options)
+        except StreamError as error:
+            raise CapacityError(str(error)) from error
+        session = FleetStreamSession(
+            stream_id, lane, scheduler,
+            pipeline_name=sintel.pipeline_name, db_id=db_id,
+            fleet_group=fleet_group)
         with self._lock:
             self._sessions[stream_id] = session
         return session
@@ -230,7 +420,13 @@ class StreamManager:
             session.wait_idle(timeout)
         session.status = "closed"
         session.closed_at = time.time()
-        session.runner.close()
+        if isinstance(session, FleetStreamSession):
+            try:
+                session.scheduler.close_stream(stream_id)
+            except StreamError:  # pragma: no cover - already removed
+                session.runner.close()
+        else:
+            session.runner.close()
         if self.explorer is not None and session.db_id is not None:
             try:
                 state = session.runner.state()
@@ -252,7 +448,10 @@ class StreamManager:
                     self.close(session.stream_id, drain=wait, timeout=10.0)
                 except StreamError:  # pragma: no cover - defensive
                     pass
-        self._pool.shutdown(wait=wait)
+        if self.scheduler is not None:
+            self.scheduler.close()
+        if self._owns_pool:
+            self._pool.shutdown(wait=wait)
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -262,13 +461,54 @@ class StreamManager:
         session = self.get(stream_id)
         if session.status != "open":
             raise ValueError(f"Stream {stream_id!r} is {session.status}")
-        with session._lock:
-            session._pending.append(batch)
+        if isinstance(session, FleetStreamSession):
+            session.scheduler.ingest(stream_id, batch)
             session.batches_pushed += 1
-            session._idle.clear()
-        self._schedule(session)
+            self._kick_fleet()
+        else:
+            with session._lock:
+                session._pending.append(batch)
+                session.batches_pushed += 1
+                session._idle.clear()
+            self._schedule(session)
         return {"id": stream_id, "status": session.status, "lag": session.lag,
                 "batches_pushed": session.batches_pushed}
+
+    def _kick_fleet(self) -> None:
+        """Ensure a single fleet pumper is running scheduling rounds."""
+        with self._lock:
+            if self._fleet_pumping:
+                return
+            self._fleet_pumping = True
+        try:
+            self._pool.submit(self._pump_fleet)
+        except RuntimeError as error:
+            with self._lock:
+                self._fleet_pumping = False
+            raise ServiceUnavailableError(
+                "The stream manager is shut down; no new batches are accepted"
+            ) from error
+
+    def _pump_fleet(self) -> None:
+        # Single active pumper (the fleet analogue of the session
+        # drainer): rounds run strictly sequentially, and the flag is
+        # only dropped after re-checking for pending work under the
+        # manager lock so a concurrent push can never strand a batch.
+        try:
+            while True:
+                scheduler = self.scheduler
+                if scheduler is not None and scheduler.has_pending():
+                    scheduler.run_round()
+                    continue
+                with self._lock:
+                    if (self.scheduler is None
+                            or not self.scheduler.has_pending()):
+                        self._fleet_pumping = False
+                        return
+        except Exception:  # pragma: no cover - defensive
+            with self._lock:
+                self._fleet_pumping = False
+            raise
 
     def wait_idle(self, stream_id: str, timeout: Optional[float] = None) -> bool:
         """Block until a session has processed every queued batch."""

@@ -55,9 +55,11 @@ from repro.benchmark.synthetic import (
     synthetic_gate,
 )
 from repro.benchmark.streaming import (
+    benchmark_fleet_streaming,
     benchmark_streaming,
     default_streaming_signals,
     intervals_match,
+    run_fleet_at_scale,
     run_stream_on_signal,
 )
 
@@ -93,6 +95,8 @@ __all__ = [
     "SYNTHETIC_PIPELINES",
     "SYNTHETIC_MV_PIPELINE",
     "benchmark_streaming",
+    "benchmark_fleet_streaming",
+    "run_fleet_at_scale",
     "run_stream_on_signal",
     "default_streaming_signals",
     "intervals_match",

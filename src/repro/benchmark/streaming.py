@@ -13,6 +13,7 @@ persisted through :mod:`repro.db` by passing an explorer.
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -21,10 +22,11 @@ import numpy as np
 from repro.core.sintel import Sintel
 from repro.core.stream import StreamRunner
 from repro.data.signal import Signal
-from repro.data.synthetic import generate_signal
+from repro.data.synthetic import WorkloadGenerator
 from repro.exceptions import BenchmarkError
 
 __all__ = [
+    "benchmark_fleet_streaming",
     "benchmark_streaming",
     "default_streaming_signals",
     "intervals_match",
@@ -58,21 +60,20 @@ def intervals_match(reference: Sequence[Tuple], candidate: Sequence[Tuple],
 
 def default_streaming_signals(length: int = 600, n_anomalies: int = 3,
                               random_state: int = 0) -> List[Signal]:
-    """Three signals mirroring the benchmark dataset flavours.
+    """Three labeled signals from the deterministic workload generator.
 
-    One periodic (NASA-telemetry-like), one trend+seasonal
-    (Yahoo-synthetic-like) and one traffic-shaped (NAB-like) signal, each
-    with collective anomalies injected, sized for quick streaming sweeps.
+    Each composes seasonality x trend x regime shifts with collective
+    anomalies injected and ground-truth labels attached — the same
+    :class:`~repro.data.synthetic.WorkloadGenerator` plane the quality CI
+    leg scores against, sized for quick streaming sweeps. Identical seeds
+    reproduce identical signals on every platform and start method.
     """
-    flavours = ("periodic", "trend_seasonal", "traffic")
-    return [
-        generate_signal(
-            f"stream-{flavour}", length=length, n_anomalies=n_anomalies,
-            random_state=random_state + offset, flavour=flavour,
-            anomaly_types=("collective",),
-        )
-        for offset, flavour in enumerate(flavours)
-    ]
+    generator = WorkloadGenerator(
+        seed=random_state, n_channels=1, length=length,
+        anomalies_per_signal=n_anomalies, taxonomy=("collective",),
+    )
+    return [generator.signal(index, name=f"stream-{index:02d}")
+            for index in range(3)]
 
 
 def run_stream_on_signal(pipeline_name: str, signal: Signal,
@@ -159,6 +160,200 @@ def run_stream_on_signal(pipeline_name: str, signal: Signal,
             "parity": False,
         })
     return record
+
+
+def run_fleet_at_scale(pipeline_name: str, n_streams: int,
+                       length: int = 400, batch_size: int = 50,
+                       window_size: int = 200, warmup: int = 100,
+                       exact: bool = False, precision=None,
+                       coalesce: bool = True,
+                       pipeline_options: Optional[dict] = None,
+                       random_state: int = 0) -> dict:
+    """Fleet vs. ``n_streams`` independent runners, same run, same data.
+
+    Fits ``pipeline_name`` once, registers ``n_streams`` fleet lanes over
+    the fitted pipeline, and builds one independent
+    :class:`~repro.core.stream.StreamRunner` per stream over a deep copy
+    of the same fitted state. Both planes then replay identical per-stream
+    micro-batch schedules; the record carries wall-clock for each, the
+    speedup ratio, the fleet's coalescing stats, and a parity flag —
+    bitwise event equality on the exact plane, tolerance-banded
+    ``(start, end, severity)`` agreement on the fused plane.
+    """
+    from repro.benchmark.batch import anomalies_within_tolerance
+    from repro.core.fleet import FleetStreamRunner
+
+    generator = WorkloadGenerator(
+        seed=random_state, n_channels=1, length=length,
+        anomalies_per_signal=2, taxonomy=("collective",),
+    )
+    train = generator.signal(0, name="fleet-train").to_array()
+    replays = [generator.signal(10 + index).to_array()
+               for index in range(n_streams)]
+
+    record = {
+        "pipeline": pipeline_name,
+        "n_streams": n_streams,
+        "batch_size": batch_size,
+        "window_size": window_size,
+        "exact": exact,
+        "coalesce": coalesce,
+        "status": "ok",
+    }
+    try:
+        sintel = Sintel(pipeline_name, **(pipeline_options or {}))
+        started = time.perf_counter()
+        sintel.fit(train)
+        record["fit_time"] = time.perf_counter() - started
+
+        fleet = FleetStreamRunner(exact=exact, precision=precision,
+                                  coalesce=coalesce,
+                                  max_streams=max(n_streams, 1))
+        lanes = [
+            fleet.add_stream(sintel.pipeline, stream_id=f"bench-{index}",
+                             window_size=window_size, warmup=warmup,
+                             drift_detector=None)
+            for index in range(n_streams)
+        ]
+        independents = [
+            StreamRunner(copy.deepcopy(sintel.pipeline),
+                         window_size=window_size, warmup=warmup,
+                         drift_detector=None, retrain=False)
+            for _ in range(n_streams)
+        ]
+
+        schedule = [
+            [replay[start:start + batch_size]
+             for start in range(0, len(replay), batch_size)]
+            for replay in replays
+        ]
+        n_rounds = max(len(batches) for batches in schedule)
+
+        started = time.perf_counter()
+        for round_index in range(n_rounds):
+            for runner, batches in zip(independents, schedule):
+                if round_index < len(batches):
+                    runner.send(batches[round_index])
+        independent_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for round_index in range(n_rounds):
+            for lane, batches in zip(lanes, schedule):
+                if round_index < len(batches):
+                    fleet.ingest(lane.lane_id, batches[round_index])
+            fleet.run_round()
+        fleet_time = time.perf_counter() - started
+
+        fleet_events = [lane.runner.anomalies() for lane in lanes]
+        independent_events = [runner.anomalies()
+                              for runner in independents]
+        if exact:
+            parity = fleet_events == independent_events
+        else:
+            parity = anomalies_within_tolerance(fleet_events,
+                                                independent_events)
+        stats = fleet.stats()
+        fleet.close()
+        for runner in independents:
+            runner.close()
+
+        record.update({
+            "n_rounds": n_rounds,
+            "independent_time": independent_time,
+            "fleet_time": fleet_time,
+            "speedup": (independent_time / fleet_time
+                        if fleet_time > 0 else float("inf")),
+            "coalesce_ratio": stats["coalesce_ratio"],
+            "occupancy": stats["occupancy"],
+            "plan_runs": stats["plan_runs"],
+            "n_events": sum(len(events) for events in fleet_events),
+            "parity": parity,
+        })
+    except Exception as error:  # noqa: BLE001 - a failing scale is a result
+        record.update({
+            "status": "error",
+            "error": str(error),
+            "parity": False,
+        })
+    return record
+
+
+def benchmark_fleet_streaming(pipeline_name: str = "dense_autoencoder",
+                              stream_counts: Sequence[int] = (1, 8, 32),
+                              length: int = 400, batch_size: int = 50,
+                              window_size: int = 200, warmup: int = 100,
+                              exact: bool = False, precision=None,
+                              coalesce: bool = True,
+                              pipeline_options: Optional[dict] = None,
+                              random_state: int = 0,
+                              verbose: bool = False) -> dict:
+    """Cross-stream micro-batch vectorization sweep over fleet sizes.
+
+    For every count in ``stream_counts`` runs
+    :func:`run_fleet_at_scale` — the fleet plane and the equivalent
+    independent per-stream runners replay identical workloads in the same
+    process, so the speedup ratio is same-run and machine-independent.
+
+    Args:
+        pipeline_name: pipeline to serve (default: the dense autoencoder,
+            whose stateless NN forward dominates and so shows the
+            cross-stream batching win; ``azure`` streams too fast for the
+            batching to matter).
+        stream_counts: fleet sizes to sweep.
+        length / batch_size / window_size / warmup: per-stream workload
+            shape (rows, micro-batch rows, stream window, warmup rows).
+        exact: ``True`` pins the bitwise-identical exact plane (parity
+            gate); ``False`` opts into the fused single-precision plane
+            (throughput gate).
+        precision: optional fused-plane precision override.
+        coalesce: ``False`` disables cross-stream batching — the negative
+            control; each lane then runs its own stream-batch plan.
+        pipeline_options: spec-factory overrides for the pipeline.
+        random_state: workload seed.
+        verbose: print one line per fleet size.
+
+    Returns:
+        ``{"records": [...], "summary": {...}}`` with per-scale speedup
+        and parity plus fleet-level aggregates.
+    """
+    if batch_size < 1:
+        raise BenchmarkError("batch_size must be at least 1")
+    if not stream_counts:
+        raise BenchmarkError("stream_counts must not be empty")
+
+    records = []
+    for n_streams in stream_counts:
+        record = run_fleet_at_scale(
+            pipeline_name, int(n_streams), length=length,
+            batch_size=batch_size, window_size=window_size, warmup=warmup,
+            exact=exact, precision=precision, coalesce=coalesce,
+            pipeline_options=pipeline_options, random_state=random_state,
+        )
+        records.append(record)
+        if verbose:  # pragma: no cover - console output
+            print(f"{pipeline_name:<18} streams={n_streams:<4} "
+                  f"status={record['status']} "
+                  f"speedup={record.get('speedup', 0):.2f}x "
+                  f"parity={record.get('parity')}")
+
+    ok = [record for record in records if record["status"] == "ok"]
+    summary = {
+        "pipeline": pipeline_name,
+        "exact": exact,
+        "coalesce": coalesce,
+        "n_records": len(records),
+        "n_ok": len(ok),
+        "parity_rate": (sum(1 for r in ok if r["parity"]) / len(ok))
+        if ok else 0.0,
+    }
+    if ok:
+        largest = max(ok, key=lambda r: r["n_streams"])
+        summary.update({
+            "max_streams": largest["n_streams"],
+            "speedup_at_max": largest["speedup"],
+            "coalesce_ratio_at_max": largest["coalesce_ratio"],
+        })
+    return {"records": records, "summary": summary}
 
 
 def benchmark_streaming(pipelines: Optional[Sequence[str]] = None,

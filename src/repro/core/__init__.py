@@ -12,8 +12,22 @@ from repro.core.executor import (
     get_executor,
     list_executors,
 )
+from repro.core.fleet import (
+    FleetLane,
+    FleetStreamRunner,
+    StandbyCache,
+    StreamScheduler,
+    TierPolicy,
+)
 from repro.core.pipeline import Pipeline, Template
-from repro.core.plan import PLAN_MODES, CompiledStep, PlanCompiler
+from repro.core.plan import (
+    PLAN_MODES,
+    CompiledStep,
+    FusedStep,
+    LaneRegistry,
+    LaneStep,
+    PlanCompiler,
+)
 from repro.core.primitive import (
     Primitive,
     get_primitive,
@@ -36,7 +50,15 @@ __all__ = [
     "Pipeline",
     "PLAN_MODES",
     "CompiledStep",
+    "FusedStep",
+    "LaneRegistry",
+    "LaneStep",
     "PlanCompiler",
+    "FleetLane",
+    "FleetStreamRunner",
+    "StreamScheduler",
+    "TierPolicy",
+    "StandbyCache",
     "Sintel",
     "analyze",
     "AnalysisReport",

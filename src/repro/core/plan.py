@@ -62,11 +62,16 @@ from repro.core.arena import ArenaPool
 from repro.core.executor import ExecutionPlan, StepNode
 from repro.exceptions import PipelineError
 
-__all__ = ["PLAN_MODES", "CompiledStep", "FusedStep", "PlanCompiler",
-           "collect_args"]
+__all__ = ["PLAN_MODES", "CompiledStep", "FusedStep", "LaneRegistry",
+           "LaneStep", "PlanCompiler", "collect_args"]
 
-#: The four execution modes a template lowers into.
-PLAN_MODES = ("fit", "detect", "stream", "batch")
+#: The execution modes a template lowers into. ``stream_batch`` is the
+#: fleet plane's mode: one plan run serves N concurrent streams at once —
+#: stateless steps run once over the stacked ``(n_streams, window)`` batch
+#: (through the batch/fused machinery) while incremental steps keep
+#: per-stream state in a :class:`LaneRegistry` and lower to
+#: :class:`LaneStep` nodes.
+PLAN_MODES = ("fit", "detect", "stream", "batch", "stream_batch")
 
 #: ``fuse_category`` values the fusion pass accepts into chains.
 FUSABLE_CATEGORIES = ("elementwise", "window", "forward")
@@ -147,7 +152,7 @@ class CompiledStep:
             )
         primitive = self.primitive
         step = self.step
-        if self.mode == "batch":
+        if self.mode in ("batch", "stream_batch"):
             kwargs = collect_args(context, primitive.produce_args,
                                   step.get("inputs", {}), step)
             if not self.exact and primitive.supports_fused_batch:
@@ -210,9 +215,9 @@ class FusedStep:
     __slots__ = ("mode", "steps", "precision", "arena")
 
     def __init__(self, mode: str, steps, precision: Optional[str] = None):
-        if mode != "batch":
+        if mode not in ("batch", "stream_batch"):
             raise PipelineError(
-                f"FusedStep only exists in batch mode, not {mode!r}")
+                f"FusedStep only exists in batch modes, not {mode!r}")
         self.mode = mode
         self.steps = list(steps)
         self.precision = precision
@@ -235,8 +240,8 @@ class FusedStep:
     def run(self, context: dict, fit: bool):
         if fit:
             raise PipelineError(
-                "batch-mode plans are produce-only; compile a fit-mode "
-                "plan to fit"
+                f"{self.mode}-mode plans are produce-only; compile a "
+                "fit-mode plan to fit"
             )
         arena = self.arena if self.arena is not None else ArenaPool()
         local = dict(context)
@@ -267,6 +272,112 @@ class FusedStep:
                          for compiled in self.steps)
         return (f"FusedStep(mode={self.mode!r}, steps={names!r}, "
                 f"precision={self.precision!r})")
+
+
+class LaneRegistry:
+    """Per-round table of lane-local primitive rows for stream-batch plans.
+
+    The fleet plane (:mod:`repro.core.fleet`) keeps one incremental
+    primitive *copy per stream* for every ``supports_stream`` step — a
+    scaler's running statistics belong to one stream, never to the fleet.
+    Each scheduling round the fleet binds the participating streams' rows
+    here (:meth:`set_rows`), and the compiled :class:`LaneStep` nodes read
+    their column at dispatch time — the same late-binding idiom the
+    single-signal plans use for ``[step, primitive]`` cells, extended to a
+    second axis. ``rows[j][i]`` is stream *j*'s primitive for cell *i*;
+    each row is the stream's own (mutable) list, so in-process updates and
+    worker-absorbed state both land back on the stream that owns them.
+    """
+
+    def __init__(self):
+        self.rows: List[list] = []
+
+    def set_rows(self, rows: List[list]) -> None:
+        """Bind the participating lanes' primitive rows for one round."""
+        self.rows = list(rows)
+
+    def column(self, index: int) -> list:
+        """Every participating lane's primitive for template cell ``index``."""
+        return [row[index] for row in self.rows]
+
+    def absorb(self, index: int, primitives: list) -> None:
+        """Write worker-mutated primitives back into their owning rows."""
+        for row, primitive in zip(self.rows, primitives):
+            row[index] = primitive
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class LaneStep:
+    """One stream-batch step executed per lane over lane-local state.
+
+    The stream-batch analogue of a stream-mode incremental step: stateless
+    steps in a stream-batch plan run once over the whole ``(n_streams,
+    window)`` stack, but a ``supports_stream`` primitive mutates running
+    state that belongs to exactly one stream, so this work unit loops the
+    participating lanes, feeding each lane's slice of the batched context
+    through *that lane's* primitive copy via ``update``. Like
+    :class:`CompiledStep` it is both the in-process step body and the
+    picklable payload shipped to process-pool workers; :meth:`run` returns
+    the mutated primitive list as state so the parent can graft it back
+    into the :class:`LaneRegistry` rows.
+    """
+
+    __slots__ = ("step", "primitives")
+
+    def __init__(self, step: dict, primitives: list):
+        self.step = step
+        self.primitives = list(primitives)
+
+    def __getstate__(self):
+        return (self.step, self.primitives)
+
+    def __setstate__(self, state):
+        self.step, self.primitives = state
+
+    @property
+    def engine(self) -> str:
+        return self.primitives[0].engine if self.primitives else "transform"
+
+    def run(self, context: dict, fit: bool):
+        if fit:
+            raise PipelineError(
+                "stream_batch-mode plans are produce-only; compile a "
+                "fit-mode plan to fit"
+            )
+        step = self.step
+        inputs = step.get("inputs", {})
+        outputs = step.get("outputs", {})
+        collected: dict = {}
+        mutated = False
+        for lane_index, primitive in enumerate(self.primitives):
+            kwargs = {}
+            for arg in primitive.produce_args:
+                variable = inputs.get(arg, arg)
+                if variable not in context:
+                    raise PipelineError(
+                        f"Step {step['name']!r} needs variable {variable!r} "
+                        "which is not present in the context"
+                    )
+                kwargs[arg] = context[variable][lane_index]
+            if primitive.supports_stream:
+                produced = primitive.update(**kwargs)
+                mutated = True
+            else:  # pragma: no cover - lanes are built from stream steps
+                produced = primitive.produce(**kwargs)
+            if not isinstance(produced, dict):
+                raise PipelineError(
+                    f"Primitive {primitive.name!r} must return a dict of "
+                    "outputs"
+                )
+            for out, value in produced.items():
+                collected.setdefault(outputs.get(out, out), []).append(value)
+        return collected, (self.primitives if mutated else None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"LaneStep(step={self.step.get('name')!r}, "
+                f"lanes={len(self.primitives)})")
 
 
 class PlanCompiler:
@@ -303,12 +414,14 @@ class PlanCompiler:
         return json.dumps(identity, sort_keys=True, default=repr)
 
     @staticmethod
-    def _batch_namespace(exact: bool, precision: Optional[str]) -> str:
+    def _batch_namespace(exact: bool, precision: Optional[str],
+                         mode: str = "batch") -> str:
+        prefix = "stream-batch" if mode == "stream_batch" else "batch"
         if precision is not None:
             # Reduced precision changes every value flowing through the
             # plan, so the whole plan gets its own cache namespace.
-            return f"batch-fused-{precision}:"
-        return "batch:" if exact else "batch-fused:"
+            return f"{prefix}-fused-{precision}:"
+        return f"{prefix}:" if exact else f"{prefix}-fused:"
 
     def _fingerprints(self, step: dict, primitive, mode: str, exact: bool,
                       precision: Optional[str] = None) -> Tuple[str, str]:
@@ -328,15 +441,19 @@ class PlanCompiler:
         per-signal cache.
         """
         base = self._base_fingerprint(step, primitive)
-        if mode != "batch":
+        if mode not in ("batch", "stream_batch"):
             return base, ""
-        namespace = self._batch_namespace(exact, precision)
-        if exact and precision is None:
+        namespace = self._batch_namespace(exact, precision, mode)
+        if mode == "batch" and exact and precision is None:
             return namespace + base, base
+        # Fused-plane, reduced-precision and stream-batch nodes never
+        # expose a per-signal handle: stream-batch results depend on
+        # per-lane incremental state and are never cached at all.
         return namespace + base, ""
 
     def _chain_fingerprints(self, indices: Tuple[int, ...], exact: bool,
-                            precision: Optional[str]) -> Tuple[str, str]:
+                            precision: Optional[str],
+                            mode: str = "batch") -> Tuple[str, str]:
         """``(fingerprint, signal_fingerprint)`` for one fused chain node.
 
         The fingerprint combines **every** member's base fingerprint, not
@@ -350,8 +467,8 @@ class PlanCompiler:
         bases = [self._base_fingerprint(self.cells[i][0], self.cells[i][1])
                  for i in indices]
         combined = json.dumps(bases)
-        namespace = self._batch_namespace(exact, precision)
-        if exact and precision is None:
+        namespace = self._batch_namespace(exact, precision, mode)
+        if mode == "batch" and exact and precision is None:
             return namespace + combined, combined
         return namespace + combined, ""
 
@@ -374,6 +491,12 @@ class PlanCompiler:
         if mode == "stream" and primitive.supports_stream:
             # An incremental step mutates internal state on every call, so
             # its outputs must never be served from a memo cache.
+            return lambda fit: False
+        if mode == "stream_batch":
+            # Stream-batch outputs depend on which lanes participate in
+            # the round and on their sliding windows — both change every
+            # round, so memoization can only ever miss (or worse, hit
+            # across rounds). Never cache.
             return lambda fit: False
         if mode == "batch":
             return lambda fit: not fit
@@ -420,19 +543,26 @@ class PlanCompiler:
     # ------------------------------------------------------------------ #
     # the step-fusion pass (batch mode only)
     # ------------------------------------------------------------------ #
-    def _fusion_chains(self) -> List[Tuple[int, ...]]:
+    def _fusion_chains(self, exclude_stream: bool = False) \
+            -> List[Tuple[int, ...]]:
         """Contiguous runs (length >= 2) of fusable cells, as index tuples.
 
         A cell is fusable when its primitive declares one of the
         :data:`FUSABLE_CATEGORIES`. Single fusable steps between
         non-fusable neighbours stay plain ``CompiledStep`` nodes — a
         one-step "chain" has no step boundary to eliminate, and keeping
-        it plain preserves the per-step cache granularity.
+        it plain preserves the per-step cache granularity. Stream-batch
+        plans pass ``exclude_stream``: incremental (``supports_stream``)
+        cells hold per-lane state and lower to :class:`LaneStep` nodes,
+        so they break chains instead of joining them.
         """
         chains: List[Tuple[int, ...]] = []
         run: List[int] = []
         for index, (_, primitive) in enumerate(self.cells):
-            if primitive.fuse_category in FUSABLE_CATEGORIES:
+            fusable = primitive.fuse_category in FUSABLE_CATEGORIES
+            if fusable and exclude_stream and primitive.supports_stream:
+                fusable = False
+            if fusable:
                 run.append(index)
                 continue
             if len(run) >= 2:
@@ -443,16 +573,18 @@ class PlanCompiler:
         return chains
 
     def _build_fused_step(self, indices: Tuple[int, ...], exact: bool,
-                          precision: Optional[str]) -> FusedStep:
+                          precision: Optional[str],
+                          mode: str = "batch") -> FusedStep:
         return FusedStep(
-            "batch",
-            [CompiledStep("batch", self.cells[i][0], self.cells[i][1], exact)
+            mode,
+            [CompiledStep(mode, self.cells[i][0], self.cells[i][1], exact)
              for i in indices],
             precision=precision,
         )
 
     def _lower_fused_node(self, indices: Tuple[int, ...], exact: bool,
-                          precision: Optional[str], arena) -> StepNode:
+                          precision: Optional[str], arena,
+                          mode: str = "batch") -> StepNode:
         entries = [self.cells[i] for i in indices]
         # External reads: variables a member consumes that no earlier
         # member of the same chain produced. Writes keep every member's
@@ -472,14 +604,16 @@ class PlanCompiler:
                 if variable not in writes:
                     writes.append(variable)
         fingerprint, signal_fingerprint = self._chain_fingerprints(
-            indices, exact, precision)
+            indices, exact, precision, mode)
 
         def execute(context: dict, fit: bool) -> dict:
-            fused = self._build_fused_step(indices, exact, precision)
+            fused = self._build_fused_step(indices, exact, precision, mode)
             fused.arena = arena
             updates, _ = fused.run(context, fit)
             return updates
 
+        cacheable = ((lambda fit: False) if mode == "stream_batch"
+                     else (lambda fit: not fit))
         return StepNode(
             name="fused:" + "+".join(entry[0]["name"] for entry in entries),
             engine=("modeling" if any(
@@ -489,17 +623,52 @@ class PlanCompiler:
             writes=tuple(writes),
             execute=execute,
             fingerprint=fingerprint,
-            cacheable=lambda fit: not fit,
+            cacheable=cacheable,
             payload=(lambda: self._build_fused_step(indices, exact,
-                                                    precision)),
+                                                    precision, mode)),
             absorb=None,
-            mode="batch",
+            mode=mode,
             signal_fingerprint=signal_fingerprint,
             members=tuple(indices),
         )
 
+    def _lower_lane_node(self, entry: list, index: int,
+                         registry: LaneRegistry, exact: bool,
+                         precision: Optional[str]) -> StepNode:
+        """Lower one incremental cell into a per-lane stream-batch node.
+
+        The node reads the participating lanes' primitive copies through
+        the shared :class:`LaneRegistry` at dispatch time — the registry
+        is rebound every scheduling round, so one compiled plan serves
+        every round regardless of which streams show up.
+        """
+        step, primitive = entry
+        reads, writes = self._io_sets(step, primitive)
+        fingerprint, signal_fingerprint = self._fingerprints(
+            step, primitive, "stream_batch", exact, precision)
+
+        def execute(context: dict, fit: bool) -> dict:
+            updates, _ = LaneStep(entry[0], registry.column(index)).run(
+                context, fit)
+            return updates
+
+        return StepNode(
+            name=step["name"],
+            engine=primitive.engine,
+            reads=reads,
+            writes=writes,
+            execute=execute,
+            fingerprint=fingerprint,
+            cacheable=lambda fit: False,
+            payload=lambda: LaneStep(entry[0], registry.column(index)),
+            absorb=lambda primitives: registry.absorb(index, primitives),
+            mode="stream_batch",
+            signal_fingerprint=signal_fingerprint,
+        )
+
     def compile(self, mode: str, exact: bool = True,
-                precision: Optional[str] = None) -> ExecutionPlan:
+                precision: Optional[str] = None,
+                registry: Optional[LaneRegistry] = None) -> ExecutionPlan:
         """Lower every step into a fresh mode-tagged :class:`ExecutionPlan`.
 
         Batch-mode plans additionally run the step-fusion pass (unless
@@ -507,14 +676,23 @@ class PlanCompiler:
         fusable chains become single :class:`FusedStep` nodes sharing the
         plan's :class:`~repro.core.arena.ArenaPool`, exposed on the
         returned plan as ``plan.arena`` alongside ``plan.fusion_groups``.
+
+        Stream-batch plans require a :class:`LaneRegistry` and run the
+        same fusion pass over their stateless cells; incremental cells
+        lower to :class:`LaneStep` nodes bound to the registry.
         """
         if mode not in PLAN_MODES:
             raise PipelineError(f"Unknown plan mode {mode!r}; expected one "
                                 f"of {PLAN_MODES}")
+        stream_batch = mode == "stream_batch"
+        if stream_batch and registry is None:
+            raise PipelineError("stream_batch plans need a LaneRegistry")
         self.compilations += 1
-        fuse = mode == "batch" and not os.environ.get("REPRO_NO_FUSION")
-        chains = self._fusion_chains() if fuse else []
-        arena = ArenaPool() if mode == "batch" else None
+        batched = mode == "batch" or stream_batch
+        fuse = batched and not os.environ.get("REPRO_NO_FUSION")
+        chains = self._fusion_chains(exclude_stream=stream_batch) \
+            if fuse else []
+        arena = ArenaPool() if batched else None
         chain_start = {chain[0]: chain for chain in chains}
         fused_indices = {index for chain in chains for index in chain}
 
@@ -525,7 +703,7 @@ class PlanCompiler:
             if index in chain_start:
                 chain = chain_start[index]
                 nodes.append(self._lower_fused_node(
-                    chain, exact, precision, arena))
+                    chain, exact, precision, arena, mode))
                 groups.append({
                     "name": nodes[-1].name,
                     "steps": [self.cells[i][0]["name"] for i in chain],
@@ -535,22 +713,39 @@ class PlanCompiler:
                 index = chain[-1] + 1
                 continue
             assert index not in fused_indices
-            nodes.append(self._lower_node(
-                self.cells[index], mode, exact, precision))
+            if stream_batch and self.cells[index][1].supports_stream:
+                nodes.append(self._lower_lane_node(
+                    self.cells[index], index, registry, exact, precision))
+            else:
+                nodes.append(self._lower_node(
+                    self.cells[index], mode, exact, precision))
             index += 1
 
         plan = ExecutionPlan(nodes)
         plan.arena = arena
         plan.fusion_groups = groups
+        plan.lane_registry = registry if stream_batch else None
         return plan
 
     def plan(self, mode: str, exact: bool = True,
-             precision: Optional[str] = None) -> ExecutionPlan:
-        """The cached plan for ``(mode, exact, precision)``, compiled lazily."""
+             precision: Optional[str] = None,
+             registry: Optional[LaneRegistry] = None) -> ExecutionPlan:
+        """The cached plan for ``(mode, exact, precision)``, compiled lazily.
+
+        A stream-batch plan is additionally pinned to its
+        :class:`LaneRegistry`: passing a different registry recompiles
+        (each fleet group owns one registry for the pipeline's lifetime,
+        so this never happens on the hot path).
+        """
         key = (mode, bool(exact), precision)
-        if key not in self._plans:
-            self._plans[key] = self.compile(mode, exact=exact,
-                                            precision=precision)
+        cached = self._plans.get(key)
+        if (cached is not None and mode == "stream_batch"
+                and cached.lane_registry is not registry):
+            cached = None
+        if cached is None:
+            cached = self.compile(mode, exact=exact, precision=precision,
+                                  registry=registry)
+            self._plans[key] = cached
         return self._plans[key]
 
     # ------------------------------------------------------------------ #
@@ -576,7 +771,7 @@ class PlanCompiler:
                 if node.members:
                     node.fingerprint, node.signal_fingerprint = \
                         self._chain_fingerprints(node.members, exact,
-                                                 precision)
+                                                 precision, mode)
                     index = node.members[-1] + 1
                 else:
                     entry = self.cells[index]

@@ -173,6 +173,26 @@ class StreamRunner:
         return self._samples_seen
 
     @property
+    def ready(self) -> bool:
+        """Whether the buffer holds enough rows for detection (warmup met)."""
+        return self._buffer is not None and len(self._buffer) >= self.warmup
+
+    @property
+    def window(self) -> Optional[np.ndarray]:
+        """The buffered sliding window (rows of ``timestamp, values...``)."""
+        return self._buffer
+
+    @property
+    def drift_pending(self) -> bool:
+        """Whether the monitor confirmed drift that no refit consumed yet."""
+        return self._drift_pending
+
+    def clear_drift(self) -> None:
+        """Mark pending drift as consumed (an external refit was launched)."""
+        self._drift_pending = False
+        self._last_retrain_sample = self._samples_seen
+
+    @property
     def events(self) -> List[StreamEvent]:
         """Every live event (open and closed), ordered by start time."""
         with self._events_lock:
@@ -193,6 +213,29 @@ class StreamRunner:
         closed). Calls must be serialized by the caller — the runner
         guarantees in-order processing, not concurrent ``send`` safety.
         """
+        if not self._ingest(batch):
+            return []
+
+        changed: List[StreamEvent] = []
+        if self.ready:
+            with self._swap_lock:
+                pipeline = self._pipeline
+            detections = pipeline.partial_detect(self._buffer)
+            changed = self._reconcile(detections)
+
+        self._maybe_retrain()
+        return changed
+
+    def _ingest(self, batch) -> bool:
+        """Validate + buffer one micro-batch; True when rows were absorbed.
+
+        This is the ingestion half of :meth:`send` — buffer maintenance,
+        counters and drift monitoring, but no detection. The fleet plane
+        (:mod:`repro.core.fleet`) calls it directly and drives detection
+        through a coalesced stream-batch plan instead of
+        :meth:`Pipeline.partial_detect`, feeding the results back through
+        :meth:`apply_detections` so the event registry behaves identically.
+        """
         if self._closed:
             raise StreamError("The stream has been closed")
         batch = np.asarray(batch, dtype=float)
@@ -203,7 +246,7 @@ class StreamRunner:
                 "A micro-batch must be a 2D (timestamp, values...) array"
             )
         if len(batch) == 0:
-            return []
+            return False
         timestamps = batch[:, 0]
         if np.any(np.diff(timestamps) <= 0):
             raise StreamError("Batch timestamps must be strictly increasing")
@@ -230,16 +273,20 @@ class StreamRunner:
                 self._drift_pending = False
                 self.monitor.reset()
             self.monitor.consume(batch[:, 1])
+        return True
 
-        changed: List[StreamEvent] = []
-        if len(self._buffer) >= self.warmup:
-            with self._swap_lock:
-                pipeline = self._pipeline
-            detections = pipeline.partial_detect(self._buffer)
-            changed = self._reconcile(detections)
+    def apply_detections(self, detections: List[tuple]) -> List[StreamEvent]:
+        """Reconcile externally computed detections for the current window.
 
-        self._maybe_retrain()
-        return changed
+        ``detections`` must be what :meth:`Pipeline.partial_detect` would
+        have returned for the buffered window — the fleet plane computes
+        them in one stream-batch plan across many runners and demuxes each
+        runner's share here, so event ids, refinement and closing are
+        bitwise identical to an independent :meth:`send` loop.
+        """
+        if self._buffer is None or not len(self._buffer):
+            return []
+        return self._reconcile(detections)
 
     def close(self) -> List[StreamEvent]:
         """Close the stream: join any retrain, close every open event."""
@@ -407,6 +454,28 @@ class StreamRunner:
         # reset instead of mutating detector state from this thread.
         if self.monitor is not None:
             self._monitor_reset_pending = True
+
+    def adopt_pipeline(self, fitted: Pipeline) -> Pipeline:
+        """Atomically swap in an externally refitted pipeline.
+
+        Used by the fleet scheduler (:mod:`repro.core.fleet`), whose tiered
+        refit loop owns standby pipelines instead of this runner's private
+        ``_spare``. Returns the previous serving pipeline so the caller can
+        recycle it as a warm standby, and performs the same bookkeeping as
+        an internal retrain (counter, hysteresis anchor, monitor reset
+        request applied on the next ingest).
+        """
+        if not fitted.fitted:
+            raise NotFittedError("adopt_pipeline requires a fitted pipeline")
+        with self._swap_lock:
+            previous, self._pipeline = self._pipeline, fitted
+        self.retrains += 1
+        self.last_retrain_at = time.time()
+        self.retrain_error = None
+        self._last_retrain_sample = self._samples_seen
+        if self.monitor is not None:
+            self._monitor_reset_pending = True
+        return previous
 
     def join_retrain(self, timeout: Optional[float] = None) -> bool:
         """Block until any in-flight retrain finishes; True when idle."""

@@ -10,6 +10,7 @@ from repro.api.metrics import (
     MetricsRegistry,
     cache_collector,
     coalescer_collector,
+    fleet_collector,
     jobs_collector,
     parse_prometheus,
     work_queue_collector,
@@ -113,6 +114,59 @@ class TestCollectors:
         samples = parse_prometheus(registry.render())
         assert samples[("sintel_coalescer_requests_total", ())] == 1
         assert samples[("sintel_coalescer_executions_total", ())] == 1
+
+    def test_fleet_collector_before_any_fleet_session(self):
+        from repro.api.streams import StreamManager
+
+        manager = StreamManager()
+        registry = MetricsRegistry()
+        registry.add_collector(fleet_collector(manager))
+        samples = parse_prometheus(registry.render())
+        assert samples[("sintel_fleet_streams", ())] == 0
+        assert samples[("sintel_fleet_coalesce_ratio", ())] == 0
+        for tier in ("hot", "warm", "cold"):
+            assert samples[("sintel_fleet_lanes", (("tier", tier),))] == 0
+        manager.shutdown()
+
+    def test_fleet_collector_round_trips_scheduler_stats(self):
+        from repro.api.streams import StreamManager
+        from repro.data.synthetic import WorkloadGenerator
+
+        data = WorkloadGenerator(seed=3, length=300).signal(0).to_array()
+        manager = StreamManager()
+        sessions = [
+            manager.open("azure", data[:200], pipeline_options={"k": 4.0},
+                         drift=False, fleet=True, fleet_group="metrics",
+                         window_size=300, warmup=64)
+            for _ in range(2)
+        ]
+        for session in sessions:
+            manager.push(session.stream_id, data[200:260])
+            manager.push(session.stream_id, data[260:300])
+            assert manager.wait_idle(session.stream_id, timeout=30)
+
+        registry = MetricsRegistry()
+        registry.add_collector(fleet_collector(manager))
+        samples = parse_prometheus(registry.render())
+        assert samples[("sintel_fleet_streams", ())] == 2
+        assert samples[("sintel_fleet_groups", ())] == 1
+        assert samples[("sintel_fleet_pending_batches", ())] == 0
+        assert samples[("sintel_fleet_rounds_total", ())] >= 1
+        assert samples[("sintel_fleet_coalesce_ratio", ())] >= 1
+        assert samples[("sintel_fleet_ingest_lag_p95_seconds", ())] >= 0
+        # Occupancy histogram: every plan execution is accounted for.
+        stats = manager.scheduler.stats()
+        for size, count in stats["occupancy"].items():
+            assert samples[("sintel_fleet_batch_occupancy_total",
+                            (("lanes", size),))] == count
+        lanes_by_tier = sum(
+            samples[("sintel_fleet_lanes", (("tier", tier),))]
+            for tier in ("hot", "warm", "cold"))
+        assert lanes_by_tier == 2
+        for field in ("hits", "misses", "evictions", "size"):
+            assert ("sintel_fleet_standby_cache",
+                    (("event", field),)) in samples
+        manager.shutdown()
 
     def test_work_queue_collector(self, tmp_path):
         from repro.distributed.queue import WorkQueue

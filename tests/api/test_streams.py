@@ -223,3 +223,150 @@ class TestStreamOrderingAndPersistence:
         assert state["drift"]["points"]
         assert state["retrains"] == 1
         assert state["last_retrain_at"] is not None
+
+
+class TestFleetSessions:
+    def test_fleet_sessions_via_api(self, api):
+        data = _signal_data()
+        created = _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "warmup": 64})
+        assert created.status == 201
+        stream_id = created.body["id"]
+        assert created.body["fleet"]["tier"] in ("hot", "warm", "cold")
+
+        for start in range(200, 600, 50):
+            accepted = api.post(f"/streams/{stream_id}/data",
+                                {"data": data[start:start + 50].tolist()})
+            assert accepted.status == 202
+        assert api.streams.wait_idle(stream_id, timeout=60)
+
+        state = api.get(f"/streams/{stream_id}").body
+        assert state["samples_seen"] == 400
+        assert state["lag"] == {"batches": 0, "samples": 0}
+        assert state["events"]
+        assert state["fleet"]["group"] is None
+        json.dumps(state)
+
+        assert api.delete(f"/streams/{stream_id}").status == 204
+        assert api.get(f"/streams/{stream_id}").body["status"] == "closed"
+
+    def test_fleet_group_shares_one_fitted_pipeline(self, api):
+        data = _signal_data()
+        first = _open_stream(
+            api, data, fleet_group="shared",
+            stream_options={"window_size": 400, "warmup": 64})
+        second = _open_stream(
+            api, data, fleet_group="shared",
+            stream_options={"window_size": 400, "warmup": 64})
+        assert first.status == second.status == 201
+        # One group, one fitted base: the second open skipped fitting.
+        assert api.streams.scheduler.fleet.stats()["groups"] == 1
+
+        for start in range(200, 600, 50):
+            for created in (first, second):
+                api.post(f"/streams/{created.body['id']}/data",
+                         {"data": data[start:start + 50].tolist()})
+        for created in (first, second):
+            assert api.streams.wait_idle(created.body["id"], timeout=60)
+            state = api.get(f"/streams/{created.body['id']}").body
+            assert state["samples_seen"] == 400
+            assert state["fleet"]["group"] == "shared"
+
+        # A conflicting configuration cannot join the group.
+        rejected = _open_stream(
+            api, data, fleet_group="shared", pipeline_options={"k": 9.0},
+            stream_options={"window_size": 400, "warmup": 64})
+        assert rejected.status == 400
+        assert "different pipeline configuration" \
+            in rejected.body["error"]["message"]
+
+    def test_fleet_sessions_bypass_classic_capacity(self, api):
+        api.streams.max_sessions = 1
+        data = _signal_data()
+        assert _open_stream(api, data).status == 201
+        assert _open_stream(api, data).status == 429
+        # Fleet sessions are bounded by the scheduler, not max_sessions.
+        assert _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "warmup": 64}).status == 201
+        assert _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "warmup": 64}).status == 201
+
+    def test_fleet_rejects_classic_only_options(self, api):
+        data = _signal_data()
+        response = _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "retrain_hysteresis": 5})
+        assert response.status == 400
+        assert "retrain_hysteresis" in response.body["error"]["message"]
+
+    def test_fleet_bad_batch_scopes_error_to_session(self, api):
+        data = _signal_data()
+        bad = _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "warmup": 64}).body["id"]
+        good = _open_stream(
+            api, data, fleet=True,
+            stream_options={"window_size": 400, "warmup": 64}).body["id"]
+        # Replaying old timestamps is an ingestion error on the lane.
+        api.post(f"/streams/{bad}/data", {"data": data[:50].tolist()})
+        api.post(f"/streams/{bad}/data", {"data": data[:50].tolist()})
+        api.post(f"/streams/{good}/data", {"data": data[200:250].tolist()})
+        api.streams.wait_idle(bad, timeout=60)
+        api.streams.wait_idle(good, timeout=60)
+        assert api.get(f"/streams/{bad}").body["status"] == "error"
+        assert api.get(f"/streams/{good}").body["status"] == "open"
+
+    def test_fleet_sessions_persist_through_db(self, api):
+        data = _signal_data()
+        stream_id = _open_stream(
+            api, data, fleet=True, signal_id="sig-fleet",
+            stream_options={"window_size": 400, "warmup": 64}).body["id"]
+        for start in range(200, 600, 50):
+            api.post(f"/streams/{stream_id}/data",
+                     {"data": data[start:start + 50].tolist()})
+        api.streams.wait_idle(stream_id, timeout=60)
+        api.delete(f"/streams/{stream_id}")
+
+        streams = api.explorer.store["streams"].find()
+        assert len(streams) == 1
+        assert streams[0]["status"] == "closed"
+        assert api.explorer.get_events(signal_id="sig-fleet")
+
+
+class TestManagerPoolSizing:
+    def test_default_workers_scale_with_sessions_and_cpu(self):
+        import os
+
+        cpu = os.cpu_count() or 1
+        assert StreamManager.default_workers(8) \
+            == max(2, min(32, 8, 4 * cpu))
+        assert StreamManager.default_workers(1) == 2  # floor
+        assert StreamManager.default_workers(10_000) <= 32  # ceiling
+
+    def test_manager_sizes_pool_unless_told_otherwise(self):
+        manager = StreamManager(max_sessions=4)
+        assert manager.max_workers == StreamManager.default_workers(4)
+        manager.shutdown()
+        manager = StreamManager(max_workers=5, max_sessions=4)
+        assert manager.max_workers == 5
+        manager.shutdown()
+        with pytest.raises(ValueError):
+            StreamManager(max_workers=0)
+
+    def test_injected_pool_survives_shutdown(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = ThreadPoolExecutor(max_workers=2)
+        manager = StreamManager(pool=pool)
+        data = _signal_data()
+        session = manager.open("azure", data[:200],
+                               pipeline_options={"k": 4.0}, drift=False,
+                               window_size=400, warmup=64)
+        manager.push(session.stream_id, data[200:260])
+        manager.shutdown()
+        # The manager never owns an injected pool.
+        assert pool.submit(lambda: 41 + 1).result(timeout=10) == 42
+        pool.shutdown()

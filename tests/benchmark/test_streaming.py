@@ -42,7 +42,7 @@ class TestBenchmarkStreaming:
     def test_one_record_per_pipeline_signal(self, result):
         assert len(result["records"]) == 3
         assert {record["signal"] for record in result["records"]} == {
-            "stream-periodic", "stream-trend_seasonal", "stream-traffic",
+            "stream-00", "stream-01", "stream-02",
         }
 
     def test_records_carry_latency_and_throughput(self, result):

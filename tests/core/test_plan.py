@@ -269,7 +269,8 @@ class TestPlanCompilerStandalone:
         step = {"name": "only", "primitive": "fixed_threshold"}
         compiler = PlanCompiler([[step, get_primitive("fixed_threshold")]],
                                 build_token="tok")
-        assert set(PLAN_MODES) == {"fit", "detect", "stream", "batch"}
+        assert set(PLAN_MODES) == {"fit", "detect", "stream", "batch",
+                                   "stream_batch"}
         plan = compiler.plan("detect")
         assert plan.nodes[0].name == "only"
         assert compiler.compilations == 1
